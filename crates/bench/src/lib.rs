@@ -1,0 +1,406 @@
+//! # masm-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). This library holds what they share: scaled experiment
+//! environments, the concurrent-updater driver that reproduces the
+//! paper's "online updates while queries run" setup, and plain-text
+//! table output.
+//!
+//! ## Scaling
+//!
+//! The paper's 100 GB table / 4 GB SSD cache scale down by a common
+//! factor (default table ≈ 64 MiB; override with `MASM_BENCH_MB`). All
+//! figures report *normalized* times (relative to the same-size scan
+//! without updates), which cancels the scale factor; absolute rates
+//! (Figure 12) scale linearly and we report the scaled numbers plus the
+//! extrapolation.
+
+pub mod tpch_replay;
+
+use std::sync::Arc;
+
+use masm_core::{MasmConfig, MasmEngine};
+use masm_pagestore::{HeapConfig, Key, Schema, TableHeap};
+use masm_storage::{DeviceProfile, IoSession, Ns, SessionHandle, SimClock, SimDevice, MIB};
+use masm_workloads::synthetic::{SyntheticTable, UpdateMix, UpdateStreamGen};
+
+pub use masm_core::update::UpdateOp;
+
+/// Table size in MiB (env `MASM_BENCH_MB`, default 64).
+pub fn scale_mb() -> u64 {
+    std::env::var("MASM_BENCH_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The paper's cache:data ratio — 4 GB of flash for 100 GB of data.
+pub const CACHE_FRACTION: f64 = 0.04;
+
+/// A fresh simulated machine: one HDD (main data), one SSD (update
+/// cache), one small SSD (WAL), all on a shared virtual clock.
+pub struct Machine {
+    /// Shared virtual clock.
+    pub clock: SimClock,
+    /// Main-data disk.
+    pub disk: SimDevice,
+    /// Update-cache SSD.
+    pub ssd: SimDevice,
+    /// WAL device.
+    pub wal: SimDevice,
+}
+
+impl Machine {
+    /// Build the machine.
+    pub fn new() -> Machine {
+        let clock = SimClock::new();
+        Machine {
+            disk: SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone()),
+            ssd: SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone()),
+            wal: SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone()),
+            clock,
+        }
+    }
+
+    /// A fresh session on this machine's clock.
+    pub fn session(&self) -> SessionHandle {
+        SessionHandle::fresh(self.clock.clone())
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A scaled MaSM configuration: cache = `CACHE_FRACTION` × table bytes,
+/// 4 KiB SSD pages (so M stays meaningful at laptop scale), fine-grain
+/// index.
+pub fn scaled_masm_config(table_bytes: u64) -> MasmConfig {
+    let mut cfg = MasmConfig {
+        ssd_page_size: 4096,
+        ssd_capacity: ((table_bytes as f64 * CACHE_FRACTION) as u64).max(64 * 4096),
+        alpha: 1.0,
+        index_granularity: masm_core::IndexGranularity::Bytes(1024),
+        migration_threshold: 0.9,
+        merge_duplicates: true,
+        ssd_region_base: 0,
+    };
+    // Round capacity to whole pages.
+    cfg.ssd_capacity -= cfg.ssd_capacity % cfg.ssd_page_size as u64;
+    cfg
+}
+
+/// The synthetic experiment environment of §4.1/§4.2.
+pub struct SyntheticEnv {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The MaSM engine over the synthetic table.
+    pub engine: Arc<MasmEngine>,
+    /// The generator description of the table.
+    pub table: SyntheticTable,
+    /// Total table bytes.
+    pub table_bytes: u64,
+}
+
+impl SyntheticEnv {
+    /// Build the environment with a loaded table of `mb` MiB.
+    pub fn new(mb: u64) -> SyntheticEnv {
+        Self::with_config_mutator(mb, |_| {})
+    }
+
+    /// Build with a hook to adjust the MaSM configuration.
+    pub fn with_config_mutator(mb: u64, f: impl FnOnce(&mut MasmConfig)) -> SyntheticEnv {
+        let machine = Machine::new();
+        let table_bytes = mb * MIB;
+        let table = SyntheticTable::with_bytes(table_bytes);
+        let mut cfg = scaled_masm_config(table_bytes);
+        f(&mut cfg);
+        let heap = Arc::new(TableHeap::new(machine.disk.clone(), HeapConfig::default()));
+        let engine = MasmEngine::new(
+            heap,
+            machine.ssd.clone(),
+            machine.wal.clone(),
+            table.schema.clone(),
+            cfg,
+        )
+        .expect("valid scaled config");
+        let session = machine.session();
+        engine
+            .load_table(&session, table.records(), 1.0)
+            .expect("bulk load");
+        SyntheticEnv {
+            machine,
+            engine,
+            table,
+            table_bytes,
+        }
+    }
+
+    /// Fill the SSD update cache to `fraction` of its capacity with
+    /// uniformly distributed updates (the "cached updates occupy 50% of
+    /// the allocated flash space" setup).
+    pub fn fill_cache(&self, fraction: f64, seed: u64) {
+        let target = (self.engine.config().ssd_capacity as f64 * fraction) as u64;
+        let session = self.machine.session();
+        let mut gen =
+            UpdateStreamGen::uniform(self.table.clone(), UpdateMix::default(), seed);
+        while self.engine.cached_bytes() < target {
+            let (key, op) = gen.next_update();
+            match self.engine.apply_update(&session, key, op) {
+                Ok(_) => {}
+                // Very high fill targets (99%) stop at the last whole
+                // run that fits.
+                Err(masm_core::MasmError::CacheFull { .. }) => break,
+                Err(e) => panic!("cache fill failed: {e}"),
+            }
+        }
+    }
+
+    /// Time a pure heap scan (no update merging) of `[begin, end]`.
+    pub fn time_pure_scan(&self, begin: Key, end: Key) -> Ns {
+        let session = self.machine.session();
+        let start = session.now();
+        let n = self
+            .engine
+            .heap()
+            .scan_range(session.clone(), begin, end)
+            .count();
+        std::hint::black_box(n);
+        session.now() - start
+    }
+
+    /// Time a MaSM merged scan of `[begin, end]`.
+    pub fn time_masm_scan(&self, begin: Key, end: Key) -> Ns {
+        self.time_masm_scan_cpu(begin, end, 0)
+    }
+
+    /// Time a MaSM merged scan with injected CPU cost per record.
+    pub fn time_masm_scan_cpu(&self, begin: Key, end: Key, cpu_ns: u64) -> Ns {
+        let session = self.machine.session();
+        let start = session.now();
+        let scan = self
+            .engine
+            .begin_scan(session.clone(), begin, end)
+            .expect("scan")
+            .with_cpu_per_record(cpu_ns);
+        let n = scan.count();
+        std::hint::black_box(n);
+        session.now() - start
+    }
+
+    /// Evenly spaced scan ranges of `bytes` each (returned as key
+    /// ranges), following the paper's "randomly select 10 ranges for
+    /// scans of 100MB or larger, and 100 ranges for smaller ranges"
+    /// methodology (we use evenly spaced deterministic ranges).
+    pub fn ranges(&self, bytes: u64, count: usize) -> Vec<(Key, Key)> {
+        let records_per_range = (bytes / 100).max(1);
+        let key_span = records_per_range * 2;
+        let max_key = self.table.max_key();
+        (0..count as u64)
+            .map(|i| {
+                let begin = (max_key.saturating_sub(key_span)) * i / count as u64;
+                (begin, (begin + key_span).min(max_key))
+            })
+            .collect()
+    }
+}
+
+/// Drives a saturated stream of random in-place updates concurrently
+/// with a scan session: whenever the updater falls behind the scanning
+/// actor in virtual time, it issues another random read-modify-write on
+/// the same disk — the §2.2 interference generator.
+pub struct ConcurrentInPlaceUpdater<'a> {
+    engine: masm_baselines::InPlaceEngine,
+    gen: UpdateStreamGen,
+    session: IoSession,
+    next_ts: u64,
+    /// Updates issued.
+    pub issued: u64,
+    clock: &'a SimClock,
+}
+
+impl<'a> ConcurrentInPlaceUpdater<'a> {
+    /// Build an updater over `heap` (which it will mutate!).
+    pub fn new(
+        heap: Arc<TableHeap>,
+        schema: Schema,
+        table: SyntheticTable,
+        clock: &'a SimClock,
+        seed: u64,
+    ) -> Self {
+        ConcurrentInPlaceUpdater {
+            engine: masm_baselines::InPlaceEngine::new(heap, schema),
+            // Modifications only: keeps the table size stable so the
+            // normalized comparison is apples-to-apples.
+            gen: UpdateStreamGen::uniform(
+                table,
+                masm_workloads::synthetic::UpdateMix {
+                    insert: 0.0,
+                    delete: 0.0,
+                    modify: 1.0,
+                },
+                seed,
+            ),
+            session: IoSession::new(clock.clone()),
+            next_ts: 1,
+            issued: 0,
+            clock,
+        }
+    }
+
+    /// Catch the updater up to virtual time `now`: it issues updates
+    /// back-to-back until its own session time passes `now`.
+    pub fn catch_up(&mut self, now: Ns) {
+        while self.session.now() < now {
+            let (key, op) = self.gen.next_update();
+            let handle = SessionHandle::new(self.session.clone());
+            if self
+                .engine
+                .apply_update(&handle, key, op, self.next_ts)
+                .is_err()
+            {
+                break;
+            }
+            self.session = IoSession::at(self.clock.clone(), handle.now());
+            self.next_ts += 1;
+            self.issued += 1;
+        }
+    }
+}
+
+/// Time a scan while a saturated in-place updater hammers the same disk.
+pub fn time_scan_with_inplace_updates(
+    env: &SyntheticEnv,
+    begin: Key,
+    end: Key,
+    seed: u64,
+) -> Ns {
+    let session = env.machine.session();
+    let mut updater = ConcurrentInPlaceUpdater::new(
+        Arc::clone(env.engine.heap()),
+        env.table.schema.clone(),
+        env.table.clone(),
+        &env.machine.clock,
+        seed,
+    );
+    let start = session.now();
+    // Lead with one update so even single-I/O scans queue behind update
+    // traffic, as they would under a saturated concurrent updater.
+    updater.catch_up(start + 1);
+    let mut scan = env.engine.heap().scan_range(session.clone(), begin, end);
+    let mut n = 0u64;
+    while scan.next().is_some() {
+        n += 1;
+        if n.is_multiple_of(512) {
+            updater.catch_up(session.now());
+        }
+    }
+    std::hint::black_box(n);
+    session.now() - start
+}
+
+/// Render a fixed-width table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format virtual nanoseconds as seconds.
+pub fn secs(ns: Ns) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Format a ratio like "1.07x".
+pub fn ratio(num: Ns, den: Ns) -> String {
+    format!("{:.2}x", num as f64 / den.max(1) as f64)
+}
+
+/// Human-readable byte size for range labels.
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= MIB {
+        format!("{}MB", bytes / MIB)
+    } else if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_devices_share_clock() {
+        let m = Machine::new();
+        m.disk.write_at(0, 0, &[0u8; 4096]).unwrap();
+        assert!(m.clock.now() > 0);
+    }
+
+    #[test]
+    fn scaled_config_is_valid() {
+        let cfg = scaled_masm_config(64 * MIB);
+        cfg.validate().unwrap();
+        assert!(cfg.ssd_capacity >= 64 * 4096);
+        assert_eq!(cfg.ssd_capacity % 4096, 0);
+    }
+
+    #[test]
+    fn env_builds_and_scans() {
+        let env = SyntheticEnv::new(2);
+        let t = env.time_pure_scan(0, u64::MAX);
+        assert!(t > 0);
+        let t2 = env.time_masm_scan(0, u64::MAX);
+        assert!(t2 > 0);
+    }
+
+    #[test]
+    fn fill_cache_reaches_target() {
+        let env = SyntheticEnv::new(2);
+        env.fill_cache(0.3, 1);
+        let cap = env.engine.config().ssd_capacity;
+        assert!(env.engine.cached_bytes() as f64 >= 0.3 * cap as f64);
+    }
+
+    #[test]
+    fn inplace_interference_slows_scans() {
+        let env = SyntheticEnv::new(4);
+        let max = env.table.max_key();
+        let pure = env.time_pure_scan(0, max);
+        let with_updates = time_scan_with_inplace_updates(&env, 0, max, 7);
+        assert!(
+            with_updates as f64 > pure as f64 * 1.3,
+            "pure {pure} with {with_updates}"
+        );
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let env = SyntheticEnv::new(2);
+        for (b, e) in env.ranges(4096, 10) {
+            assert!(b <= e);
+            assert!(e <= env.table.max_key());
+        }
+    }
+}

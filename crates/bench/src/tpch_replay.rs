@@ -1,0 +1,279 @@
+//! Shared machinery for the TPC-H replay experiments (Figures 3, 4, 14).
+//!
+//! The paper replays disk I/O traces of 20 TPC-H queries against its
+//! prototype, in three configurations: no updates, concurrent in-place
+//! updates, and (Figure 14) MaSM with a per-table division of the flash
+//! space. We regenerate the equivalent multi-table range-scan traces
+//! (see `masm_workloads::tpch`) and drive the same three configurations.
+
+use std::sync::Arc;
+
+use masm_core::{MasmConfig, MasmEngine};
+use masm_pagestore::Key;
+use masm_storage::{IoSession, Ns, SessionHandle, SimClock};
+use masm_workloads::tpch::{QueryProfile, Table, TpchTables, TpchUpdateGen};
+
+use crate::Machine;
+
+/// A TPC-H machine: tables on one disk, one SSD, one WAL device.
+pub struct TpchEnv {
+    /// Simulated machine.
+    pub machine: Machine,
+    /// The replay tables.
+    pub tables: TpchTables,
+}
+
+impl TpchEnv {
+    /// Build tables totalling `total_bytes`.
+    pub fn new(total_bytes: u64) -> TpchEnv {
+        let machine = Machine::new();
+        let session = machine.session();
+        let tables = TpchTables::build(&machine.disk, &session, total_bytes).unwrap();
+        TpchEnv { machine, tables }
+    }
+
+    /// Time one query with no updates. `column_factor` scales each scan
+    /// range (1.0 = row store; <1 emulates a column store reading only
+    /// the referenced columns' bytes).
+    pub fn time_query(&self, q: &QueryProfile, column_factor: f64) -> Ns {
+        let session = self.machine.session();
+        let start = session.now();
+        self.run_query(&session, q, column_factor, &mut |_| {});
+        session.now() - start
+    }
+
+    /// Time one query while `interleave` is invoked between record
+    /// batches (the concurrent-updater hook).
+    pub fn time_query_with(
+        &self,
+        q: &QueryProfile,
+        column_factor: f64,
+        interleave: &mut dyn FnMut(Ns),
+    ) -> Ns {
+        let session = self.machine.session();
+        let start = session.now();
+        self.run_query(&session, q, column_factor, interleave);
+        session.now() - start
+    }
+
+    fn run_query(
+        &self,
+        session: &SessionHandle,
+        q: &QueryProfile,
+        column_factor: f64,
+        interleave: &mut dyn FnMut(Ns),
+    ) {
+        for step in q.steps {
+            let (b, e) = self.scaled_range(step, column_factor);
+            let mut scan = self
+                .tables
+                .heap(step.table)
+                .scan_range(session.clone(), b, e);
+            let mut n = 0u64;
+            while scan.next().is_some() {
+                n += 1;
+                if n.is_multiple_of(512) {
+                    interleave(session.now());
+                }
+            }
+            std::hint::black_box(n);
+        }
+    }
+
+    /// Key range of a step scaled by `column_factor`.
+    pub fn scaled_range(
+        &self,
+        step: &masm_workloads::tpch::ScanStep,
+        column_factor: f64,
+    ) -> (Key, Key) {
+        let (b, e) = self.tables.key_range(step);
+        let span = ((e - b) as f64 * column_factor) as u64;
+        (b, b + span)
+    }
+}
+
+/// A saturated in-place updater over the orders + lineitem heaps.
+pub struct TpchInPlaceUpdater {
+    orders: masm_baselines::InPlaceEngine,
+    lineitem: masm_baselines::InPlaceEngine,
+    gen: TpchUpdateGen,
+    /// Ops from the current group not yet issued (the updater is a
+    /// single thread: one I/O chain at a time).
+    pending: std::collections::VecDeque<(Table, Key, masm_core::update::UpdateOp)>,
+    session: IoSession,
+    clock: SimClock,
+    next_ts: u64,
+    /// Update operations issued (counting each sub-update).
+    pub issued: u64,
+}
+
+impl TpchInPlaceUpdater {
+    /// Build the updater (it mutates the heaps!).
+    pub fn new(env: &TpchEnv, seed: u64) -> TpchInPlaceUpdater {
+        TpchInPlaceUpdater {
+            orders: masm_baselines::InPlaceEngine::new(
+                Arc::clone(&env.tables.orders),
+                env.tables.schema.clone(),
+            ),
+            lineitem: masm_baselines::InPlaceEngine::new(
+                Arc::clone(&env.tables.lineitem),
+                env.tables.schema.clone(),
+            ),
+            gen: TpchUpdateGen::new(&env.tables, seed),
+            pending: std::collections::VecDeque::new(),
+            session: IoSession::new(env.machine.clock.clone()),
+            clock: env.machine.clock.clone(),
+            next_ts: 1,
+            issued: 0,
+        }
+    }
+
+    /// Issue single update operations until the updater's virtual time
+    /// passes `now` (a single updater thread keeps one read-modify-write
+    /// chain in flight at a time, as in §2.2).
+    pub fn catch_up(&mut self, now: Ns) {
+        while self.session.now() < now {
+            let (table, key, op) = match self.pending.pop_front() {
+                Some(next) => next,
+                None => {
+                    self.pending.extend(self.gen.next_group().ops);
+                    continue;
+                }
+            };
+            let handle = SessionHandle::new(self.session.clone());
+            let engine = match table {
+                Table::Orders => &self.orders,
+                _ => &self.lineitem,
+            };
+            // Skip updates that fail (e.g. page overflow on a full
+            // page) — the I/O was still charged.
+            let _ = engine.apply_update(&handle, key, op, self.next_ts);
+            self.next_ts += 1;
+            self.issued += 1;
+            self.session = IoSession::at(self.clock.clone(), handle.now());
+        }
+    }
+
+    /// Apply exactly `n` update operations back-to-back (for the
+    /// "query only + update only" bar of Figure 3): returns elapsed.
+    ///
+    /// Offline application batches and elevator-sorts the updates by
+    /// key (the I/O scheduler would do this for a deep queue of
+    /// independent writes), which is exactly why "query alone + updates
+    /// alone" is cheaper than running them concurrently: online updates
+    /// must apply one at a time, interleaved with the scan.
+    pub fn apply_exactly(&mut self, n: u64) -> Ns {
+        let start = self.session.now();
+        let mut ops: Vec<(Table, Key, masm_core::update::UpdateOp)> = Vec::new();
+        while (ops.len() as u64) < n {
+            ops.extend(self.gen.next_group().ops);
+        }
+        ops.truncate(n as usize);
+        ops.sort_by_key(|(t, k, _)| (matches!(t, Table::Orders), *k));
+        for (table, key, op) in ops {
+            let handle = SessionHandle::new(self.session.clone());
+            let engine = match table {
+                Table::Orders => &self.orders,
+                _ => &self.lineitem,
+            };
+            let _ = engine.apply_update(&handle, key, op, self.next_ts);
+            self.next_ts += 1;
+            self.issued += 1;
+            self.session = IoSession::at(self.clock.clone(), handle.now());
+        }
+        self.session.now() - start
+    }
+}
+
+/// The Figure-14 configuration: MaSM engines for orders and lineitem
+/// dividing one SSD, other tables scanned raw.
+pub struct TpchMasm {
+    /// Engine over the orders table.
+    pub orders: Arc<MasmEngine>,
+    /// Engine over the lineitem table.
+    pub lineitem: Arc<MasmEngine>,
+}
+
+impl TpchMasm {
+    /// Build the two engines over `env`'s tables, dividing a flash space
+    /// of `flash_bytes` between them (¼ orders, ¾ lineitem — matching
+    /// their data sizes).
+    pub fn new(env: &TpchEnv, flash_bytes: u64) -> TpchMasm {
+        let page = 4096usize;
+        let li_cap = (flash_bytes * 3 / 4 / page as u64) * page as u64;
+        let ord_cap = (flash_bytes / 4 / page as u64) * page as u64;
+        let mk = |heap: &Arc<masm_pagestore::TableHeap>, cap: u64, base: u64| {
+            let cfg = MasmConfig {
+                ssd_page_size: page,
+                ssd_capacity: cap.max(64 * page as u64),
+                alpha: 1.0,
+                index_granularity: masm_core::IndexGranularity::Bytes(1024),
+                migration_threshold: 1.0,
+                merge_duplicates: true,
+                ssd_region_base: base,
+            };
+            MasmEngine::new(
+                Arc::clone(heap),
+                env.machine.ssd.clone(),
+                env.machine.wal.clone(),
+                env.tables.schema.clone(),
+                cfg,
+            )
+            .unwrap()
+        };
+        TpchMasm {
+            lineitem: mk(&env.tables.lineitem, li_cap, 0),
+            orders: mk(&env.tables.orders, ord_cap, li_cap),
+        }
+    }
+
+    /// Fill both caches to `fraction` of their capacity with correlated
+    /// update groups.
+    pub fn fill(&self, env: &TpchEnv, fraction: f64, seed: u64) {
+        let session = env.machine.session();
+        let mut gen = TpchUpdateGen::new(&env.tables, seed);
+        let target = |e: &Arc<MasmEngine>| {
+            (e.config().ssd_capacity as f64 * fraction) as u64
+        };
+        while self.lineitem.cached_bytes() < target(&self.lineitem)
+            || self.orders.cached_bytes() < target(&self.orders)
+        {
+            let group = gen.next_group();
+            for (table, key, op) in group.ops {
+                let engine = match table {
+                    Table::Orders => &self.orders,
+                    _ => &self.lineitem,
+                };
+                engine.apply_update(&session, key, op).unwrap();
+            }
+        }
+    }
+
+    /// Time one query with MaSM merging on orders/lineitem scans.
+    pub fn time_query(&self, env: &TpchEnv, q: &QueryProfile) -> Ns {
+        let session = env.machine.session();
+        let start = session.now();
+        for step in q.steps {
+            let (b, e) = env.tables.key_range(step);
+            let n = match step.table {
+                Table::Orders => self
+                    .orders
+                    .begin_scan(session.clone(), b, e)
+                    .unwrap()
+                    .count(),
+                Table::Lineitem => self
+                    .lineitem
+                    .begin_scan(session.clone(), b, e)
+                    .unwrap()
+                    .count(),
+                other => env
+                    .tables
+                    .heap(other)
+                    .scan_range(session.clone(), b, e)
+                    .count(),
+            };
+            std::hint::black_box(n);
+        }
+        session.now() - start
+    }
+}

@@ -1,0 +1,242 @@
+//! MaSM configuration (Table 1 parameters and §3.5 knobs).
+//!
+//! The paper's parameters, with `P` = SSD page size:
+//!
+//! | symbol    | meaning                                              |
+//! |-----------|------------------------------------------------------|
+//! | `‖SSD‖`   | SSD capacity in pages, `‖SSD‖ = M²`                  |
+//! | `M`       | memory (in pages) of the plain MaSM-M algorithm      |
+//! | `α`       | memory scale: MaSM-αM uses `αM` pages of memory      |
+//! | `S`       | pages buffering incoming updates (`S_opt = 0.5αM`)   |
+//! | `N`       | 1-pass runs merged into one 2-pass run (Thm 3.3)     |
+//!
+//! The experimental defaults match §4.1: 64 KB SSD I/O pages, 4 GB flash
+//! space (so `M = 256` pages = 16 MB of memory for MaSM-M), fine-grain
+//! run index (one entry per 4 KB of cached updates).
+
+use crate::error::{MasmError, MasmResult};
+
+/// Granularity of the read-only run index (§3.5 "Granularity of Run
+/// Index").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexGranularity {
+    /// One entry per 64 KB of cached updates — minimal memory, best for
+    /// very large ranges.
+    Coarse,
+    /// One entry per 4 KB of cached updates — precise enough that a 4 KB
+    /// range scan reads ≈4 KB per run (the paper's headline setting).
+    Fine,
+    /// Custom: one entry per this many bytes.
+    Bytes(u64),
+}
+
+impl IndexGranularity {
+    /// Bytes of cached updates covered by one index entry.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            IndexGranularity::Coarse => 64 * 1024,
+            IndexGranularity::Fine => 4 * 1024,
+            IndexGranularity::Bytes(b) => *b,
+        }
+    }
+}
+
+/// Configuration of a [`crate::engine::MasmEngine`].
+#[derive(Debug, Clone)]
+pub struct MasmConfig {
+    /// SSD I/O page size `P` (64 KB in §4.1).
+    pub ssd_page_size: usize,
+    /// SSD update-cache capacity in bytes (`‖SSD‖ · P`).
+    pub ssd_capacity: u64,
+    /// Memory scale α ∈ (0, 2]: the algorithm uses `αM` pages of memory.
+    /// α = 1 is MaSM-M, α = 2 is MaSM-2M.
+    pub alpha: f64,
+    /// Run index granularity.
+    pub index_granularity: IndexGranularity,
+    /// Fraction of SSD capacity at which the engine reports that
+    /// migration is needed (90% in §1.2).
+    pub migration_threshold: f64,
+    /// Merge duplicate updates to the same key while materializing a
+    /// sorted run, when no concurrent query timestamp falls between them
+    /// (§3.5 "Handling Skews").
+    pub merge_duplicates: bool,
+    /// Byte offset of this engine's region on the shared SSD device.
+    /// Several engines (one per table, §4.3) can divide one SSD.
+    pub ssd_region_base: u64,
+}
+
+impl Default for MasmConfig {
+    fn default() -> Self {
+        MasmConfig {
+            ssd_page_size: 64 * 1024,
+            ssd_capacity: 4 * masm_storage::GIB,
+            alpha: 1.0,
+            index_granularity: IndexGranularity::Fine,
+            migration_threshold: 0.9,
+            merge_duplicates: true,
+            ssd_region_base: 0,
+        }
+    }
+}
+
+impl MasmConfig {
+    /// A small configuration for unit tests: 4 KB SSD pages, tiny cache.
+    pub fn small_for_tests() -> Self {
+        MasmConfig {
+            ssd_page_size: 4096,
+            ssd_capacity: 1024 * 4096, // 1024 pages => M = 32
+            alpha: 1.0,
+            index_granularity: IndexGranularity::Bytes(1024),
+            migration_threshold: 0.9,
+            merge_duplicates: true,
+            ssd_region_base: 0,
+        }
+    }
+
+    /// MaSM-2M variant of this configuration.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// SSD capacity in pages: `‖SSD‖`.
+    pub fn ssd_pages(&self) -> u64 {
+        self.ssd_capacity / self.ssd_page_size as u64
+    }
+
+    /// `M = sqrt(‖SSD‖)` — the memory (in pages) of plain MaSM-M
+    /// (two-pass external sort needs `sqrt` of the data size).
+    pub fn m_pages(&self) -> u64 {
+        (self.ssd_pages() as f64).sqrt().ceil() as u64
+    }
+
+    /// Total memory pages `αM` available to this configuration.
+    pub fn total_memory_pages(&self) -> u64 {
+        ((self.alpha * self.m_pages() as f64).round() as u64).max(2)
+    }
+
+    /// Total memory in bytes.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.total_memory_pages() * self.ssd_page_size as u64
+    }
+
+    /// `S_opt = 0.5αM`: pages dedicated to buffering incoming updates
+    /// (Theorem 3.3).
+    pub fn s_pages(&self) -> u64 {
+        (self.total_memory_pages() / 2).max(1)
+    }
+
+    /// Update-buffer capacity in bytes (`S · P`).
+    pub fn update_buffer_bytes(&self) -> u64 {
+        self.s_pages() * self.ssd_page_size as u64
+    }
+
+    /// Query pages: `αM − S`, the bound on concurrently open sorted runs.
+    pub fn query_pages(&self) -> u64 {
+        (self.total_memory_pages() - self.s_pages()).max(1)
+    }
+
+    /// `N_opt` of Theorem 3.3: how many earliest 1-pass runs merge into a
+    /// 2-pass run, clamped to at least 2 so a merge always shrinks the
+    /// run count.
+    pub fn n_merge(&self) -> u64 {
+        let m = self.m_pages() as f64;
+        let a = self.alpha;
+        let denom = (4.0 / (a * a)).floor().max(1.0);
+        let n = (1.0 / denom) * (2.0 / a - 0.5 * a) * m + 1.0;
+        (n.round() as u64).clamp(2, self.query_pages().max(2))
+    }
+
+    /// Migration trigger level in bytes.
+    pub fn migration_trigger_bytes(&self) -> u64 {
+        (self.ssd_capacity as f64 * self.migration_threshold) as u64
+    }
+
+    /// Validate invariants; call before constructing an engine.
+    pub fn validate(&self) -> MasmResult<()> {
+        if self.ssd_page_size < 1024 {
+            return Err(MasmError::Config("ssd_page_size must be ≥ 1 KiB".into()));
+        }
+        if self.ssd_capacity < (self.ssd_page_size as u64) * 4 {
+            return Err(MasmError::Config("ssd_capacity too small".into()));
+        }
+        let m = self.m_pages() as f64;
+        let min_alpha = 2.0 / m.cbrt();
+        if !(self.alpha > 0.0 && self.alpha <= 2.0) {
+            return Err(MasmError::Config(format!(
+                "alpha must be in (0, 2], got {}",
+                self.alpha
+            )));
+        }
+        if self.alpha < min_alpha {
+            return Err(MasmError::Config(format!(
+                "alpha {} below lower bound 2/M^(1/3) = {min_alpha:.4} (3-pass sorts \
+                 would be required; see §3.4)",
+                self.alpha
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.migration_threshold) {
+            return Err(MasmError::Config("migration_threshold must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_give_16mb_memory() {
+        // §4.1: 4 GB flash, 64 KB pages => M = 256 pages = 16 MB.
+        let c = MasmConfig::default();
+        assert_eq!(c.ssd_pages(), 65536);
+        assert_eq!(c.m_pages(), 256);
+        assert_eq!(c.total_memory_pages(), 256);
+        assert_eq!(c.total_memory_bytes(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn masm_m_split_matches_theorem_3_2() {
+        // S_opt = 0.5 M = 128; N_opt = 0.375 M + 1 = 97.
+        let c = MasmConfig::default();
+        assert_eq!(c.s_pages(), 128);
+        assert_eq!(c.n_merge(), 97);
+        assert_eq!(c.query_pages(), 128);
+    }
+
+    #[test]
+    fn masm_2m_never_needs_merges() {
+        let c = MasmConfig::default().with_alpha(2.0);
+        assert_eq!(c.total_memory_pages(), 512);
+        assert_eq!(c.s_pages(), 256); // buffer of M pages
+        assert_eq!(c.query_pages(), 256); // can hold all M runs
+        // N degenerates (no merging is ever triggered since runs ≤ M).
+        assert!(c.n_merge() >= 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_alpha() {
+        assert!(MasmConfig::default().with_alpha(0.0).validate().is_err());
+        assert!(MasmConfig::default().with_alpha(2.5).validate().is_err());
+        // Below 2/M^(1/3) = 2/6.35 ≈ 0.315 for M=256.
+        assert!(MasmConfig::default().with_alpha(0.2).validate().is_err());
+        assert!(MasmConfig::default().with_alpha(0.4).validate().is_ok());
+        assert!(MasmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn index_granularities() {
+        assert_eq!(IndexGranularity::Coarse.bytes(), 65536);
+        assert_eq!(IndexGranularity::Fine.bytes(), 4096);
+        assert_eq!(IndexGranularity::Bytes(512).bytes(), 512);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        let c = MasmConfig::small_for_tests();
+        c.validate().unwrap();
+        assert_eq!(c.m_pages(), 32);
+        assert_eq!(c.s_pages(), 16);
+    }
+}

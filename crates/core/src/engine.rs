@@ -1,0 +1,1492 @@
+//! The MaSM engine: the storage-manager-level facade of §3.
+//!
+//! One engine manages one table: its clustered heap on the disk device,
+//! its SSD update cache (in-memory buffer + materialized sorted runs),
+//! its redo log, and the timestamp oracle that serializes individual
+//! queries and updates. It exposes exactly the surface the paper argues
+//! a DBMS needs ("MaSM can be implemented in the storage manager … it
+//! does not require modification to the buffer manager, query processor
+//! or query optimizer"):
+//!
+//! * [`MasmEngine::apply_update`] — ingest a well-formed update,
+//! * [`MasmEngine::begin_scan`] — a table range scan that transparently
+//!   merges cached updates (drop-in for `Table_range_scan`),
+//! * [`MasmEngine::migrate`] — in-place migration of cached updates,
+//! * [`MasmEngine::recover`] — crash recovery from the redo log.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
+use masm_storage::{SessionHandle, SimDevice};
+
+use crate::algo::RunSet;
+use crate::config::MasmConfig;
+use crate::error::{MasmError, MasmResult};
+use crate::membuf::UpdateBuffer;
+use crate::merge::{fold_duplicates, KWayUpdates, MergeDataUpdates, MergeUpdates, UpdateStream};
+use crate::run::{build_run, write_run, RunScan, SortedRun, SsdSpace};
+use crate::ts::{Timestamp, TimestampOracle};
+use crate::update::{UpdateOp, UpdateRecord};
+use crate::wal::{Wal, WalRecord};
+
+struct EngineState {
+    buffer: UpdateBuffer,
+    runs: RunSet,
+    /// Active query timestamps → pinned query pages (one per open run).
+    active_queries: BTreeMap<Timestamp, u64>,
+    /// Total pinned query pages across active scans.
+    pinned_pages: u64,
+    /// SSD bytes of runs deleted while queries were still active; freed
+    /// once the system quiesces.
+    retired_bytes: u64,
+    migrating: bool,
+}
+
+/// Outcome of one migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Migration timestamp `t`.
+    pub ts: Timestamp,
+    /// Number of runs migrated.
+    pub runs_migrated: usize,
+    /// Update records merged into the main data.
+    pub updates_applied: u64,
+    /// Data pages written back.
+    pub pages_written: u64,
+}
+
+/// Outcome of crash recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Updates restored into the in-memory buffer.
+    pub updates_recovered: u64,
+    /// Materialized runs re-registered.
+    pub runs_recovered: usize,
+    /// Whether an interrupted migration was re-driven to completion.
+    pub redid_migration: bool,
+}
+
+/// The MaSM storage-manager engine for one table.
+pub struct MasmEngine {
+    heap: Arc<TableHeap>,
+    ssd: SimDevice,
+    cfg: MasmConfig,
+    schema: Schema,
+    oracle: TimestampOracle,
+    state: Mutex<EngineState>,
+    quiesce: Condvar,
+    wal: Mutex<Wal>,
+    ingested_updates: AtomicU64,
+    ingested_bytes: AtomicU64,
+    /// Last commit timestamp per key, for first-committer-wins snapshot
+    /// isolation (§3.6). A production system would truncate this by the
+    /// oldest active transaction; we keep it simple.
+    commit_index: Mutex<std::collections::HashMap<Key, Timestamp>>,
+}
+
+impl std::fmt::Debug for MasmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("MasmEngine")
+            .field("buffered_updates", &st.buffer.len())
+            .field("runs", &st.runs.len())
+            .field("cached_bytes", &st.runs.live_bytes())
+            .finish()
+    }
+}
+
+impl MasmEngine {
+    /// Create an engine over an existing (possibly empty) heap.
+    pub fn new(
+        heap: Arc<TableHeap>,
+        ssd: SimDevice,
+        wal_dev: SimDevice,
+        schema: Schema,
+        cfg: MasmConfig,
+    ) -> MasmResult<Arc<Self>> {
+        cfg.validate()?;
+        let buffer = UpdateBuffer::new(cfg.update_buffer_bytes() as usize);
+        let mut runs = RunSet::new();
+        runs.set_space(SsdSpace::with_origin(cfg.ssd_region_base));
+        Ok(Arc::new(MasmEngine {
+            heap,
+            ssd,
+            cfg,
+            schema,
+            oracle: TimestampOracle::new(),
+            state: Mutex::new(EngineState {
+                buffer,
+                runs,
+                active_queries: BTreeMap::new(),
+                pinned_pages: 0,
+                retired_bytes: 0,
+                migrating: false,
+            }),
+            quiesce: Condvar::new(),
+            wal: Mutex::new(Wal::new(wal_dev, 0)),
+            ingested_updates: AtomicU64::new(0),
+            ingested_bytes: AtomicU64::new(0),
+            commit_index: Mutex::new(std::collections::HashMap::new()),
+        }))
+    }
+
+    /// Bulk-load the table (records sorted by key) and log the load so
+    /// the heap metadata is recoverable.
+    pub fn load_table(
+        &self,
+        session: &SessionHandle,
+        records: impl IntoIterator<Item = Record>,
+        fill: f64,
+    ) -> MasmResult<()> {
+        self.heap.bulk_load(session, records, fill)?;
+        let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
+        let base = page_map.first().copied().unwrap_or(0);
+        self.wal.lock().append(
+            session,
+            &WalRecord::HeapLoaded {
+                base,
+                page_size: self.heap.config().page_size as u32,
+                min_keys,
+                record_count,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MasmConfig {
+        &self.cfg
+    }
+
+    /// The table heap.
+    pub fn heap(&self) -> &Arc<TableHeap> {
+        &self.heap
+    }
+
+    /// The SSD update-cache device (for statistics).
+    pub fn ssd(&self) -> &SimDevice {
+        &self.ssd
+    }
+
+    /// The timestamp oracle.
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
+    /// Bytes of cached updates on the SSD (live runs).
+    pub fn cached_bytes(&self) -> u64 {
+        self.state.lock().runs.live_bytes()
+    }
+
+    /// Number of live materialized runs.
+    pub fn run_count(&self) -> usize {
+        self.state.lock().runs.len()
+    }
+
+    /// Number of updates waiting in the in-memory buffer.
+    pub fn buffered_updates(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Whether cached updates have reached the migration threshold.
+    pub fn needs_migration(&self) -> bool {
+        let st = self.state.lock();
+        st.runs.needs_migration(&self.cfg)
+    }
+
+    /// Total updates ingested and their logical bytes (for
+    /// write-amplification accounting).
+    pub fn ingest_stats(&self) -> (u64, u64) {
+        (
+            self.ingested_updates.load(Ordering::Relaxed),
+            self.ingested_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Atomically commit a transaction's private writes under
+    /// first-committer-wins snapshot isolation (§3.6): if any written key
+    /// was committed by another transaction after `start_ts`, the commit
+    /// aborts with [`MasmError::Conflict`]. On success all writes carry
+    /// one fresh commit timestamp.
+    pub fn commit_writes(
+        &self,
+        session: &SessionHandle,
+        start_ts: Timestamp,
+        writes: Vec<(Key, UpdateOp)>,
+    ) -> MasmResult<Timestamp> {
+        let mut idx = self.commit_index.lock();
+        for (key, _) in &writes {
+            if idx.get(key).is_some_and(|&t| t > start_ts) {
+                return Err(MasmError::Conflict { key: *key });
+            }
+        }
+        let ts = self.oracle.next();
+        for (key, _) in &writes {
+            idx.insert(*key, ts);
+        }
+        drop(idx);
+        for (key, op) in writes {
+            self.apply_update_with_ts(session, UpdateRecord::new(ts, key, op))?;
+        }
+        Ok(ts)
+    }
+
+    /// Apply one well-formed update; returns its commit timestamp.
+    pub fn apply_update(
+        &self,
+        session: &SessionHandle,
+        key: Key,
+        op: UpdateOp,
+    ) -> MasmResult<Timestamp> {
+        let ts = self.oracle.next();
+        self.apply_update_with_ts(session, UpdateRecord::new(ts, key, op))?;
+        Ok(ts)
+    }
+
+    /// Apply an update that already carries its commit timestamp
+    /// (transaction commit path).
+    pub fn apply_update_with_ts(
+        &self,
+        session: &SessionHandle,
+        update: UpdateRecord,
+    ) -> MasmResult<()> {
+        self.ingested_updates.fetch_add(1, Ordering::Relaxed);
+        self.ingested_bytes
+            .fetch_add(update.encoded_len() as u64, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        if st.buffer.is_full() {
+            // MaSM-M (Fig. 8): steal an unused query page if one exists,
+            // otherwise materialize a 1-pass run.
+            let page = self.cfg.ssd_page_size;
+            let stolen =
+                (st.buffer.capacity() - st.buffer.base_capacity()) / page;
+            let in_use = st.pinned_pages + stolen as u64;
+            if self.cfg.alpha < 2.0 && in_use < self.cfg.query_pages() {
+                st.buffer.steal_page(page);
+            } else {
+                self.flush_locked(session, &mut st, false)?;
+            }
+        }
+        // Log after any flush so WAL order mirrors buffer membership:
+        // recovery treats updates logged after the last 1-pass
+        // RunCreated as the in-memory buffer's contents.
+        self.wal
+            .lock()
+            .append(session, &WalRecord::Update(update.clone()))?;
+        st.buffer.push(update);
+        Ok(())
+    }
+
+    /// Materialize the in-memory buffer as a 1-pass sorted run.
+    /// `allow_overflow` bypasses the capacity check (migration flushes
+    /// must succeed — migration is what frees the space).
+    fn flush_locked(
+        &self,
+        session: &SessionHandle,
+        st: &mut EngineState,
+        allow_overflow: bool,
+    ) -> MasmResult<()> {
+        if st.buffer.is_empty() {
+            return Ok(());
+        }
+        if !allow_overflow
+            && st.runs.live_bytes() + st.buffer.bytes() as u64 > self.cfg.ssd_capacity
+        {
+            return Err(MasmError::CacheFull {
+                cached: st.runs.live_bytes(),
+                capacity: self.cfg.ssd_capacity,
+            });
+        }
+        let updates = st.buffer.drain_sorted();
+        let updates = if self.cfg.merge_duplicates {
+            let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
+            fold_duplicates(updates, &self.schema, |t1, t2| {
+                !active.iter().any(|&t| t1 < t && t <= t2)
+            })
+        } else {
+            updates
+        };
+        let bytes: usize = updates.iter().map(|u| u.encoded_len()).sum();
+        let id = st.runs.next_id();
+        let base = st.runs.alloc_space(bytes as u64);
+        let run = write_run(session, &self.ssd, &self.cfg, id, base, 1, &updates)?;
+        self.wal.lock().append(
+            session,
+            &WalRecord::RunCreated {
+                id,
+                base,
+                bytes: run.bytes,
+                count: run.count,
+                passes: 1,
+            },
+        )?;
+        st.runs.add(Arc::new(run));
+        Ok(())
+    }
+
+    /// §3.5 "Handling Skews": when duplicates abound, collapse every
+    /// live run into one, folding all duplicate updates (subject to the
+    /// active-query guard). Returns the number of runs compacted.
+    pub fn compact_runs(&self, session: &SessionHandle) -> MasmResult<usize> {
+        let mut st = self.state.lock();
+        let plan: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
+        if plan.len() < 2 {
+            return Ok(0);
+        }
+        let n = plan.len();
+        self.merge_runs_with(session, &mut st, plan, true)?;
+        Ok(n)
+    }
+
+    /// Merge the `N` earliest 1-pass runs into one 2-pass run (Fig. 8,
+    /// scan-setup lines 5–8).
+    fn merge_runs_locked(
+        &self,
+        session: &SessionHandle,
+        st: &mut EngineState,
+        plan: Vec<Arc<SortedRun>>,
+    ) -> MasmResult<()> {
+        self.merge_runs_with(session, st, plan, self.cfg.merge_duplicates)
+    }
+
+    fn merge_runs_with(
+        &self,
+        session: &SessionHandle,
+        st: &mut EngineState,
+        plan: Vec<Arc<SortedRun>>,
+        fold: bool,
+    ) -> MasmResult<()> {
+        let streams: Vec<UpdateStream> = plan
+            .iter()
+            .map(|r| {
+                Box::new(RunScan::new(
+                    self.ssd.clone(),
+                    session.clone(),
+                    Arc::clone(r),
+                    &self.cfg,
+                    0,
+                    Key::MAX,
+                )) as UpdateStream
+            })
+            .collect();
+        let merged: Vec<UpdateRecord> = KWayUpdates::new(streams).collect();
+        let merged = if fold {
+            let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
+            fold_duplicates(merged, &self.schema, |t1, t2| {
+                !active.iter().any(|&t| t1 < t && t <= t2)
+            })
+        } else {
+            merged
+        };
+        let bytes: usize = merged.iter().map(|u| u.encoded_len()).sum();
+        let id = st.runs.next_id();
+        let base = st.runs.alloc_space(bytes as u64);
+        let run = write_run(session, &self.ssd, &self.cfg, id, base, 2, &merged)?;
+        let old_ids: Vec<u64> = plan.iter().map(|r| r.id).collect();
+        {
+            let mut wal = self.wal.lock();
+            wal.append(
+                session,
+                &WalRecord::RunCreated {
+                    id,
+                    base,
+                    bytes: run.bytes,
+                    count: run.count,
+                    passes: 2,
+                },
+            )?;
+            wal.append(session, &WalRecord::RunsDeleted(old_ids.clone()))?;
+        }
+        st.runs.add(Arc::new(run));
+        st.runs.remove_ids(&old_ids);
+        Ok(())
+    }
+
+    /// Open a merged range scan of `[begin, end]` as of a fresh query
+    /// timestamp. This replaces `Table_range_scan` in a query plan.
+    pub fn begin_scan(
+        self: &Arc<Self>,
+        session: SessionHandle,
+        begin: Key,
+        end: Key,
+    ) -> MasmResult<MergeScan> {
+        self.begin_scan_at(session, begin, end, None, Vec::new())
+    }
+
+    /// Open a merged range scan at an explicit timestamp (snapshot
+    /// isolation) with an optional private update overlay (a
+    /// transaction's own writes; §3.6).
+    pub fn begin_scan_at(
+        self: &Arc<Self>,
+        session: SessionHandle,
+        begin: Key,
+        end: Key,
+        as_of: Option<Timestamp>,
+        mut private: Vec<UpdateRecord>,
+    ) -> MasmResult<MergeScan> {
+        let mut st = self.state.lock();
+        let query_ts = as_of.unwrap_or_else(|| self.oracle.next());
+
+        // Fig. 8 scan setup, lines 1–4: flush a full buffer first. A
+        // full SSD is not fatal here — the scan simply reads the buffer
+        // through Mem_scan; the engine reports `needs_migration`.
+        if st.buffer.bytes() >= self.cfg.update_buffer_bytes() as usize {
+            match self.flush_locked(&session, &mut st, false) {
+                Ok(()) | Err(MasmError::CacheFull { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Lines 5–8: cap the number of open runs by the query pages.
+        while st.runs.len() > self.cfg.query_pages() as usize {
+            match st.runs.plan_merge(&self.cfg) {
+                Some(plan) => self.merge_runs_locked(&session, &mut st, plan)?,
+                None => break,
+            }
+        }
+
+        let mem_snapshot = st.buffer.snapshot_range(begin, end, query_ts);
+        let runs: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
+        let pinned = runs.len() as u64;
+        st.active_queries.insert(query_ts, pinned);
+        st.pinned_pages += pinned;
+        drop(st);
+
+        let mut streams: Vec<UpdateStream> = Vec::with_capacity(runs.len() + 2);
+        for run in &runs {
+            if run.max_key < begin || run.min_key > end {
+                continue;
+            }
+            streams.push(Box::new(RunScan::new(
+                self.ssd.clone(),
+                session.clone(),
+                Arc::clone(run),
+                &self.cfg,
+                begin,
+                end,
+            )));
+        }
+        streams.push(Box::new(mem_snapshot.into_iter()));
+        if !private.is_empty() {
+            private.sort_by_key(|a| (a.key, a.ts));
+            private.retain(|u| u.key >= begin && u.key <= end);
+            streams.push(Box::new(private.into_iter()));
+        }
+
+        let data = self.heap.scan_range(session.clone(), begin, end).with_ts();
+        let updates = MergeUpdates::new(streams, self.schema.clone(), query_ts);
+        let join = MergeDataUpdates::new(data, updates, self.schema.clone());
+        Ok(MergeScan {
+            inner: join,
+            engine: Arc::clone(self),
+            session,
+            ts: query_ts,
+            pinned,
+            cpu_per_record: 0,
+            closed: false,
+        })
+    }
+
+    fn finish_scan(&self, ts: Timestamp, pinned: u64) {
+        let mut st = self.state.lock();
+        st.active_queries.remove(&ts);
+        st.pinned_pages -= pinned.min(st.pinned_pages);
+        if st.active_queries.is_empty() && st.retired_bytes > 0 {
+            st.retired_bytes = 0;
+            // Recompute allocator state from the live runs: retired run
+            // space becomes reusable only now that no scan can touch it.
+            let (mut high, mut live) = (0u64, 0u64);
+            for r in st.runs.runs() {
+                high = high.max(r.base + r.bytes);
+                live += r.bytes;
+            }
+            st.runs
+                .set_space(SsdSpace::with_state(self.cfg.ssd_region_base, high, live));
+        }
+        drop(st);
+        self.quiesce.notify_all();
+    }
+
+    /// Migrate all currently materialized runs back into the main data,
+    /// in place (§3.2 "In-Place Migration"). Blocks until queries older
+    /// than the migration timestamp finish; queries arriving afterwards
+    /// run concurrently and stay correct via page timestamps.
+    pub fn migrate(self: &Arc<Self>, session: &SessionHandle) -> MasmResult<MigrationReport> {
+        let (mig_ts, runs) = {
+            let mut st = self.state.lock();
+            if st.migrating {
+                return Ok(MigrationReport::default());
+            }
+            // Flush the in-memory buffer so every update earlier than the
+            // migration timestamp lives in a run: migrated pages carry
+            // `mig_ts`, which must truthfully mean "all updates with
+            // ts ≤ mig_ts are in this page".
+            self.flush_locked(session, &mut st, true)?;
+            if st.runs.is_empty() {
+                return Ok(MigrationReport::default());
+            }
+            let mig_ts = self.oracle.next();
+            let runs: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
+            st.migrating = true;
+            self.wal.lock().append(
+                session,
+                &WalRecord::MigrationBegin {
+                    ts: mig_ts,
+                    run_ids: runs.iter().map(|r| r.id).collect(),
+                },
+            )?;
+            (mig_ts, runs)
+        };
+
+        // Wait for queries earlier than t (§3.2).
+        {
+            let mut st = self.state.lock();
+            while st
+                .active_queries
+                .keys()
+                .next()
+                .is_some_and(|&t| t < mig_ts)
+            {
+                self.quiesce.wait(&mut st);
+            }
+        }
+
+        let report = self.drive_migration(session, mig_ts, &runs)?;
+
+        // Delete the migrated runs. Wait until no query still holds
+        // their Run_scans before releasing the SSD space for reuse.
+        {
+            let mut st = self.state.lock();
+            while !st.active_queries.is_empty() {
+                self.quiesce.wait(&mut st);
+            }
+            let ids: Vec<u64> = runs.iter().map(|r| r.id).collect();
+            let mut wal = self.wal.lock();
+            wal.append(session, &WalRecord::RunsDeleted(ids.clone()))?;
+            wal.append(session, &WalRecord::MigrationEnd { ts: mig_ts })?;
+            drop(wal);
+            st.runs.remove_ids(&ids);
+            st.migrating = false;
+        }
+        Ok(report)
+    }
+
+    /// Partial (per-range) migration — §3.5 "Improving Migration":
+    /// apply only the cached updates whose keys fall in `[begin, end]`
+    /// to the overlapping data pages, distributing migration cost across
+    /// several smaller operations. Runs are **not** deleted (they still
+    /// hold updates outside the range); a later full [`MasmEngine::migrate`]
+    /// retires them. Page timestamps keep double-application impossible,
+    /// so partial and full migrations compose freely.
+    pub fn migrate_range(
+        self: &Arc<Self>,
+        session: &SessionHandle,
+        begin: Key,
+        end: Key,
+    ) -> MasmResult<MigrationReport> {
+        let (mig_ts, runs) = {
+            let mut st = self.state.lock();
+            if st.migrating || st.runs.is_empty() {
+                return Ok(MigrationReport::default());
+            }
+            self.flush_locked(session, &mut st, true)?;
+            if st.runs.is_empty() {
+                return Ok(MigrationReport::default());
+            }
+            let mig_ts = self.oracle.next();
+            st.migrating = true;
+            (mig_ts, st.runs.runs().to_vec())
+        };
+        // Queries older than the migration timestamp must not observe
+        // pages stamped with it (§3.2).
+        {
+            let mut st = self.state.lock();
+            while st
+                .active_queries
+                .keys()
+                .next()
+                .is_some_and(|&t| t < mig_ts)
+            {
+                self.quiesce.wait(&mut st);
+            }
+        }
+
+        let streams: Vec<UpdateStream> = runs
+            .iter()
+            .filter(|r| r.max_key >= begin && r.min_key <= end)
+            .map(|r| {
+                Box::new(RunScan::new(
+                    self.ssd.clone(),
+                    session.clone(),
+                    Arc::clone(r),
+                    &self.cfg,
+                    begin,
+                    end,
+                )) as UpdateStream
+            })
+            .collect();
+        let updates = MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
+        let mut rewriter = self.heap.rewriter_range(session.clone(), begin, end);
+        let report =
+            self.rewrite_with_updates(session, mig_ts, updates, &mut rewriter, runs.len())?;
+        rewriter.finish();
+
+        self.state.lock().migrating = false;
+        self.quiesce.notify_all();
+        Ok(report)
+    }
+
+    /// The migration inner loop: chunked merge of the heap with the
+    /// sorted runs, writing pages stamped with the migration timestamp.
+    fn drive_migration(
+        &self,
+        session: &SessionHandle,
+        mig_ts: Timestamp,
+        runs: &[Arc<SortedRun>],
+    ) -> MasmResult<MigrationReport> {
+        let streams: Vec<UpdateStream> = runs
+            .iter()
+            .map(|r| {
+                Box::new(RunScan::new(
+                    self.ssd.clone(),
+                    session.clone(),
+                    Arc::clone(r),
+                    &self.cfg,
+                    0,
+                    Key::MAX,
+                )) as UpdateStream
+            })
+            .collect();
+        let mut updates =
+            MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
+        let mut applied = 0u64;
+
+        if self.heap.num_pages() == 0 {
+            // Empty table: materialize all insert/replace updates as a
+            // fresh bulk load.
+            let records: Vec<Record> = std::iter::from_fn(|| updates.next())
+                .filter_map(|u| {
+                    applied += 1;
+                    u.apply_to(None, &self.schema)
+                })
+                .collect();
+            if !records.is_empty() {
+                self.heap.bulk_load(session, records, 1.0)?;
+                let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
+                self.wal.lock().append(
+                    session,
+                    &WalRecord::HeapLoaded {
+                        base: page_map.first().copied().unwrap_or(0),
+                        page_size: self.heap.config().page_size as u32,
+                        min_keys,
+                        record_count,
+                    },
+                )?;
+            }
+            return Ok(MigrationReport {
+                ts: mig_ts,
+                runs_migrated: runs.len(),
+                updates_applied: applied,
+                pages_written: self.heap.num_pages() as u64,
+            });
+        }
+
+        let mut rewriter = self.heap.rewriter(session.clone());
+        let mut report =
+            self.rewrite_with_updates(session, mig_ts, updates, &mut rewriter, runs.len())?;
+        rewriter.finish();
+        report.updates_applied += applied;
+        Ok(report)
+    }
+
+    /// Shared chunk-merge loop of full and partial migration: pull
+    /// chunks from `rewriter`, outer-join them with `updates`, and
+    /// commit pages stamped with the migration timestamp.
+    fn rewrite_with_updates(
+        &self,
+        session: &SessionHandle,
+        mig_ts: Timestamp,
+        mut updates: std::iter::Peekable<MergeUpdates>,
+        rewriter: &mut masm_pagestore::HeapRewriter<'_>,
+        runs_count: usize,
+    ) -> MasmResult<MigrationReport> {
+        let mut applied = 0u64;
+        let mut pages_written = 0u64;
+        let page_size = self.heap.config().page_size;
+        while let Some(old_pages) = rewriter.next_chunk()? {
+            let at_end = rewriter.at_end();
+            let chunk_max = old_pages
+                .iter()
+                .filter_map(|p| p.max_key())
+                .max()
+                .unwrap_or(Key::MAX);
+
+            let mut out: Vec<Record> = Vec::new();
+            for page in &old_pages {
+                let page_ts = page.timestamp();
+                for record in page.records() {
+                    // Emit updates for keys before this record.
+                    while updates
+                        .peek()
+                        .is_some_and(|u| u.key < record.key)
+                    {
+                        let u = updates.next().expect("peeked");
+                        applied += 1;
+                        if let Some(r) = u.apply_to(None, &self.schema) {
+                            out.push(r);
+                        }
+                    }
+                    if updates.peek().is_some_and(|u| u.key == record.key) {
+                        let u = updates.next().expect("peeked");
+                        applied += 1;
+                        let base = Some(record);
+                        let merged = if u.ts > page_ts {
+                            u.apply_to(base, &self.schema)
+                        } else {
+                            base
+                        };
+                        if let Some(r) = merged {
+                            out.push(r);
+                        }
+                    } else {
+                        out.push(record);
+                    }
+                }
+            }
+            // Absorb gap/trailing inserts belonging to this chunk.
+            while updates
+                .peek()
+                .is_some_and(|u| at_end || u.key <= chunk_max)
+            {
+                let u = updates.next().expect("peeked");
+                applied += 1;
+                if let Some(r) = u.apply_to(None, &self.schema) {
+                    out.push(r);
+                }
+            }
+            out.sort_by_key(|r| r.key);
+
+            let mut new_pages: Vec<Page> = Vec::with_capacity(old_pages.len());
+            let mut cur = Page::new(page_size);
+            cur.set_timestamp(mig_ts);
+            for r in &out {
+                if !cur.fits(r) {
+                    new_pages.push(std::mem::replace(&mut cur, Page::new(page_size)));
+                    cur.set_timestamp(mig_ts);
+                }
+                assert!(cur.append(r), "record exceeds page size");
+            }
+            if cur.record_count() > 0 {
+                new_pages.push(cur);
+            }
+            pages_written += new_pages.len() as u64;
+            let commit = rewriter.commit_chunk(new_pages)?;
+            self.wal
+                .lock()
+                .append(session, &WalRecord::MapSplice(commit))?;
+        }
+
+        Ok(MigrationReport {
+            ts: mig_ts,
+            runs_migrated: runs_count,
+            updates_applied: applied,
+            pages_written,
+        })
+    }
+
+    /// Rebuild an engine after a crash: heap metadata, run set, and the
+    /// in-memory update buffer come back from the redo log and the
+    /// (durable) SSD; an interrupted migration is re-driven to
+    /// completion (idempotent thanks to page timestamps).
+    pub fn recover(
+        heap: Arc<TableHeap>,
+        ssd: SimDevice,
+        wal_dev: SimDevice,
+        schema: Schema,
+        cfg: MasmConfig,
+    ) -> MasmResult<(Arc<Self>, RecoveryReport)> {
+        cfg.validate()?;
+        let session = SessionHandle::fresh(ssd.clock().clone());
+        let (records, wal_end) = Wal::read_all(&session, &wal_dev)?;
+
+        struct RunInfo {
+            base: u64,
+            passes: u8,
+        }
+        let mut live_runs: BTreeMap<u64, RunInfo> = BTreeMap::new();
+        let mut run_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut pending: Vec<UpdateRecord> = Vec::new();
+        let mut max_ts: Timestamp = 0;
+        let mut unfinished_migration = false;
+        let mut heap_loaded = false;
+
+        for rec in &records {
+            match rec {
+                WalRecord::Update(u) => {
+                    max_ts = max_ts.max(u.ts);
+                    pending.push(u.clone());
+                }
+                WalRecord::RunCreated {
+                    id,
+                    base,
+                    bytes,
+                    passes,
+                    ..
+                } => {
+                    live_runs.insert(
+                        *id,
+                        RunInfo {
+                            base: *base,
+                            passes: *passes,
+                        },
+                    );
+                    run_bytes.insert(*id, *bytes);
+                    if *passes == 1 {
+                        pending.clear();
+                    }
+                }
+                WalRecord::RunsDeleted(ids) => {
+                    for id in ids {
+                        live_runs.remove(id);
+                        run_bytes.remove(id);
+                    }
+                }
+                WalRecord::MigrationBegin { ts, .. } => {
+                    max_ts = max_ts.max(*ts);
+                    unfinished_migration = true;
+                }
+                WalRecord::MigrationEnd { .. } => {
+                    unfinished_migration = false;
+                }
+                WalRecord::HeapLoaded {
+                    base,
+                    page_size,
+                    min_keys,
+                    record_count,
+                } => {
+                    let page_map: Vec<u64> = (0..min_keys.len() as u64)
+                        .map(|i| base + i * *page_size as u64)
+                        .collect();
+                    let alloc_next = base + min_keys.len() as u64 * *page_size as u64;
+                    heap.restore(page_map, min_keys.clone(), *record_count, alloc_next);
+                    heap_loaded = true;
+                }
+                WalRecord::MapSplice(commit) => {
+                    heap.apply_splice(commit);
+                }
+            }
+        }
+        if !records.is_empty() && !heap_loaded && heap.num_pages() == 0 && !live_runs.is_empty()
+        {
+            // Runs exist but the heap was never loaded: legal (updates
+            // into an empty table); nothing to restore.
+        }
+
+        // Rebuild run metadata by re-reading the durable run bytes.
+        let mut runs = RunSet::new();
+        let mut high_water = 0u64;
+        let mut live_bytes = 0u64;
+        let mut max_run_id = 0u64;
+        let mut rebuilt: Vec<Arc<SortedRun>> = Vec::new();
+        for (id, info) in &live_runs {
+            let bytes = run_bytes[id];
+            let data = session.read(&ssd, info.base, bytes)?;
+            let mut us = Vec::new();
+            let mut pos = 0usize;
+            while pos < data.len() {
+                let (u, used) = UpdateRecord::decode(&data[pos..])
+                    .ok_or(MasmError::Corrupt("run bytes during recovery"))?;
+                max_ts = max_ts.max(u.ts);
+                us.push(u);
+                pos += used;
+            }
+            let (run, encoded) = build_run(&cfg, *id, info.base, info.passes, &us);
+            debug_assert_eq!(encoded.len() as u64, bytes);
+            high_water = high_water.max(info.base + bytes);
+            live_bytes += bytes;
+            max_run_id = max_run_id.max(*id);
+            rebuilt.push(Arc::new(run));
+        }
+        runs.set_space(SsdSpace::with_state(
+            cfg.ssd_region_base,
+            high_water,
+            live_bytes,
+        ));
+        for r in rebuilt {
+            runs.add(r);
+        }
+        runs.resume_ids_after(max_run_id);
+        let runs_recovered = runs.len();
+
+        let mut buffer = UpdateBuffer::new(cfg.update_buffer_bytes() as usize);
+        let updates_recovered = pending.len() as u64;
+        for u in pending {
+            buffer.push(u);
+        }
+
+        let engine = Arc::new(MasmEngine {
+            heap,
+            ssd,
+            cfg,
+            schema,
+            oracle: TimestampOracle::resume_after(max_ts),
+            state: Mutex::new(EngineState {
+                buffer,
+                runs,
+                active_queries: BTreeMap::new(),
+                pinned_pages: 0,
+                retired_bytes: 0,
+                migrating: false,
+            }),
+            quiesce: Condvar::new(),
+            wal: Mutex::new(Wal::new(wal_dev, wal_end)),
+            ingested_updates: AtomicU64::new(0),
+            ingested_bytes: AtomicU64::new(0),
+            commit_index: Mutex::new(std::collections::HashMap::new()),
+        });
+
+        let mut report = RecoveryReport {
+            updates_recovered,
+            runs_recovered,
+            redid_migration: false,
+        };
+        if unfinished_migration {
+            engine.migrate(&session)?;
+            report.redid_migration = true;
+        }
+        Ok((engine, report))
+    }
+}
+
+/// A merged range scan: the operator tree of Figure 6 rooted at
+/// `Merge_data_updates`, plus the bookkeeping that lets migration wait
+/// for earlier queries.
+pub struct MergeScan {
+    inner: MergeDataUpdates<TsRangeScan, MergeUpdates>,
+    engine: Arc<MasmEngine>,
+    session: SessionHandle,
+    ts: Timestamp,
+    pinned: u64,
+    cpu_per_record: u64,
+    closed: bool,
+}
+
+impl MergeScan {
+    /// This query's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Inject CPU cost per returned record (Figure 13's experiment).
+    pub fn with_cpu_per_record(mut self, ns: u64) -> Self {
+        self.cpu_per_record = ns;
+        self
+    }
+}
+
+impl Iterator for MergeScan {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        let r = self.inner.next();
+        if r.is_some() && self.cpu_per_record > 0 {
+            self.session.cpu(self.cpu_per_record);
+        }
+        r
+    }
+}
+
+impl Drop for MergeScan {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.engine.finish_scan(self.ts, self.pinned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masm_pagestore::HeapConfig;
+    use masm_storage::{DeviceProfile, SimClock};
+
+    fn schema() -> Schema {
+        Schema::synthetic_100b()
+    }
+
+    fn payload(measure: u32) -> Vec<u8> {
+        let s = schema();
+        let mut p = s.empty_payload();
+        s.set_u32(&mut p, 0, measure);
+        p
+    }
+
+    struct Fixture {
+        engine: Arc<MasmEngine>,
+        session: SessionHandle,
+        #[allow(dead_code)]
+        clock: SimClock,
+    }
+
+    fn fixture(n_records: u64) -> Fixture {
+        let clock = SimClock::new();
+        let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let wal_dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+        let engine = MasmEngine::new(
+            heap,
+            ssd,
+            wal_dev,
+            schema(),
+            MasmConfig::small_for_tests(),
+        )
+        .unwrap();
+        let session = SessionHandle::fresh(clock.clone());
+        if n_records > 0 {
+            engine
+                .load_table(
+                    &session,
+                    (0..n_records).map(|i| Record::new(i * 2, payload(i as u32))),
+                    1.0,
+                )
+                .unwrap();
+        }
+        Fixture {
+            engine,
+            session,
+            clock,
+        }
+    }
+
+    fn scan_keys(f: &Fixture, begin: Key, end: Key) -> Vec<Key> {
+        f.engine
+            .begin_scan(f.session.clone(), begin, end)
+            .unwrap()
+            .map(|r| r.key)
+            .collect()
+    }
+
+    #[test]
+    fn scan_without_updates_matches_heap() {
+        let f = fixture(1000);
+        let keys = scan_keys(&f, 0, u64::MAX);
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn freshly_applied_updates_visible_to_scans() {
+        let f = fixture(100);
+        // Insert an odd key, delete an even key, modify another.
+        f.engine
+            .apply_update(&f.session, 41, UpdateOp::Insert(payload(999)))
+            .unwrap();
+        f.engine
+            .apply_update(&f.session, 10, UpdateOp::Delete)
+            .unwrap();
+        f.engine
+            .apply_update(
+                &f.session,
+                20,
+                UpdateOp::Modify(vec![crate::update::FieldPatch {
+                    field: 0,
+                    value: 777u32.to_le_bytes().to_vec(),
+                }]),
+            )
+            .unwrap();
+        let recs: Vec<Record> = f
+            .engine
+            .begin_scan(f.session.clone(), 0, 60)
+            .unwrap()
+            .collect();
+        let keys: Vec<Key> = recs.iter().map(|r| r.key).collect();
+        assert!(keys.contains(&41), "insert visible");
+        assert!(!keys.contains(&10), "delete visible");
+        let r20 = recs.iter().find(|r| r.key == 20).unwrap();
+        assert_eq!(schema().get_u32(&r20.payload, 0), 777, "modify visible");
+    }
+
+    #[test]
+    fn updates_after_query_start_invisible() {
+        let f = fixture(100);
+        let scan = f.engine.begin_scan(f.session.clone(), 0, u64::MAX).unwrap();
+        // This update commits after the scan's timestamp.
+        f.engine
+            .apply_update(&f.session, 31, UpdateOp::Insert(payload(1)))
+            .unwrap();
+        let keys: Vec<Key> = scan.map(|r| r.key).collect();
+        assert!(!keys.contains(&31));
+        // A later scan sees it.
+        assert!(scan_keys(&f, 0, u64::MAX).contains(&31));
+    }
+
+    #[test]
+    fn buffer_flushes_to_runs_and_stays_visible() {
+        let f = fixture(1000);
+        // Push enough updates to force several flushes.
+        for i in 0..3000u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(i as u32)))
+                .unwrap();
+        }
+        assert!(f.engine.run_count() > 0, "runs materialized");
+        let keys = scan_keys(&f, 0, 1000);
+        // All odd and even keys up to 1000.
+        assert_eq!(keys.len(), 1001);
+        assert!(keys.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+
+    #[test]
+    fn no_random_ssd_writes_design_goal_2() {
+        let f = fixture(100);
+        f.engine.ssd().reset_stats();
+        for i in 0..5000u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(1)))
+                .unwrap();
+        }
+        // Flushes, and possibly 2-pass merges, happened.
+        let stats = f.engine.ssd().stats();
+        assert!(stats.write_ops > 0);
+        // Run allocations are contiguous; at most one "random" write per
+        // run start (no predecessor continuation).
+        assert!(
+            stats.random_writes as usize <= f.engine.run_count() + 64,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn migration_applies_everything_and_clears_runs() {
+        let f = fixture(500);
+        for i in 0..1500u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(7)))
+                .unwrap();
+        }
+        f.engine
+            .apply_update(&f.session, 100, UpdateOp::Delete)
+            .unwrap();
+        let before = scan_keys(&f, 0, u64::MAX);
+        let report = f.engine.migrate(&f.session).unwrap();
+        assert!(report.runs_migrated > 0);
+        assert_eq!(f.engine.run_count(), 0, "runs deleted after migration");
+        let after = scan_keys(&f, 0, u64::MAX);
+        // Buffered (unflushed) updates still overlay correctly.
+        assert_eq!(before, after, "migration must not change query results");
+        assert!(!after.contains(&100));
+    }
+
+    #[test]
+    fn scan_during_migration_window_is_correct() {
+        // A scan opened *after* migration's timestamp sees a mix of
+        // migrated pages and still-live runs; page timestamps prevent
+        // double-application.
+        let f = fixture(300);
+        for i in 0..900u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(3)))
+                .unwrap();
+        }
+        let expect = scan_keys(&f, 0, u64::MAX);
+        f.engine.migrate(&f.session).unwrap();
+        let got = scan_keys(&f, 0, u64::MAX);
+        assert_eq!(expect, got);
+        // Apply the same logical updates again: idempotence of replace.
+        for i in 0..900u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Replace(payload(3)))
+                .unwrap();
+        }
+        let again = scan_keys(&f, 0, u64::MAX);
+        assert_eq!(expect, again);
+    }
+
+    #[test]
+    fn small_range_scans_after_many_updates() {
+        let f = fixture(5000);
+        for i in 0..4000u64 {
+            f.engine
+                .apply_update(
+                    &f.session,
+                    ((i * 37) % 10000) | 1,
+                    UpdateOp::Insert(payload(i as u32)),
+                )
+                .unwrap();
+        }
+        let keys = scan_keys(&f, 5000, 5100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|&k| (5000..=5100).contains(&k)));
+        // All even keys in range must be present.
+        for k in (5000..=5100).step_by(2) {
+            assert!(keys.contains(&k), "missing base key {k}");
+        }
+    }
+
+    #[test]
+    fn crash_recovery_restores_buffer_and_runs() {
+        let clock = SimClock::new();
+        let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let wal_dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let heap = Arc::new(TableHeap::new(disk.clone(), HeapConfig::default()));
+        let session = SessionHandle::fresh(clock.clone());
+        let engine = MasmEngine::new(
+            heap,
+            ssd.clone(),
+            wal_dev.clone(),
+            schema(),
+            MasmConfig::small_for_tests(),
+        )
+        .unwrap();
+        engine
+            .load_table(
+                &session,
+                (0..500u64).map(|i| Record::new(i * 2, payload(i as u32))),
+                1.0,
+            )
+            .unwrap();
+        for i in 0..1200u64 {
+            engine
+                .apply_update(&session, i * 2 + 1, UpdateOp::Insert(payload(5)))
+                .unwrap();
+        }
+        let expect = engine
+            .begin_scan(session.clone(), 0, u64::MAX)
+            .unwrap()
+            .map(|r| r.key)
+            .collect::<Vec<_>>();
+        let buffered = engine.buffered_updates();
+        let runs = engine.run_count();
+        assert!(buffered > 0 && runs > 0, "need both tiers for the test");
+
+        // "Crash": drop the engine; devices survive. Rebuild a fresh heap
+        // handle over the same disk device (metadata comes from the WAL).
+        drop(engine);
+        let heap2 = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+        let (engine2, report) = MasmEngine::recover(
+            heap2,
+            ssd,
+            wal_dev,
+            schema(),
+            MasmConfig::small_for_tests(),
+        )
+        .unwrap();
+        assert_eq!(report.updates_recovered as usize, buffered);
+        assert_eq!(report.runs_recovered, runs);
+        assert!(!report.redid_migration);
+        let got: Vec<Key> = engine2
+            .begin_scan(session, 0, u64::MAX)
+            .unwrap()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(expect, got, "post-recovery scans see all updates");
+    }
+
+    #[test]
+    fn crash_during_migration_is_redone() {
+        let clock = SimClock::new();
+        let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let wal_dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let heap = Arc::new(TableHeap::new(disk.clone(), HeapConfig::default()));
+        let session = SessionHandle::fresh(clock.clone());
+        let engine = MasmEngine::new(
+            heap,
+            ssd.clone(),
+            wal_dev.clone(),
+            schema(),
+            MasmConfig::small_for_tests(),
+        )
+        .unwrap();
+        engine
+            .load_table(
+                &session,
+                (0..400u64).map(|i| Record::new(i * 2, payload(i as u32))),
+                1.0,
+            )
+            .unwrap();
+        for i in 0..900u64 {
+            engine
+                .apply_update(&session, i * 2 + 1, UpdateOp::Insert(payload(9)))
+                .unwrap();
+        }
+        let expect: Vec<Key> = engine
+            .begin_scan(session.clone(), 0, u64::MAX)
+            .unwrap()
+            .map(|r| r.key)
+            .collect();
+        // Simulate a crash mid-migration: log MigrationBegin but stop.
+        {
+            let st = engine.state.lock();
+            let ids: Vec<u64> = st.runs.runs().iter().map(|r| r.id).collect();
+            engine
+                .wal
+                .lock()
+                .append(
+                    &session,
+                    &WalRecord::MigrationBegin {
+                        ts: engine.oracle.next(),
+                        run_ids: ids,
+                    },
+                )
+                .unwrap();
+        }
+        drop(engine);
+        let heap2 = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+        let (engine2, report) = MasmEngine::recover(
+            heap2,
+            ssd,
+            wal_dev,
+            schema(),
+            MasmConfig::small_for_tests(),
+        )
+        .unwrap();
+        assert!(report.redid_migration);
+        assert_eq!(engine2.run_count(), 0, "migration completed during recovery");
+        let got: Vec<Key> = engine2
+            .begin_scan(session, 0, u64::MAX)
+            .unwrap()
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn run_count_stays_within_query_page_budget_at_scan_setup() {
+        let f = fixture(200);
+        let budget = f.engine.config().query_pages() as usize;
+        for i in 0..40_000u64 {
+            f.engine
+                .apply_update(&f.session, (i % 399) | 1, UpdateOp::Replace(payload(1)))
+                .unwrap();
+        }
+        // Trigger scan setup (merges runs down to the budget).
+        let _ = scan_keys(&f, 0, 10);
+        assert!(
+            f.engine.run_count() <= budget,
+            "runs {} > budget {budget}",
+            f.engine.run_count()
+        );
+    }
+
+    #[test]
+    fn migration_of_empty_engine_is_noop() {
+        let f = fixture(50);
+        let report = f.engine.migrate(&f.session).unwrap();
+        assert_eq!(report, MigrationReport::default());
+    }
+
+    #[test]
+    fn partial_migration_preserves_results_and_composes() {
+        let f = fixture(600);
+        for i in 0..1_200u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(4)))
+                .unwrap();
+        }
+        f.engine
+            .apply_update(&f.session, 100, UpdateOp::Delete)
+            .unwrap();
+        let expect = scan_keys(&f, 0, u64::MAX);
+
+        // Migrate only the first quarter of the key space.
+        let r1 = f.engine.migrate_range(&f.session, 0, 300).unwrap();
+        assert!(r1.updates_applied > 0);
+        assert!(f.engine.run_count() > 0, "partial migration keeps runs");
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX), "after first quarter");
+
+        // Another partial slice, overlapping the first (idempotence via
+        // page timestamps).
+        f.engine.migrate_range(&f.session, 200, 700).unwrap();
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX), "after overlap");
+
+        // Full migration retires the runs and still agrees.
+        f.engine.migrate(&f.session).unwrap();
+        assert_eq!(f.engine.run_count(), 0);
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX), "after full");
+        assert!(!expect.contains(&100));
+    }
+
+    #[test]
+    fn partial_migration_is_cheaper_than_full() {
+        // The table must span several rewrite chunks for the comparison
+        // to be about data volume rather than fixed costs.
+        let n = 120_000u64;
+        let run = |partial: bool| {
+            let f = fixture(n);
+            for i in 0..3_000u64 {
+                f.engine
+                    .apply_update(
+                        &f.session,
+                        ((i * 79) % (2 * n)) | 1,
+                        UpdateOp::Insert(payload(1)),
+                    )
+                    .unwrap();
+            }
+            let start = f.session.now();
+            if partial {
+                f.engine.migrate_range(&f.session, 0, n / 5).unwrap();
+            } else {
+                f.engine.migrate(&f.session).unwrap();
+            }
+            f.session.now() - start
+        };
+        let partial_ns = run(true);
+        let full_ns = run(false);
+        assert!(
+            partial_ns * 3 < full_ns,
+            "10% range should cost far less: partial={partial_ns} full={full_ns}"
+        );
+    }
+
+    #[test]
+    fn compact_runs_collapses_duplicates() {
+        let f = fixture(200);
+        // Hammer a handful of keys so folding has teeth.
+        for i in 0..6_000u64 {
+            f.engine
+                .apply_update(&f.session, (i % 10) * 2, UpdateOp::Replace(payload(i as u32)))
+                .unwrap();
+        }
+        let runs_before = f.engine.run_count();
+        assert!(runs_before >= 2, "need several runs");
+        let bytes_before = f.engine.cached_bytes();
+        let expect = scan_keys(&f, 0, u64::MAX);
+
+        let compacted = f.engine.compact_runs(&f.session).unwrap();
+        assert_eq!(compacted, runs_before);
+        assert_eq!(f.engine.run_count(), 1, "single run remains");
+        assert!(
+            f.engine.cached_bytes() < bytes_before / 4,
+            "duplicates folded: {} -> {}",
+            bytes_before,
+            f.engine.cached_bytes()
+        );
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX));
+        // The surviving values are the latest ones.
+        let rec = f
+            .engine
+            .begin_scan(f.session.clone(), 0, 0)
+            .unwrap()
+            .next()
+            .unwrap();
+        assert_eq!(schema().get_u32(&rec.payload, 0), 5990);
+    }
+
+    #[test]
+    fn compact_runs_on_few_runs_is_noop() {
+        let f = fixture(50);
+        assert_eq!(f.engine.compact_runs(&f.session).unwrap(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for MaSM operations.
+
+use std::fmt;
+
+use masm_storage::StorageError;
+
+/// Errors surfaced by the MaSM engine.
+#[derive(Debug)]
+pub enum MasmError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// The SSD update cache is full and migration is required.
+    CacheFull {
+        /// Bytes currently cached.
+        cached: u64,
+        /// Cache capacity in bytes.
+        capacity: u64,
+    },
+    /// Corrupt or truncated on-SSD / WAL encoding.
+    Corrupt(&'static str),
+    /// A transaction conflict (first-committer-wins under snapshot
+    /// isolation).
+    Conflict {
+        /// Key on which the conflict was detected.
+        key: u64,
+    },
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for MasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MasmError::Storage(e) => write!(f, "storage: {e}"),
+            MasmError::CacheFull { cached, capacity } => {
+                write!(f, "update cache full: {cached}/{capacity} bytes; migrate first")
+            }
+            MasmError::Corrupt(what) => write!(f, "corrupt encoding: {what}"),
+            MasmError::Conflict { key } => write!(f, "write-write conflict on key {key}"),
+            MasmError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MasmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MasmError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for MasmError {
+    fn from(e: StorageError) -> Self {
+        MasmError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type MasmResult<T> = Result<T, MasmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MasmError::CacheFull {
+            cached: 9,
+            capacity: 10
+        }
+        .to_string()
+        .contains("9/10"));
+        assert!(MasmError::Corrupt("run header").to_string().contains("run header"));
+        assert!(MasmError::Conflict { key: 7 }.to_string().contains("key 7"));
+    }
+
+    #[test]
+    fn from_storage_error() {
+        let e: MasmError = StorageError::Faulted("x").into();
+        assert!(matches!(e, MasmError::Storage(_)));
+    }
+}

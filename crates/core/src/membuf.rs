@@ -1,0 +1,215 @@
+//! The in-memory staging buffer for incoming updates (§3.2/§3.3).
+//!
+//! Incoming well-formed updates are appended here; when the buffer
+//! reaches its capacity (S pages — possibly extended by stolen query
+//! pages in MaSM-M, Figure 8 lines 2–3) the engine materializes it as a
+//! sorted run on the SSD.
+//!
+//! **Simplification vs. the paper:** the paper's `Mem_scan` shares the
+//! live buffer with queries and repairs its cursors when the buffer is
+//! sorted or flushed underneath it. We instead hand each scan a sorted
+//! *snapshot* of the matching entries at scan setup. Visibility is
+//! identical (a query sees exactly the updates with earlier timestamps);
+//! the only cost is a small transient copy, which we accept in exchange
+//! for clearly correct concurrency. The memory-footprint *accounting*
+//! still follows the paper's S/query-page budget.
+
+use masm_pagestore::Key;
+
+use crate::ts::Timestamp;
+use crate::update::UpdateRecord;
+
+/// Append-ordered buffer of recent updates with byte accounting.
+#[derive(Debug)]
+pub struct UpdateBuffer {
+    entries: Vec<UpdateRecord>,
+    bytes: usize,
+    capacity: usize,
+    base_capacity: usize,
+}
+
+impl UpdateBuffer {
+    /// Create a buffer with `capacity` bytes (S pages worth).
+    pub fn new(capacity: usize) -> Self {
+        UpdateBuffer {
+            entries: Vec::new(),
+            bytes: 0,
+            capacity,
+            base_capacity: capacity,
+        }
+    }
+
+    /// Append an update. The caller checks [`UpdateBuffer::is_full`]
+    /// first and flushes or steals pages as its policy dictates; the
+    /// buffer itself never refuses (the paper appends then handles
+    /// overflow on the next arrival).
+    pub fn push(&mut self, u: UpdateRecord) {
+        self.bytes += u.encoded_len();
+        self.entries.push(u);
+    }
+
+    /// Bytes currently buffered.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of buffered update records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no updates are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at (or beyond) capacity.
+    pub fn is_full(&self) -> bool {
+        self.bytes >= self.capacity
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Capacity without stolen pages.
+    pub fn base_capacity(&self) -> usize {
+        self.base_capacity
+    }
+
+    /// Extend capacity by one stolen query page (MaSM-M, Fig. 8).
+    pub fn steal_page(&mut self, page_bytes: usize) {
+        self.capacity += page_bytes;
+    }
+
+    /// Reset capacity to the base S pages (after a flush).
+    pub fn return_stolen_pages(&mut self) {
+        self.capacity = self.base_capacity;
+    }
+
+    /// Smallest timestamp buffered, if any.
+    pub fn min_ts(&self) -> Option<Timestamp> {
+        self.entries.iter().map(|u| u.ts).min()
+    }
+
+    /// Largest timestamp buffered, if any.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.entries.iter().map(|u| u.ts).max()
+    }
+
+    /// Sorted snapshot of updates overlapping `[begin, end]` with
+    /// `ts ≤ as_of` — the `Mem_scan` input for one query.
+    pub fn snapshot_range(
+        &self,
+        begin: Key,
+        end: Key,
+        as_of: Timestamp,
+    ) -> Vec<UpdateRecord> {
+        let mut out: Vec<UpdateRecord> = self
+            .entries
+            .iter()
+            .filter(|u| u.key >= begin && u.key <= end && u.ts <= as_of)
+            .cloned()
+            .collect();
+        out.sort_by_key(|a| (a.key, a.ts));
+        out
+    }
+
+    /// Drain everything, sorted by `(key, ts)`, for materializing a
+    /// sorted run. Also returns stolen capacity.
+    pub fn drain_sorted(&mut self) -> Vec<UpdateRecord> {
+        let mut out = std::mem::take(&mut self.entries);
+        self.bytes = 0;
+        self.return_stolen_pages();
+        out.sort_by_key(|a| (a.key, a.ts));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateOp;
+
+    fn upd(ts: Timestamp, key: Key) -> UpdateRecord {
+        UpdateRecord::new(ts, key, UpdateOp::Delete)
+    }
+
+    #[test]
+    fn push_accounts_bytes() {
+        let mut b = UpdateBuffer::new(100);
+        let u = upd(1, 5);
+        let sz = u.encoded_len();
+        b.push(u);
+        assert_eq!(b.bytes(), sz);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn fills_at_capacity() {
+        let mut b = UpdateBuffer::new(40);
+        b.push(upd(1, 1)); // 17 bytes
+        assert!(!b.is_full());
+        b.push(upd(2, 2));
+        assert!(!b.is_full());
+        b.push(upd(3, 3));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn steal_and_return_pages() {
+        let mut b = UpdateBuffer::new(20);
+        b.push(upd(1, 1));
+        assert!(!b.is_full());
+        b.push(upd(2, 2));
+        assert!(b.is_full());
+        b.steal_page(20);
+        assert!(!b.is_full());
+        assert_eq!(b.capacity(), 40);
+        let drained = b.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(b.capacity(), 20);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn snapshot_filters_by_range_and_ts() {
+        let mut b = UpdateBuffer::new(1000);
+        b.push(upd(1, 10));
+        b.push(upd(2, 20));
+        b.push(upd(3, 30));
+        b.push(upd(4, 20)); // same key, later ts
+        let snap = b.snapshot_range(15, 25, 3);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].ts, 2);
+        let snap_all = b.snapshot_range(0, 100, 10);
+        assert_eq!(snap_all.len(), 4);
+        // Sorted by (key, ts).
+        let keys: Vec<(Key, Timestamp)> = snap_all.iter().map(|u| (u.key, u.ts)).collect();
+        assert_eq!(keys, vec![(10, 1), (20, 2), (20, 4), (30, 3)]);
+    }
+
+    #[test]
+    fn drain_sorts_by_key_then_ts() {
+        let mut b = UpdateBuffer::new(1000);
+        b.push(upd(1, 30));
+        b.push(upd(2, 10));
+        b.push(upd(3, 10));
+        let drained = b.drain_sorted();
+        let keys: Vec<(Key, Timestamp)> = drained.iter().map(|u| (u.key, u.ts)).collect();
+        assert_eq!(keys, vec![(10, 2), (10, 3), (30, 1)]);
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn ts_bounds() {
+        let mut b = UpdateBuffer::new(1000);
+        assert_eq!(b.min_ts(), None);
+        b.push(upd(5, 1));
+        b.push(upd(2, 2));
+        assert_eq!(b.min_ts(), Some(2));
+        assert_eq!(b.max_ts(), Some(5));
+    }
+}

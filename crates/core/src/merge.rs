@@ -1,0 +1,472 @@
+//! The merge operators of Figures 6 and 7, as Rust iterators.
+//!
+//! The paper builds a Volcano-style operator tree replacing
+//! `Table_range_scan`:
+//!
+//! ```text
+//! Merge_data_updates           -- outer join of data and updates
+//!  ├── Table_range_scan        -- masm_pagestore::RangeScan
+//!  └── Merge_updates           -- k-way merge of sorted update streams
+//!       ├── Run_scan ×k        -- crate::run::RunScan
+//!       └── Mem_scan           -- sorted snapshot of the update buffer
+//! ```
+//!
+//! Rust iterators *are* Volcano operators (pull-based `next()`), so the
+//! tree is literally a composition of iterators here.
+//!
+//! **Idempotence note.** `Merge_updates` folds all updates to the same
+//! key into one (e.g. delete + insert ⇒ replace). During migration a
+//! page's timestamp may fall *between* two folded updates; applying the
+//! folded result again is still correct because every folded form is a
+//! state-setter (replace/delete/modify-to-value), i.e. idempotent — the
+//! paper relies on the same property for crash-redo of migrations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use masm_pagestore::{Key, Record, Schema};
+
+use crate::ts::Timestamp;
+use crate::update::UpdateRecord;
+
+/// Type-erased sorted update stream (sorted by `(key, ts)`).
+pub type UpdateStream = Box<dyn Iterator<Item = UpdateRecord> + Send>;
+
+struct HeapEntry {
+    key: Key,
+    ts: Timestamp,
+    src: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.ts, self.src) == (other.key, other.ts, other.src)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.ts, self.src).cmp(&(other.key, other.ts, other.src))
+    }
+}
+
+/// Raw k-way merge of sorted update streams: yields every update in
+/// `(key, ts)` order without folding. Used directly when materializing a
+/// 2-pass run (folding there is a separate, guarded step — see
+/// [`fold_duplicates`]).
+pub struct KWayUpdates {
+    streams: Vec<UpdateStream>,
+    heads: Vec<Option<UpdateRecord>>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl KWayUpdates {
+    /// Merge `streams`, each sorted by `(key, ts)`.
+    pub fn new(streams: Vec<UpdateStream>) -> Self {
+        let mut m = KWayUpdates {
+            heads: streams.iter().map(|_| None).collect(),
+            streams,
+            heap: BinaryHeap::new(),
+        };
+        for i in 0..m.streams.len() {
+            m.pull(i);
+        }
+        m
+    }
+
+    fn pull(&mut self, src: usize) {
+        if let Some(u) = self.streams[src].next() {
+            self.heap.push(Reverse(HeapEntry {
+                key: u.key,
+                ts: u.ts,
+                src,
+            }));
+            self.heads[src] = Some(u);
+        }
+    }
+
+    /// Key of the next update without consuming it.
+    pub fn peek_key(&self) -> Option<Key> {
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+}
+
+impl Iterator for KWayUpdates {
+    type Item = UpdateRecord;
+
+    fn next(&mut self) -> Option<UpdateRecord> {
+        let Reverse(entry) = self.heap.pop()?;
+        let u = self.heads[entry.src].take().expect("head present");
+        self.pull(entry.src);
+        Some(u)
+    }
+}
+
+/// `Merge_updates`: k-way merge of sorted update streams, folding all
+/// updates to one key (visible at `as_of`) into a single update.
+pub struct MergeUpdates {
+    inner: KWayUpdates,
+    schema: Schema,
+    as_of: Timestamp,
+}
+
+impl MergeUpdates {
+    /// Merge `streams` (each sorted by `(key, ts)`), keeping only updates
+    /// with `ts ≤ as_of`.
+    pub fn new(streams: Vec<UpdateStream>, schema: Schema, as_of: Timestamp) -> Self {
+        MergeUpdates {
+            inner: KWayUpdates::new(streams),
+            schema,
+            as_of,
+        }
+    }
+}
+
+impl Iterator for MergeUpdates {
+    type Item = UpdateRecord;
+
+    fn next(&mut self) -> Option<UpdateRecord> {
+        loop {
+            let first = self.inner.next()?;
+            let key = first.key;
+            // Collect every update for this key (streams are key-sorted,
+            // so they are all at the heap front), in timestamp order
+            // thanks to the heap's (key, ts) ordering.
+            let mut merged = (first.ts <= self.as_of).then_some(first);
+            while self.inner.peek_key() == Some(key) {
+                let nxt = self.inner.next().expect("peeked");
+                if nxt.ts > self.as_of {
+                    continue;
+                }
+                merged = Some(match merged {
+                    Some(cur) => cur.merge_with_later(&nxt, &self.schema),
+                    None => nxt,
+                });
+            }
+            if merged.is_some() {
+                return merged;
+            }
+            // Every update for this key was invisible; try the next key.
+        }
+    }
+}
+
+/// Fold duplicate updates for run materialization (§3.5 "Handling
+/// Skews"): consecutive same-key updates `(t1, t2)` merge only when
+/// `guard(t1, t2)` confirms no concurrent query timestamp `t` satisfies
+/// `t1 < t ≤ t2`.
+pub fn fold_duplicates(
+    sorted: Vec<UpdateRecord>,
+    schema: &Schema,
+    guard: impl Fn(Timestamp, Timestamp) -> bool,
+) -> Vec<UpdateRecord> {
+    let mut out: Vec<UpdateRecord> = Vec::with_capacity(sorted.len());
+    for u in sorted {
+        match out.last_mut() {
+            Some(prev) if prev.key == u.key && guard(prev.ts, u.ts) => {
+                *prev = prev.merge_with_later(&u, schema);
+            }
+            _ => out.push(u),
+        }
+    }
+    out
+}
+
+/// `Merge_data_updates`: the outer join of the table range scan and the
+/// merged update stream.
+///
+/// * data-only keys pass through;
+/// * update-only keys materialize (insert/replace) or vanish
+///   (delete/modify of a non-existent record);
+/// * matching keys apply the update — unless the page's timestamp shows
+///   the update was already migrated into the page (`u.ts ≤ page_ts`).
+pub struct MergeDataUpdates<D, U>
+where
+    D: Iterator<Item = (Record, u64)>,
+    U: Iterator<Item = UpdateRecord>,
+{
+    data: D,
+    updates: U,
+    schema: Schema,
+    peeked_data: Option<(Record, u64)>,
+    peeked_update: Option<UpdateRecord>,
+    /// Records produced so far.
+    produced: u64,
+}
+
+impl<D, U> MergeDataUpdates<D, U>
+where
+    D: Iterator<Item = (Record, u64)>,
+    U: Iterator<Item = UpdateRecord>,
+{
+    /// Build the outer join.
+    pub fn new(data: D, updates: U, schema: Schema) -> Self {
+        MergeDataUpdates {
+            data,
+            updates,
+            schema,
+            peeked_data: None,
+            peeked_update: None,
+            produced: 0,
+        }
+    }
+
+    fn peek_data(&mut self) -> Option<&(Record, u64)> {
+        if self.peeked_data.is_none() {
+            self.peeked_data = self.data.next();
+        }
+        self.peeked_data.as_ref()
+    }
+
+    fn peek_update(&mut self) -> Option<&UpdateRecord> {
+        if self.peeked_update.is_none() {
+            self.peeked_update = self.updates.next();
+        }
+        self.peeked_update.as_ref()
+    }
+
+    /// Records produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl<D, U> Iterator for MergeDataUpdates<D, U>
+where
+    D: Iterator<Item = (Record, u64)>,
+    U: Iterator<Item = UpdateRecord>,
+{
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        loop {
+            let dk = self.peek_data().map(|(r, _)| r.key);
+            let uk = self.peek_update().map(|u| u.key);
+            let out = match (dk, uk) {
+                (None, None) => return None,
+                (Some(_), None) => {
+                    let (r, _) = self.peeked_data.take().expect("peeked");
+                    Some(r)
+                }
+                (None, Some(_)) => {
+                    let u = self.peeked_update.take().expect("peeked");
+                    u.apply_to(None, &self.schema)
+                }
+                (Some(d), Some(u_key)) => {
+                    if u_key < d {
+                        let u = self.peeked_update.take().expect("peeked");
+                        u.apply_to(None, &self.schema)
+                    } else if u_key > d {
+                        let (r, _) = self.peeked_data.take().expect("peeked");
+                        Some(r)
+                    } else {
+                        let (r, page_ts) = self.peeked_data.take().expect("peeked");
+                        let u = self.peeked_update.take().expect("peeked");
+                        if u.ts > page_ts {
+                            u.apply_to(Some(r), &self.schema)
+                        } else {
+                            // Already migrated into the page.
+                            Some(r)
+                        }
+                    }
+                }
+            };
+            if let Some(r) = out {
+                self.produced += 1;
+                return Some(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{FieldPatch, UpdateOp};
+    use masm_pagestore::{Field, FieldType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", FieldType::U32)])
+    }
+
+    fn payload(v: u32) -> Vec<u8> {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn ins(ts: Timestamp, key: Key, v: u32) -> UpdateRecord {
+        UpdateRecord::new(ts, key, UpdateOp::Insert(payload(v)))
+    }
+
+    fn del(ts: Timestamp, key: Key) -> UpdateRecord {
+        UpdateRecord::new(ts, key, UpdateOp::Delete)
+    }
+
+    fn modi(ts: Timestamp, key: Key, v: u32) -> UpdateRecord {
+        UpdateRecord::new(
+            ts,
+            key,
+            UpdateOp::Modify(vec![FieldPatch {
+                field: 0,
+                value: payload(v),
+            }]),
+        )
+    }
+
+    fn stream(us: Vec<UpdateRecord>) -> UpdateStream {
+        Box::new(us.into_iter())
+    }
+
+    #[test]
+    fn kway_merge_orders_and_folds() {
+        let s1 = stream(vec![ins(1, 10, 1), modi(4, 20, 4)]);
+        let s2 = stream(vec![modi(2, 10, 2), ins(3, 30, 3)]);
+        let merged: Vec<UpdateRecord> =
+            MergeUpdates::new(vec![s1, s2], schema(), u64::MAX).collect();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].key, 10);
+        // insert(1) + modify(2) folded into insert with patched payload.
+        match &merged[0].op {
+            UpdateOp::Insert(p) => assert_eq!(p, &payload(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(merged[1].key, 20);
+        assert_eq!(merged[2].key, 30);
+    }
+
+    #[test]
+    fn kway_raw_merge_preserves_all_versions() {
+        let s1 = stream(vec![ins(1, 10, 1), modi(4, 10, 4)]);
+        let s2 = stream(vec![modi(2, 10, 2)]);
+        let got: Vec<(Key, Timestamp)> = KWayUpdates::new(vec![s1, s2])
+            .map(|u| (u.key, u.ts))
+            .collect();
+        assert_eq!(got, vec![(10, 1), (10, 2), (10, 4)]);
+    }
+
+    #[test]
+    fn merge_respects_as_of() {
+        let s1 = stream(vec![ins(1, 10, 1), modi(5, 10, 5), ins(9, 20, 9)]);
+        let merged: Vec<UpdateRecord> =
+            MergeUpdates::new(vec![s1], schema(), 4).collect();
+        // Only ts=1 visible for key 10; key 20 invisible entirely.
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].ts, 1);
+        assert!(matches!(merged[0].op, UpdateOp::Insert(_)));
+    }
+
+    #[test]
+    fn merge_empty_streams() {
+        let merged: Vec<UpdateRecord> =
+            MergeUpdates::new(vec![], schema(), u64::MAX).collect();
+        assert!(merged.is_empty());
+        let merged: Vec<UpdateRecord> =
+            MergeUpdates::new(vec![stream(vec![])], schema(), u64::MAX).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn fold_duplicates_guarded() {
+        let sorted = vec![ins(1, 10, 1), modi(3, 10, 3), modi(7, 10, 7)];
+        // A query with ts=5 sits between 3 and 7: (3,7) must not fold.
+        let folded = fold_duplicates(sorted, &schema(), |t1, t2| {
+            let active = [5u64];
+            !active.iter().any(|&t| t1 < t && t <= t2)
+        });
+        assert_eq!(folded.len(), 2);
+        assert_eq!(folded[0].ts, 3); // 1+3 folded
+        assert_eq!(folded[1].ts, 7);
+    }
+
+    #[test]
+    fn fold_duplicates_unguarded_folds_all() {
+        let sorted = vec![ins(1, 10, 1), del(2, 10), ins(3, 10, 3), del(9, 11)];
+        let folded = fold_duplicates(sorted, &schema(), |_, _| true);
+        assert_eq!(folded.len(), 2);
+        assert!(matches!(folded[0].op, UpdateOp::Replace(_)));
+        assert_eq!(folded[1].key, 11);
+    }
+
+    fn data(recs: Vec<(Key, u32, u64)>) -> impl Iterator<Item = (Record, u64)> {
+        recs.into_iter()
+            .map(|(k, v, ts)| (Record::new(k, payload(v)), ts))
+    }
+
+    #[test]
+    fn outer_join_all_cases() {
+        // Data: keys 10, 20, 30 (page_ts 0). Updates: delete 10, modify
+        // 20, insert 15, modify 99 (no base).
+        let updates = vec![del(1, 10), ins(2, 15, 150), modi(3, 20, 200), modi(4, 99, 990)];
+        let out: Vec<Record> = MergeDataUpdates::new(
+            data(vec![(10, 1, 0), (20, 2, 0), (30, 3, 0)]),
+            updates.into_iter(),
+            schema(),
+        )
+        .collect();
+        let keys: Vec<Key> = out.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![15, 20, 30]);
+        let s = schema();
+        assert_eq!(s.get_u32(&out[0].payload, 0), 150);
+        assert_eq!(s.get_u32(&out[1].payload, 0), 200);
+        assert_eq!(s.get_u32(&out[2].payload, 0), 3);
+    }
+
+    #[test]
+    fn outer_join_trailing_inserts() {
+        let updates = vec![ins(1, 100, 1), ins(2, 200, 2)];
+        let out: Vec<Key> = MergeDataUpdates::new(
+            data(vec![(10, 1, 0)]),
+            updates.into_iter(),
+            schema(),
+        )
+        .map(|r| r.key)
+        .collect();
+        assert_eq!(out, vec![10, 100, 200]);
+    }
+
+    #[test]
+    fn outer_join_page_ts_skips_applied_updates() {
+        // Page already carries the update (page_ts = 5 ≥ u.ts = 3).
+        let updates = vec![modi(3, 10, 999)];
+        let out: Vec<Record> = MergeDataUpdates::new(
+            data(vec![(10, 1, 5)]),
+            updates.into_iter(),
+            schema(),
+        )
+        .collect();
+        assert_eq!(schema().get_u32(&out[0].payload, 0), 1, "must not re-apply");
+    }
+
+    #[test]
+    fn outer_join_empty_sides() {
+        let out: Vec<Record> =
+            MergeDataUpdates::new(data(vec![]), Vec::new().into_iter(), schema()).collect();
+        assert!(out.is_empty());
+
+        let out: Vec<Key> = MergeDataUpdates::new(
+            data(vec![(1, 1, 0), (2, 2, 0)]),
+            Vec::new().into_iter(),
+            schema(),
+        )
+        .map(|r| r.key)
+        .collect();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn outer_join_delete_of_missing_key_is_noop() {
+        let updates = vec![del(1, 5)];
+        let out: Vec<Key> = MergeDataUpdates::new(
+            data(vec![(10, 1, 0)]),
+            updates.into_iter(),
+            schema(),
+        )
+        .map(|r| r.key)
+        .collect();
+        assert_eq!(out, vec![10]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Well-formed update records and their merge semantics (§2.1, §3.2).
+//!
+//! An update record is `(timestamp, key, type, content)` where type is
+//! one of insert / delete / modify / **replace** — replace "represents a
+//! deletion merged with a later insertion with the same key". Well-formed
+//! updates never read existing DW data, which is what keeps them off the
+//! disk's critical path.
+
+use masm_pagestore::{Key, Record, Schema};
+
+use crate::ts::Timestamp;
+
+/// A single-field patch inside a `modify` update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldPatch {
+    /// Schema field index.
+    pub field: u16,
+    /// New raw value (must match the field width of the schema).
+    pub value: Vec<u8>,
+}
+
+/// The operation part of an update record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a new record with this payload.
+    Insert(Vec<u8>),
+    /// Delete the record with this key.
+    Delete,
+    /// Modify the given fields of the record.
+    Modify(Vec<FieldPatch>),
+    /// A deletion merged with a later insertion (§3.2).
+    Replace(Vec<u8>),
+}
+
+impl UpdateOp {
+    fn type_tag(&self) -> u8 {
+        match self {
+            UpdateOp::Insert(_) => 0,
+            UpdateOp::Delete => 1,
+            UpdateOp::Modify(_) => 2,
+            UpdateOp::Replace(_) => 3,
+        }
+    }
+}
+
+/// A timestamped, keyed update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Commit timestamp of the update.
+    pub ts: Timestamp,
+    /// Primary key / RID it applies to.
+    pub key: Key,
+    /// What to do.
+    pub op: UpdateOp,
+}
+
+impl UpdateRecord {
+    /// Construct an update record.
+    pub fn new(ts: Timestamp, key: Key, op: UpdateOp) -> Self {
+        UpdateRecord { ts, key, op }
+    }
+
+    /// Encoded size in bytes (for buffer and SSD-page accounting).
+    pub fn encoded_len(&self) -> usize {
+        let content = match &self.op {
+            UpdateOp::Insert(p) | UpdateOp::Replace(p) => 2 + p.len(),
+            UpdateOp::Delete => 0,
+            UpdateOp::Modify(patches) => {
+                1 + patches.iter().map(|p| 4 + p.value.len()).sum::<usize>()
+            }
+        };
+        8 + 8 + 1 + content
+    }
+
+    /// Append the encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.push(self.op.type_tag());
+        match &self.op {
+            UpdateOp::Insert(p) | UpdateOp::Replace(p) => {
+                out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+                out.extend_from_slice(p);
+            }
+            UpdateOp::Delete => {}
+            UpdateOp::Modify(patches) => {
+                debug_assert!(patches.len() <= u8::MAX as usize);
+                out.push(patches.len() as u8);
+                for p in patches {
+                    out.extend_from_slice(&p.field.to_le_bytes());
+                    out.extend_from_slice(&(p.value.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&p.value);
+                }
+            }
+        }
+    }
+
+    /// Decode one record from the front of `buf`; returns it and the
+    /// bytes consumed, or `None` if `buf` is truncated.
+    pub fn decode(buf: &[u8]) -> Option<(UpdateRecord, usize)> {
+        if buf.len() < 17 {
+            return None;
+        }
+        let ts = Timestamp::from_le_bytes(buf[0..8].try_into().ok()?);
+        let key = Key::from_le_bytes(buf[8..16].try_into().ok()?);
+        let tag = buf[16];
+        let mut pos = 17usize;
+        let op = match tag {
+            0 | 3 => {
+                if buf.len() < pos + 2 {
+                    return None;
+                }
+                let len = u16::from_le_bytes(buf[pos..pos + 2].try_into().ok()?) as usize;
+                pos += 2;
+                if buf.len() < pos + len {
+                    return None;
+                }
+                let payload = buf[pos..pos + len].to_vec();
+                pos += len;
+                if tag == 0 {
+                    UpdateOp::Insert(payload)
+                } else {
+                    UpdateOp::Replace(payload)
+                }
+            }
+            1 => UpdateOp::Delete,
+            2 => {
+                if buf.len() < pos + 1 {
+                    return None;
+                }
+                let n = buf[pos] as usize;
+                pos += 1;
+                let mut patches = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if buf.len() < pos + 4 {
+                        return None;
+                    }
+                    let field = u16::from_le_bytes(buf[pos..pos + 2].try_into().ok()?);
+                    let len =
+                        u16::from_le_bytes(buf[pos + 2..pos + 4].try_into().ok()?) as usize;
+                    pos += 4;
+                    if buf.len() < pos + len {
+                        return None;
+                    }
+                    patches.push(FieldPatch {
+                        field,
+                        value: buf[pos..pos + len].to_vec(),
+                    });
+                    pos += len;
+                }
+                UpdateOp::Modify(patches)
+            }
+            _ => return None,
+        };
+        Some((UpdateRecord { ts, key, op }, pos))
+    }
+
+    /// Apply this update to an optional existing record, producing the
+    /// record the query should see (or `None` for a deletion).
+    ///
+    /// This is the per-record core of `Merge_data_updates`' outer join.
+    pub fn apply_to(&self, base: Option<Record>, schema: &Schema) -> Option<Record> {
+        match &self.op {
+            UpdateOp::Insert(p) | UpdateOp::Replace(p) => {
+                Some(Record::new(self.key, p.clone()))
+            }
+            UpdateOp::Delete => None,
+            UpdateOp::Modify(patches) => base.map(|mut r| {
+                for p in patches {
+                    schema.set(&mut r.payload, p.field as usize, &p.value);
+                }
+                r
+            }),
+        }
+    }
+
+    /// Merge a later update into this one (same key, `self.ts <
+    /// later.ts`). Produces the single update equivalent to applying both
+    /// in order; the result carries the later timestamp (§3.2
+    /// `Merge_updates`, §3.5 "Handling Skews").
+    pub fn merge_with_later(&self, later: &UpdateRecord, schema: &Schema) -> UpdateRecord {
+        debug_assert_eq!(self.key, later.key);
+        debug_assert!(self.ts <= later.ts);
+        let op = match (&self.op, &later.op) {
+            // Later delete wins over anything.
+            (_, UpdateOp::Delete) => UpdateOp::Delete,
+            // A deletion followed by an insertion becomes a replace.
+            (UpdateOp::Delete, UpdateOp::Insert(p)) => UpdateOp::Replace(p.clone()),
+            // Insert/replace over anything else supersedes it entirely.
+            (_, UpdateOp::Insert(p)) => UpdateOp::Replace(p.clone()),
+            (_, UpdateOp::Replace(p)) => UpdateOp::Replace(p.clone()),
+            // Modify after a full-payload op folds into the payload.
+            (UpdateOp::Insert(p), UpdateOp::Modify(patches)) => {
+                let mut payload = p.clone();
+                for patch in patches {
+                    schema.set(&mut payload, patch.field as usize, &patch.value);
+                }
+                UpdateOp::Insert(payload)
+            }
+            (UpdateOp::Replace(p), UpdateOp::Modify(patches)) => {
+                let mut payload = p.clone();
+                for patch in patches {
+                    schema.set(&mut payload, patch.field as usize, &patch.value);
+                }
+                UpdateOp::Replace(payload)
+            }
+            // Modify of a deleted key is a no-op; the delete stands.
+            (UpdateOp::Delete, UpdateOp::Modify(_)) => UpdateOp::Delete,
+            // Modify ∘ modify: union of patches, later wins per field.
+            (UpdateOp::Modify(m1), UpdateOp::Modify(m2)) => {
+                let mut merged: Vec<FieldPatch> = m1.clone();
+                for p2 in m2 {
+                    if let Some(existing) =
+                        merged.iter_mut().find(|p| p.field == p2.field)
+                    {
+                        existing.value = p2.value.clone();
+                    } else {
+                        merged.push(p2.clone());
+                    }
+                }
+                merged.sort_by_key(|p| p.field);
+                UpdateOp::Modify(merged)
+            }
+        };
+        UpdateRecord {
+            ts: later.ts,
+            key: self.key,
+            op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masm_pagestore::{Field, FieldType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", FieldType::U32),
+            Field::new("b", FieldType::Bytes(4)),
+        ])
+    }
+
+    fn payload(a: u32, b: &[u8; 4]) -> Vec<u8> {
+        let s = schema();
+        let mut p = s.empty_payload();
+        s.set_u32(&mut p, 0, a);
+        s.set(&mut p, 1, b);
+        p
+    }
+
+    #[test]
+    fn encode_decode_all_variants() {
+        let cases = vec![
+            UpdateRecord::new(1, 10, UpdateOp::Insert(payload(5, b"abcd"))),
+            UpdateRecord::new(2, 11, UpdateOp::Delete),
+            UpdateRecord::new(
+                3,
+                12,
+                UpdateOp::Modify(vec![
+                    FieldPatch {
+                        field: 0,
+                        value: 7u32.to_le_bytes().to_vec(),
+                    },
+                    FieldPatch {
+                        field: 1,
+                        value: b"wxyz".to_vec(),
+                    },
+                ]),
+            ),
+            UpdateRecord::new(4, 13, UpdateOp::Replace(payload(9, b"zzzz"))),
+        ];
+        let mut buf = Vec::new();
+        for c in &cases {
+            let before = buf.len();
+            c.encode_into(&mut buf);
+            assert_eq!(buf.len() - before, c.encoded_len());
+        }
+        let mut pos = 0;
+        for c in &cases {
+            let (got, used) = UpdateRecord::decode(&buf[pos..]).unwrap();
+            assert_eq!(&got, c);
+            pos += used;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_truncated_returns_none() {
+        let r = UpdateRecord::new(1, 2, UpdateOp::Insert(vec![1, 2, 3]));
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        for cut in [0, 5, 16, 18, buf.len() - 1] {
+            assert!(UpdateRecord::decode(&buf[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_bad_tag_returns_none() {
+        let mut buf = vec![0u8; 17];
+        buf[16] = 9;
+        assert!(UpdateRecord::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn apply_insert_delete_modify() {
+        let s = schema();
+        let ins = UpdateRecord::new(1, 5, UpdateOp::Insert(payload(1, b"aaaa")));
+        let got = ins.apply_to(None, &s).unwrap();
+        assert_eq!(got.key, 5);
+        assert_eq!(s.get_u32(&got.payload, 0), 1);
+
+        let del = UpdateRecord::new(2, 5, UpdateOp::Delete);
+        assert!(del.apply_to(Some(got.clone()), &s).is_none());
+
+        let modify = UpdateRecord::new(
+            3,
+            5,
+            UpdateOp::Modify(vec![FieldPatch {
+                field: 0,
+                value: 42u32.to_le_bytes().to_vec(),
+            }]),
+        );
+        let patched = modify.apply_to(Some(got), &s).unwrap();
+        assert_eq!(s.get_u32(&patched.payload, 0), 42);
+        assert_eq!(s.get(&patched.payload, 1), b"aaaa");
+        // Modify with no base record is a no-op.
+        assert!(modify.apply_to(None, &s).is_none());
+    }
+
+    #[test]
+    fn merge_delete_then_insert_is_replace() {
+        let s = schema();
+        let del = UpdateRecord::new(1, 9, UpdateOp::Delete);
+        let ins = UpdateRecord::new(2, 9, UpdateOp::Insert(payload(3, b"bbbb")));
+        let merged = del.merge_with_later(&ins, &s);
+        assert_eq!(merged.ts, 2);
+        assert!(matches!(merged.op, UpdateOp::Replace(_)));
+    }
+
+    #[test]
+    fn merge_modify_chains_compose() {
+        let s = schema();
+        let m1 = UpdateRecord::new(
+            1,
+            9,
+            UpdateOp::Modify(vec![FieldPatch {
+                field: 0,
+                value: 1u32.to_le_bytes().to_vec(),
+            }]),
+        );
+        let m2 = UpdateRecord::new(
+            2,
+            9,
+            UpdateOp::Modify(vec![
+                FieldPatch {
+                    field: 0,
+                    value: 2u32.to_le_bytes().to_vec(),
+                },
+                FieldPatch {
+                    field: 1,
+                    value: b"qqqq".to_vec(),
+                },
+            ]),
+        );
+        let merged = m1.merge_with_later(&m2, &s);
+        let base = Record::new(9, payload(0, b"0000"));
+        let direct = m2
+            .apply_to(m1.apply_to(Some(base.clone()), &s), &s)
+            .unwrap();
+        let via_merge = merged.apply_to(Some(base), &s).unwrap();
+        assert_eq!(direct, via_merge);
+    }
+
+    #[test]
+    fn merge_insert_then_modify_folds_payload() {
+        let s = schema();
+        let ins = UpdateRecord::new(1, 9, UpdateOp::Insert(payload(1, b"aaaa")));
+        let m = UpdateRecord::new(
+            2,
+            9,
+            UpdateOp::Modify(vec![FieldPatch {
+                field: 1,
+                value: b"zzzz".to_vec(),
+            }]),
+        );
+        let merged = ins.merge_with_later(&m, &s);
+        match &merged.op {
+            UpdateOp::Insert(p) => {
+                assert_eq!(s.get(p, 1), b"zzzz");
+                assert_eq!(s.get_u32(p, 0), 1);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_anything_then_delete_is_delete() {
+        let s = schema();
+        for earlier in [
+            UpdateOp::Insert(payload(1, b"aaaa")),
+            UpdateOp::Delete,
+            UpdateOp::Modify(vec![]),
+            UpdateOp::Replace(payload(2, b"bbbb")),
+        ] {
+            let e = UpdateRecord::new(1, 9, earlier);
+            let d = UpdateRecord::new(2, 9, UpdateOp::Delete);
+            assert_eq!(e.merge_with_later(&d, &s).op, UpdateOp::Delete);
+        }
+    }
+
+    #[test]
+    fn merge_equivalence_property_sampled() {
+        // For every pair of op kinds, merging then applying must equal
+        // applying in sequence, starting from an existing base record.
+        let s = schema();
+        let ops = vec![
+            UpdateOp::Insert(payload(10, b"iiii")),
+            UpdateOp::Delete,
+            UpdateOp::Modify(vec![FieldPatch {
+                field: 0,
+                value: 77u32.to_le_bytes().to_vec(),
+            }]),
+            UpdateOp::Replace(payload(20, b"rrrr")),
+        ];
+        for o1 in &ops {
+            for o2 in &ops {
+                let u1 = UpdateRecord::new(1, 9, o1.clone());
+                let u2 = UpdateRecord::new(2, 9, o2.clone());
+                let merged = u1.merge_with_later(&u2, &s);
+                for base in [Some(Record::new(9, payload(0, b"base"))), None] {
+                    let direct = u2.apply_to(u1.apply_to(base.clone(), &s), &s);
+                    let via = merged.apply_to(base, &s);
+                    assert_eq!(direct, via, "ops {o1:?} then {o2:?}");
+                }
+            }
+        }
+    }
+}

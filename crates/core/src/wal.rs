@@ -1,0 +1,411 @@
+//! Redo logging and its record set (§3.2, §3.6 "Crash Recovery").
+//!
+//! MaSM's recovery story is deliberately small: materialized sorted runs
+//! are already durable on the (non-volatile) SSD, so "typically, MaSM
+//! needs to recover only the in-memory update buffer", plus enough
+//! metadata to find the runs again and to redo an interrupted migration.
+//! The log therefore carries:
+//!
+//! * committed update records (to rebuild the in-memory buffer),
+//! * run lifecycle events (created at flush/merge, deleted at migration),
+//! * migration begin/end markers, and per-chunk page-map splices so the
+//!   heap's logical→physical map survives a crash mid-migration (in a
+//!   production system this map lives in the catalog; logging the splice
+//!   is the equivalent durable channel),
+//! * the initial heap load.
+//!
+//! Data-page contents are **not** logged during migration — redo simply
+//! re-runs the migration, and page timestamps make that idempotent.
+
+use masm_pagestore::{ChunkCommit, Key};
+use masm_storage::{SessionHandle, SimDevice};
+
+use crate::error::{MasmError, MasmResult};
+use crate::ts::Timestamp;
+use crate::update::UpdateRecord;
+
+/// One redo-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed well-formed update.
+    Update(UpdateRecord),
+    /// A sorted run was materialized on the SSD.
+    RunCreated {
+        /// Run id.
+        id: u64,
+        /// SSD byte offset.
+        base: u64,
+        /// Encoded byte length.
+        bytes: u64,
+        /// Number of update records.
+        count: u64,
+        /// 1-pass or 2-pass.
+        passes: u8,
+    },
+    /// Runs were deleted (after migration or a 2-pass merge).
+    RunsDeleted(Vec<u64>),
+    /// Migration started for the given runs.
+    MigrationBegin {
+        /// Migration timestamp `t`.
+        ts: Timestamp,
+        /// Ids of the runs being migrated.
+        run_ids: Vec<u64>,
+    },
+    /// Migration finished.
+    MigrationEnd {
+        /// Migration timestamp `t`.
+        ts: Timestamp,
+    },
+    /// The heap was bulk-loaded contiguously at `base`.
+    HeapLoaded {
+        /// Physical base offset.
+        base: u64,
+        /// Page size used.
+        page_size: u32,
+        /// Minimum key per page (defines the page count).
+        min_keys: Vec<Key>,
+        /// Total records loaded.
+        record_count: u64,
+    },
+    /// A migration chunk committed a page-map splice.
+    MapSplice(ChunkCommit),
+}
+
+fn put_u64s(out: &mut Vec<u8>, vals: &[u64]) {
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_u64s(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
+    let n = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+    *pos += 4;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(u64::from_le_bytes(
+            buf.get(*pos..*pos + 8)?.try_into().ok()?,
+        ));
+        *pos += 8;
+    }
+    Some(out)
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let v = u64::from_le_bytes(buf.get(*pos..*pos + 8)?.try_into().ok()?);
+    *pos += 8;
+    Some(v)
+}
+
+impl WalRecord {
+    fn tag(&self) -> u8 {
+        match self {
+            WalRecord::Update(_) => 0,
+            WalRecord::RunCreated { .. } => 1,
+            WalRecord::RunsDeleted(_) => 2,
+            WalRecord::MigrationBegin { .. } => 3,
+            WalRecord::MigrationEnd { .. } => 4,
+            WalRecord::HeapLoaded { .. } => 5,
+            WalRecord::MapSplice(_) => 6,
+        }
+    }
+
+    /// Encode as `[u32 body_len][u8 tag][body]`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_pos = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.push(self.tag());
+        let body_start = out.len();
+        match self {
+            WalRecord::Update(u) => u.encode_into(out),
+            WalRecord::RunCreated {
+                id,
+                base,
+                bytes,
+                count,
+                passes,
+            } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&bytes.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+                out.push(*passes);
+            }
+            WalRecord::RunsDeleted(ids) => put_u64s(out, ids),
+            WalRecord::MigrationBegin { ts, run_ids } => {
+                out.extend_from_slice(&ts.to_le_bytes());
+                put_u64s(out, run_ids);
+            }
+            WalRecord::MigrationEnd { ts } => out.extend_from_slice(&ts.to_le_bytes()),
+            WalRecord::HeapLoaded {
+                base,
+                page_size,
+                min_keys,
+                record_count,
+            } => {
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&page_size.to_le_bytes());
+                out.extend_from_slice(&record_count.to_le_bytes());
+                put_u64s(out, min_keys);
+            }
+            WalRecord::MapSplice(c) => {
+                out.extend_from_slice(&(c.at as u64).to_le_bytes());
+                out.extend_from_slice(&(c.n_old as u64).to_le_bytes());
+                out.extend_from_slice(&c.base_phys.to_le_bytes());
+                out.extend_from_slice(&(c.n_new as u64).to_le_bytes());
+                out.extend_from_slice(&c.record_delta.to_le_bytes());
+                put_u64s(out, &c.min_keys);
+            }
+        }
+        let body_len = (out.len() - body_start) as u32;
+        out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+    }
+
+    /// Decode one record from the front of `buf`; returns it and the
+    /// bytes consumed. `None` on a clean end (all zeros / empty), error
+    /// on a torn record.
+    pub fn decode(buf: &[u8]) -> MasmResult<Option<(WalRecord, usize)>> {
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let tag = buf[4];
+        if body_len == 0 && tag == 0 {
+            return Ok(None); // zero padding = end of log
+        }
+        if buf.len() < 5 + body_len {
+            return Err(MasmError::Corrupt("torn WAL record"));
+        }
+        let body = &buf[5..5 + body_len];
+        let mut pos = 0usize;
+        let rec = match tag {
+            0 => {
+                let (u, used) =
+                    UpdateRecord::decode(body).ok_or(MasmError::Corrupt("WAL update"))?;
+                if used != body_len {
+                    return Err(MasmError::Corrupt("WAL update length"));
+                }
+                WalRecord::Update(u)
+            }
+            1 => WalRecord::RunCreated {
+                id: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run id"))?,
+                base: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run base"))?,
+                bytes: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run bytes"))?,
+                count: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run count"))?,
+                passes: *body.get(pos).ok_or(MasmError::Corrupt("run passes"))?,
+            },
+            2 => WalRecord::RunsDeleted(
+                get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("deleted ids"))?,
+            ),
+            3 => WalRecord::MigrationBegin {
+                ts: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("mig ts"))?,
+                run_ids: get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("mig runs"))?,
+            },
+            4 => WalRecord::MigrationEnd {
+                ts: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("mig end ts"))?,
+            },
+            5 => {
+                let base = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load base"))?;
+                let page_size = u32::from_le_bytes(
+                    body.get(pos..pos + 4)
+                        .ok_or(MasmError::Corrupt("load psize"))?
+                        .try_into()
+                        .unwrap(),
+                );
+                pos += 4;
+                let record_count =
+                    get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load count"))?;
+                let min_keys =
+                    get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("load keys"))?;
+                WalRecord::HeapLoaded {
+                    base,
+                    page_size,
+                    min_keys,
+                    record_count,
+                }
+            }
+            6 => {
+                let at = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice at"))? as usize;
+                let n_old =
+                    get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice n_old"))? as usize;
+                let base_phys =
+                    get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice base"))?;
+                let n_new =
+                    get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice n_new"))? as usize;
+                let record_delta = i64::from_le_bytes(
+                    body.get(pos..pos + 8)
+                        .ok_or(MasmError::Corrupt("splice delta"))?
+                        .try_into()
+                        .unwrap(),
+                );
+                pos += 8;
+                let min_keys =
+                    get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("splice keys"))?;
+                WalRecord::MapSplice(ChunkCommit {
+                    at,
+                    n_old,
+                    base_phys,
+                    n_new,
+                    min_keys,
+                    record_delta,
+                })
+            }
+            _ => return Err(MasmError::Corrupt("unknown WAL tag")),
+        };
+        Ok(Some((rec, 5 + body_len)))
+    }
+}
+
+/// An append-only redo log on a simulated device.
+#[derive(Debug)]
+pub struct Wal {
+    dev: SimDevice,
+    offset: u64,
+}
+
+impl Wal {
+    /// Open a (fresh or recovered) log on `dev`, appending after
+    /// `offset` bytes of existing records.
+    pub fn new(dev: SimDevice, offset: u64) -> Self {
+        Wal { dev, offset }
+    }
+
+    /// Append one record (a sequential device write charged to
+    /// `session`).
+    pub fn append(&mut self, session: &SessionHandle, rec: &WalRecord) -> MasmResult<()> {
+        let mut buf = Vec::with_capacity(64);
+        rec.encode_into(&mut buf);
+        session.write(&self.dev, self.offset, &buf)?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current end offset.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &SimDevice {
+        &self.dev
+    }
+
+    /// Read every record from `dev` (recovery). Returns the records and
+    /// the end offset for further appends.
+    pub fn read_all(
+        session: &SessionHandle,
+        dev: &SimDevice,
+    ) -> MasmResult<(Vec<WalRecord>, u64)> {
+        let len = dev.len();
+        if len == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let buf = session.read(dev, 0, len)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while let Some((rec, used)) = WalRecord::decode(&buf[pos..])? {
+            out.push(rec);
+            pos += used;
+        }
+        Ok((out, pos as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateOp;
+    use masm_storage::{DeviceProfile, SimClock};
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Update(UpdateRecord::new(3, 7, UpdateOp::Insert(vec![1, 2, 3]))),
+            WalRecord::Update(UpdateRecord::new(4, 8, UpdateOp::Delete)),
+            WalRecord::RunCreated {
+                id: 1,
+                base: 0,
+                bytes: 1234,
+                count: 10,
+                passes: 1,
+            },
+            WalRecord::RunsDeleted(vec![1, 2, 3]),
+            WalRecord::MigrationBegin {
+                ts: 99,
+                run_ids: vec![4, 5],
+            },
+            WalRecord::MigrationEnd { ts: 99 },
+            WalRecord::HeapLoaded {
+                base: 0,
+                page_size: 4096,
+                min_keys: vec![0, 100, 200],
+                record_count: 300,
+            },
+            WalRecord::MapSplice(ChunkCommit {
+                at: 2,
+                n_old: 3,
+                base_phys: 8192,
+                n_new: 4,
+                min_keys: vec![10, 20, 30, 40],
+                record_delta: -7,
+            }),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_variants() {
+        for rec in sample_records() {
+            let mut buf = Vec::new();
+            rec.encode_into(&mut buf);
+            let (back, used) = WalRecord::decode(&buf).unwrap().unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn torn_record_is_detected() {
+        let rec = WalRecord::MigrationEnd { ts: 7 };
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(WalRecord::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn zero_padding_is_clean_end() {
+        assert!(WalRecord::decode(&[0u8; 16]).unwrap().is_none());
+        assert!(WalRecord::decode(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn wal_append_and_read_all() {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let mut wal = Wal::new(dev.clone(), 0);
+        let records = sample_records();
+        for r in &records {
+            wal.append(&session, r).unwrap();
+        }
+        let (back, end) = Wal::read_all(&session, &dev).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(end, wal.offset());
+    }
+
+    #[test]
+    fn wal_writes_are_sequential() {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let mut wal = Wal::new(dev.clone(), 0);
+        for i in 0..100u64 {
+            wal.append(
+                &session,
+                &WalRecord::Update(UpdateRecord::new(i + 1, i, UpdateOp::Delete)),
+            )
+            .unwrap();
+        }
+        let stats = dev.stats();
+        assert!(stats.random_writes <= 1, "{stats:?}");
+    }
+}

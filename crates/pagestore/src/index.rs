@@ -1,0 +1,120 @@
+//! Sparse primary-key index: the smallest key of every logical page.
+//!
+//! In a clustered heap this is all the index a range scan or a point
+//! lookup needs; the paper assumes it fits in memory (§2.1 footnote 2:
+//! RIDs "may be obtained by searching the (in-memory) index on sort
+//! keys").
+
+use crate::record::Key;
+
+/// Smallest key per logical page, in logical page order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseIndex {
+    min_keys: Vec<Key>,
+}
+
+impl SparseIndex {
+    /// Build from per-page minimum keys (must be non-decreasing).
+    pub fn new(min_keys: Vec<Key>) -> Self {
+        debug_assert!(min_keys.windows(2).all(|w| w[0] <= w[1]));
+        SparseIndex { min_keys }
+    }
+
+    /// Number of pages indexed.
+    pub fn len(&self) -> usize {
+        self.min_keys.len()
+    }
+
+    /// True when no pages are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.min_keys.is_empty()
+    }
+
+    /// Minimum key of logical page `p`.
+    pub fn min_key(&self, p: usize) -> Key {
+        self.min_keys[p]
+    }
+
+    /// Logical page that would contain `key`: the last page whose minimum
+    /// key is ≤ `key` (page 0 if `key` precedes everything).
+    pub fn locate(&self, key: Key) -> Option<usize> {
+        if self.min_keys.is_empty() {
+            return None;
+        }
+        // partition_point gives the count of pages with min_key <= key.
+        let n = self.min_keys.partition_point(|&k| k <= key);
+        Some(n.saturating_sub(1))
+    }
+
+    /// Inclusive logical page range overlapping `[begin, end]`.
+    pub fn page_range(&self, begin: Key, end: Key) -> Option<(usize, usize)> {
+        if self.min_keys.is_empty() || end < begin {
+            return None;
+        }
+        let first = self.locate(begin)?;
+        let last = self.locate(end)?;
+        Some((first, last))
+    }
+
+    /// Append a page's minimum key during bulk load.
+    pub fn push(&mut self, min_key: Key) {
+        debug_assert!(self.min_keys.last().is_none_or(|&k| k <= min_key));
+        self.min_keys.push(min_key);
+    }
+
+    /// All minimum keys (for snapshots).
+    pub fn min_keys(&self) -> &[Key] {
+        &self.min_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> SparseIndex {
+        SparseIndex::new(vec![0, 100, 200, 300])
+    }
+
+    #[test]
+    fn locate_exact_and_between() {
+        let i = idx();
+        assert_eq!(i.locate(0), Some(0));
+        assert_eq!(i.locate(99), Some(0));
+        assert_eq!(i.locate(100), Some(1));
+        assert_eq!(i.locate(250), Some(2));
+        assert_eq!(i.locate(1_000_000), Some(3));
+    }
+
+    #[test]
+    fn locate_before_first_page_clamps() {
+        let i = SparseIndex::new(vec![50, 100]);
+        assert_eq!(i.locate(10), Some(0));
+    }
+
+    #[test]
+    fn page_range_spans() {
+        let i = idx();
+        assert_eq!(i.page_range(50, 250), Some((0, 2)));
+        assert_eq!(i.page_range(100, 100), Some((1, 1)));
+        assert_eq!(i.page_range(301, 500), Some((3, 3)));
+    }
+
+    #[test]
+    fn page_range_empty_cases() {
+        let i = idx();
+        assert_eq!(i.page_range(10, 5), None);
+        assert_eq!(SparseIndex::default().page_range(0, 10), None);
+        assert_eq!(SparseIndex::default().locate(5), None);
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut i = SparseIndex::default();
+        i.push(1);
+        i.push(5);
+        i.push(5);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.locate(5), Some(2));
+    }
+}

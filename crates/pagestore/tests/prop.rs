@@ -1,0 +1,85 @@
+//! Property-based tests for the pagestore substrate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use masm_pagestore::{HeapConfig, Page, Record, SparseIndex, TableHeap};
+use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
+        .prop_map(|(key, payload)| Record::new(key, payload))
+}
+
+proptest! {
+    /// Any set of records that fits in a page round-trips through the
+    /// slotted layout byte-identically.
+    #[test]
+    fn page_roundtrip(mut records in proptest::collection::vec(record_strategy(), 0..30)) {
+        records.sort_by_key(|r| r.key);
+        let mut page = Page::new(8192);
+        let mut stored = Vec::new();
+        for r in &records {
+            if page.append(r) {
+                stored.push(r.clone());
+            }
+        }
+        let bytes = page.clone().into_bytes();
+        let back = Page::from_bytes(bytes);
+        let got: Vec<Record> = back.records().collect();
+        prop_assert_eq!(got, stored);
+    }
+
+    /// Page binary search agrees with a linear scan.
+    #[test]
+    fn page_find_agrees_with_linear(keys in proptest::collection::btree_set(0u64..500, 1..30),
+                                    probe in 0u64..500) {
+        let mut page = Page::new(8192);
+        for &k in &keys {
+            page.append(&Record::new(k, vec![1]));
+        }
+        match page.find(probe) {
+            Ok(slot) => prop_assert_eq!(page.key_at(slot), probe),
+            Err(_) => prop_assert!(!keys.contains(&probe)),
+        }
+    }
+
+    /// SparseIndex::locate returns the page a linear search would.
+    #[test]
+    fn sparse_index_locate(mins in proptest::collection::vec(0u64..1000, 1..50),
+                           probe in 0u64..1100) {
+        let mut mins = mins;
+        mins.sort_unstable();
+        let idx = SparseIndex::new(mins.clone());
+        let got = idx.locate(probe).unwrap();
+        // Linear reference: last page whose min <= probe, else 0.
+        let want = mins
+            .iter()
+            .rposition(|&m| m <= probe)
+            .unwrap_or(0);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Heap range scans agree with an in-memory model for arbitrary
+    /// (sorted, deduplicated) loads and arbitrary query ranges.
+    #[test]
+    fn heap_scan_matches_model(keys in proptest::collection::btree_set(0u64..5000, 1..300),
+                               ranges in proptest::collection::vec((0u64..5000, 0u64..5000), 1..8)) {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let heap = Arc::new(TableHeap::new(dev, HeapConfig::default()));
+        let session = SessionHandle::fresh(clock);
+        let records: Vec<Record> = keys.iter().map(|&k| Record::synthetic(k, 50)).collect();
+        heap.bulk_load(&session, records.clone(), 1.0).unwrap();
+        for (a, b) in ranges {
+            let (begin, end) = (a.min(b), a.max(b));
+            let got: Vec<u64> = heap
+                .scan_range(session.clone(), begin, end)
+                .map(|r| r.key)
+                .collect();
+            let want: Vec<u64> = keys.range(begin..=end).copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Byte storage backends.
+//!
+//! Backends store real bytes so the whole system is testable end-to-end:
+//! what MaSM writes to the simulated SSD is exactly what a later range
+//! scan merges back. Two implementations are provided:
+//!
+//! * [`MemBackend`] — a growable in-memory byte array (default for tests
+//!   and benchmarks; the timing model supplies all performance behaviour).
+//! * [`FileBackend`] — a real file, for experiments larger than RAM.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::{StorageError, StorageResult};
+
+/// Random-access byte storage.
+///
+/// Implementations must be safe for concurrent use; the simulated device
+/// layer serializes *timing*, not data access.
+pub trait StorageBackend: Send + Sync {
+    /// Read `buf.len()` bytes starting at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()>;
+    /// Write `buf` starting at `offset`, growing the backend if needed.
+    fn write_at(&self, offset: u64, buf: &[u8]) -> StorageResult<()>;
+    /// Current size in bytes (high-water mark of writes).
+    fn len(&self) -> u64;
+    /// True when nothing has been written yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Growable in-memory backend.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemBackend {
+    /// Create an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a backend pre-sized to `capacity` zero bytes.
+    pub fn with_capacity(capacity: u64) -> Self {
+        MemBackend {
+            data: RwLock::new(vec![0u8; capacity as usize]),
+        }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        let data = self.data.read();
+        let end = offset + buf.len() as u64;
+        if end > data.len() as u64 {
+            return Err(StorageError::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                capacity: data.len() as u64,
+            });
+        }
+        buf.copy_from_slice(&data[offset as usize..end as usize]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> StorageResult<()> {
+        let mut data = self.data.write();
+        let end = (offset + buf.len() as u64) as usize;
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+}
+
+/// File-backed storage using positional I/O.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    len: AtomicU64,
+}
+
+impl FileBackend {
+    /// Create (truncating) a file backend at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend {
+            file,
+            len: AtomicU64::new(0),
+        })
+    }
+
+    /// Open an existing file backend at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend {
+            file,
+            len: AtomicU64::new(len),
+        })
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        let capacity = self.len();
+        if offset + buf.len() as u64 > capacity {
+            return Err(StorageError::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                capacity,
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            compile_error!("FileBackend requires a unix platform");
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> StorageResult<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)?;
+        }
+        let end = offset + buf.len() as u64;
+        self.len.fetch_max(end, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(b: &dyn StorageBackend) {
+        b.write_at(0, b"hello world").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        assert_eq!(b.len(), 11);
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        roundtrip(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("masm-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("file-{}.bin", std::process::id()));
+        roundtrip(&FileBackend::create(&path).unwrap());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mem_grows_on_write() {
+        let b = MemBackend::new();
+        assert!(b.is_empty());
+        b.write_at(100, &[1, 2, 3]).unwrap();
+        assert_eq!(b.len(), 103);
+        let mut buf = [0u8; 3];
+        b.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        // The gap is zero-filled.
+        let mut gap = [9u8; 4];
+        b.read_at(0, &mut gap).unwrap();
+        assert_eq!(gap, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mem_read_past_end_errors() {
+        let b = MemBackend::with_capacity(8);
+        let mut buf = [0u8; 16];
+        let err = b.read_at(0, &mut buf).unwrap_err();
+        assert!(matches!(err, StorageError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn mem_overwrite_in_place() {
+        let b = MemBackend::with_capacity(16);
+        b.write_at(4, b"abcd").unwrap();
+        b.write_at(6, b"XY").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_at(4, &mut buf).unwrap();
+        assert_eq!(&buf, b"abXY");
+        assert_eq!(b.len(), 16, "overwrite must not grow");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let b = std::sync::Arc::new(MemBackend::with_capacity(8 * 1024));
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let b = b.clone();
+                s.spawn(move || {
+                    let payload = vec![i as u8; 1024];
+                    b.write_at(i * 1024, &payload).unwrap();
+                });
+            }
+        });
+        for i in 0..8u64 {
+            let mut buf = vec![0u8; 1024];
+            b.read_at(i * 1024, &mut buf).unwrap();
+            assert!(buf.iter().all(|&x| x == i as u8));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Simulated devices: byte storage + timing + statistics.
+//!
+//! A [`SimDevice`] binds a [`StorageBackend`] to a [`DeviceProfile`] and a
+//! shared [`SimClock`]. It maintains a single *busy-until* horizon: requests
+//! from any number of actors serialize on the device, exactly like a real
+//! disk with one head (or one SATA link). Sequentiality is detected from
+//! the device's last touched byte, so two interleaved streams — a table
+//! scan and a stream of random in-place updates, say — destroy each other's
+//! sequential patterns and both pay seek penalties. That is the central
+//! interference effect of the paper's §2.2.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::StorageBackend;
+use crate::clock::{Ns, SimClock};
+use crate::device::{AccessKind, DeviceProfile};
+use crate::error::{StorageError, StorageResult};
+use crate::stats::{IoStats, IoStatsSnapshot};
+
+#[derive(Debug)]
+struct DevState {
+    /// Virtual time until which the device is occupied.
+    busy_until: Ns,
+    /// End offset of the most recent access (for sequentiality detection).
+    last_end: Option<u64>,
+    stats: IoStats,
+}
+
+/// A simulated storage device.
+///
+/// Cloning is cheap (shared state); all methods take `&self`.
+#[derive(Clone)]
+pub struct SimDevice {
+    backend: Arc<dyn StorageBackend>,
+    profile: DeviceProfile,
+    clock: SimClock,
+    state: Arc<Mutex<DevState>>,
+    faulted: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for SimDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDevice")
+            .field("profile", &self.profile.name)
+            .field("len", &self.backend.len())
+            .finish()
+    }
+}
+
+impl SimDevice {
+    /// Create a device over `backend` with timing `profile` on `clock`.
+    pub fn new(backend: Arc<dyn StorageBackend>, profile: DeviceProfile, clock: SimClock) -> Self {
+        SimDevice {
+            backend,
+            profile,
+            clock,
+            state: Arc::new(Mutex::new(DevState {
+                busy_until: 0,
+                last_end: None,
+                stats: IoStats::default(),
+            })),
+            faulted: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Convenience: in-memory device with the given profile.
+    pub fn in_memory(profile: DeviceProfile, clock: SimClock) -> Self {
+        Self::new(
+            Arc::new(crate::backend::MemBackend::new()),
+            profile,
+            clock,
+        )
+    }
+
+    /// The timing profile of this device.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current backend size in bytes.
+    pub fn len(&self) -> u64 {
+        self.backend.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Schedule an access starting no earlier than `at`; returns
+    /// `(start, completion)` in virtual time and updates statistics.
+    /// The device is occupied until `start + duration`; the returned
+    /// completion additionally includes the profile's extra latency for
+    /// random operations (which does not occupy the device — see
+    /// [`DeviceProfile::rand_extra_latency`]).
+    fn schedule(&self, at: Ns, kind: AccessKind, offset: u64, len: u64) -> (Ns, Ns) {
+        let mut st = self.state.lock();
+        let sequential = st.last_end == Some(offset);
+        let span = self.backend.len().max(offset + len).max(1);
+        let dist_frac = match st.last_end {
+            Some(last) => offset.abs_diff(last) as f64 / span as f64,
+            None => 0.532f64.powi(2), // no position yet: average seek
+        };
+        let duration = self
+            .profile
+            .duration_at_distance(kind, len, sequential, dist_frac);
+        let start = at.max(st.busy_until);
+        let end = start + duration;
+        st.busy_until = end;
+        st.last_end = Some(offset + len);
+        st.stats
+            .record(kind, len, sequential, duration, offset, self.profile.erase_block);
+        let completion = if sequential {
+            end
+        } else {
+            end + self.profile.rand_extra_latency
+        };
+        self.clock.advance_to(completion);
+        (start, completion)
+    }
+
+    fn check_fault(&self) -> StorageResult<()> {
+        if self.faulted.load(Ordering::Acquire) {
+            Err(StorageError::Faulted("injected device fault"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read `len` bytes at `offset`, submitted at virtual time `at`.
+    /// Returns the data and the completion time.
+    pub fn read_at(&self, at: Ns, offset: u64, len: u64) -> StorageResult<(Vec<u8>, Ns)> {
+        self.check_fault()?;
+        let mut buf = vec![0u8; len as usize];
+        self.backend.read_at(offset, &mut buf)?;
+        let (_, end) = self.schedule(at, AccessKind::Read, offset, len);
+        Ok((buf, end))
+    }
+
+    /// Write `data` at `offset`, submitted at virtual time `at`.
+    /// Returns the completion time.
+    pub fn write_at(&self, at: Ns, offset: u64, data: &[u8]) -> StorageResult<Ns> {
+        self.check_fault()?;
+        self.backend.write_at(offset, data)?;
+        let (_, end) = self.schedule(at, AccessKind::Write, offset, data.len() as u64);
+        Ok(end)
+    }
+
+    /// Snapshot of accumulated I/O statistics.
+    pub fn stats(&self) -> IoStatsSnapshot {
+        self.state.lock().stats.snapshot()
+    }
+
+    /// Reset statistics (busy horizon and data are preserved).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = IoStats::default();
+    }
+
+    /// Virtual time at which the device becomes idle.
+    pub fn busy_until(&self) -> Ns {
+        self.state.lock().busy_until
+    }
+
+    /// Force the next access to be treated as random (e.g. after another
+    /// component used the device out-of-band).
+    pub fn invalidate_head_position(&self) {
+        self.state.lock().last_end = None;
+    }
+
+    /// Fault injection: make all subsequent accesses fail until
+    /// [`SimDevice::clear_fault`].
+    pub fn inject_fault(&self) {
+        self.faulted.store(true, Ordering::Release);
+    }
+
+    /// Clear an injected fault.
+    pub fn clear_fault(&self) {
+        self.faulted.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MILLIS;
+
+    fn hdd() -> SimDevice {
+        SimDevice::in_memory(DeviceProfile::hdd_barracuda(), SimClock::new())
+    }
+
+    fn ssd() -> SimDevice {
+        SimDevice::in_memory(DeviceProfile::ssd_x25e(), SimClock::new())
+    }
+
+    #[test]
+    fn data_roundtrip_through_device() {
+        let d = ssd();
+        d.write_at(0, 0, b"masm").unwrap();
+        let (data, _) = d.read_at(0, 0, 4).unwrap();
+        assert_eq!(&data, b"masm");
+    }
+
+    #[test]
+    fn sequential_writes_avoid_seek_penalty() {
+        let d = hdd();
+        let chunk = vec![0u8; 64 * 1024];
+        let t1 = d.write_at(0, 0, &chunk).unwrap();
+        let t2 = d.write_at(t1, 64 * 1024, &chunk).unwrap();
+        // Second write is sequential: its duration must be far below a seek.
+        assert!(t2 - t1 < 2 * MILLIS, "sequential write took {}ns", t2 - t1);
+        let s = d.stats();
+        assert_eq!(s.sequential_ops, 1);
+        assert_eq!(s.random_ops, 1); // the first op had no predecessor
+    }
+
+    #[test]
+    fn interleaved_streams_destroy_sequentiality() {
+        let d = hdd();
+        let chunk = vec![0u8; 4096];
+        // Pre-populate distant regions.
+        d.write_at(0, 0, &vec![0u8; 1 << 20]).unwrap();
+        d.write_at(0, 1 << 30, &vec![0u8; 1 << 20]).unwrap();
+        d.reset_stats();
+        // Stream A scans forward; stream B writes far away, alternating.
+        let mut t = d.busy_until();
+        for i in 0..4u64 {
+            let (_, ta) = d.read_at(t, i * 4096, 4096).unwrap();
+            let tb = d.write_at(ta, (1 << 30) + i * 4096, &chunk).unwrap();
+            t = tb;
+        }
+        let s = d.stats();
+        // Every access after an access from the other stream is random.
+        assert_eq!(s.sequential_ops, 0, "{s:?}");
+        assert_eq!(s.random_ops, 8);
+    }
+
+    #[test]
+    fn device_serializes_concurrent_submissions() {
+        let d = ssd();
+        d.write_at(0, 0, &vec![0u8; 1 << 20]).unwrap();
+        let base = d.busy_until();
+        // Two requests submitted at the same virtual instant must not
+        // overlap on one device.
+        let (_, e1) = d.read_at(base, 0, 512 * 1024).unwrap();
+        let (_, e2) = d.read_at(base, 512 * 1024, 512 * 1024).unwrap();
+        assert!(e2 > e1);
+        let gap = e2 - e1;
+        let dur1 = e1 - base;
+        // Second op starts after the first completes; with sequential
+        // continuation its duration is similar.
+        assert!(gap > dur1 / 2);
+    }
+
+    #[test]
+    fn clock_tracks_device_completion() {
+        let c = SimClock::new();
+        let d = SimDevice::in_memory(DeviceProfile::ssd_x25e(), c.clone());
+        let end = d.write_at(0, 0, &[1u8; 4096]).unwrap();
+        assert_eq!(c.now(), end);
+    }
+
+    #[test]
+    fn out_of_bounds_read_fails_cleanly() {
+        let d = ssd();
+        assert!(d.read_at(0, 0, 10).is_err());
+    }
+
+    #[test]
+    fn fault_injection_blocks_io() {
+        let d = ssd();
+        d.write_at(0, 0, &[1, 2, 3]).unwrap();
+        d.inject_fault();
+        assert!(matches!(
+            d.read_at(0, 0, 3),
+            Err(StorageError::Faulted(_))
+        ));
+        d.clear_fault();
+        assert!(d.read_at(0, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn wear_counters_accumulate_on_ssd() {
+        let d = ssd();
+        for i in 0..8u64 {
+            d.write_at(0, i * 4096, &[0u8; 4096]).unwrap();
+        }
+        let s = d.stats();
+        assert!(s.touched_blocks >= 1);
+        assert!(s.bytes_written == 8 * 4096);
+    }
+
+    #[test]
+    fn invalidate_head_forces_random() {
+        let d = hdd();
+        let chunk = vec![0u8; 4096];
+        d.write_at(0, 0, &chunk).unwrap();
+        d.reset_stats();
+        d.invalidate_head_position();
+        d.write_at(d.busy_until(), 4096, &chunk).unwrap();
+        assert_eq!(d.stats().random_ops, 1);
+    }
+}

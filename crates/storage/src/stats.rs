@@ -1,0 +1,197 @@
+//! Per-device I/O statistics and SSD wear accounting.
+
+use std::collections::HashMap;
+
+/// Mutable statistics accumulated by a [`crate::sim::SimDevice`].
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Read/write operations that continued the previous access
+    /// (no seek / setup penalty).
+    pub sequential_ops: u64,
+    /// Operations that paid the random-access setup cost.
+    pub random_ops: u64,
+    /// Random *write* operations specifically (MaSM design goal 2 is that
+    /// this stays zero for the update-cache SSD).
+    pub random_writes: u64,
+    /// Total virtual nanoseconds the device was busy.
+    pub busy_ns: u64,
+    /// Writes per erase block, for wear/endurance estimates.
+    pub wear: HashMap<u64, u64>,
+}
+
+impl IoStats {
+    /// Record one access.
+    pub(crate) fn record(
+        &mut self,
+        kind: crate::device::AccessKind,
+        len: u64,
+        sequential: bool,
+        duration: u64,
+        offset: u64,
+        erase_block: u64,
+    ) {
+        match kind {
+            crate::device::AccessKind::Read => {
+                self.read_ops += 1;
+                self.bytes_read += len;
+            }
+            crate::device::AccessKind::Write => {
+                self.write_ops += 1;
+                self.bytes_written += len;
+                if let Some(first) = offset.checked_div(erase_block) {
+                    let last = (offset + len.max(1) - 1) / erase_block;
+                    for blk in first..=last {
+                        *self.wear.entry(blk).or_insert(0) += 1;
+                    }
+                }
+                if !sequential {
+                    self.random_writes += 1;
+                }
+            }
+        }
+        if sequential {
+            self.sequential_ops += 1;
+        } else {
+            self.random_ops += 1;
+        }
+        self.busy_ns += duration;
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops,
+            write_ops: self.write_ops,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            sequential_ops: self.sequential_ops,
+            random_ops: self.random_ops,
+            random_writes: self.random_writes,
+            busy_ns: self.busy_ns,
+            max_block_wear: self.wear.values().copied().max().unwrap_or(0),
+            touched_blocks: self.wear.len() as u64,
+        }
+    }
+}
+
+/// Copyable summary of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Sequential operations.
+    pub sequential_ops: u64,
+    /// Random operations.
+    pub random_ops: u64,
+    /// Random write operations.
+    pub random_writes: u64,
+    /// Total busy time in virtual ns.
+    pub busy_ns: u64,
+    /// Highest write count over any single erase block.
+    pub max_block_wear: u64,
+    /// Number of distinct erase blocks ever written.
+    pub touched_blocks: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Total operations of both kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    /// Average write amplification relative to `logical_bytes` of intent.
+    pub fn write_amplification(&self, logical_bytes: u64) -> f64 {
+        if logical_bytes == 0 {
+            return 0.0;
+        }
+        self.bytes_written as f64 / logical_bytes as f64
+    }
+
+    /// Difference between two snapshots (self - earlier).
+    pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            sequential_ops: self.sequential_ops - earlier.sequential_ops,
+            random_ops: self.random_ops - earlier.random_ops,
+            random_writes: self.random_writes - earlier.random_writes,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            max_block_wear: self.max_block_wear,
+            touched_blocks: self.touched_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AccessKind;
+
+    #[test]
+    fn record_read_and_write() {
+        let mut s = IoStats::default();
+        s.record(AccessKind::Read, 4096, true, 100, 0, 0);
+        s.record(AccessKind::Write, 8192, false, 200, 4096, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_ops, 1);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.bytes_read, 4096);
+        assert_eq!(snap.bytes_written, 8192);
+        assert_eq!(snap.sequential_ops, 1);
+        assert_eq!(snap.random_ops, 1);
+        assert_eq!(snap.random_writes, 1);
+        assert_eq!(snap.busy_ns, 300);
+    }
+
+    #[test]
+    fn wear_tracks_erase_blocks() {
+        let mut s = IoStats::default();
+        let blk = 256 * 1024;
+        // Two writes to the same block, one spanning two blocks.
+        s.record(AccessKind::Write, 4096, true, 1, 0, blk);
+        s.record(AccessKind::Write, 4096, true, 1, 4096, blk);
+        s.record(AccessKind::Write, blk, true, 1, blk - 100, blk);
+        let snap = s.snapshot();
+        // Block 0 written by all three ops (the span starts inside it);
+        // block 1 only by the spanning op.
+        assert_eq!(snap.touched_blocks, 2);
+        assert_eq!(snap.max_block_wear, 3);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut s = IoStats::default();
+        s.record(AccessKind::Read, 10, true, 5, 0, 0);
+        let a = s.snapshot();
+        s.record(AccessKind::Read, 30, true, 5, 0, 0);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.read_ops, 1);
+        assert_eq!(d.bytes_read, 30);
+    }
+
+    #[test]
+    fn write_amplification_ratio() {
+        let mut s = IoStats::default();
+        s.record(AccessKind::Write, 2000, true, 1, 0, 0);
+        s.record(AccessKind::Write, 2000, true, 1, 2000, 0);
+        assert!((s.snapshot().write_amplification(1000) - 4.0).abs() < 1e-9);
+        assert_eq!(s.snapshot().write_amplification(0), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # masm-workloads — workload generators for the MaSM reproduction
+//!
+//! * [`synthetic`] — the §4.1 synthetic setup: a table of 100-byte
+//!   records populated with even-numbered keys (odd keys are reserved
+//!   for insertions), plus a stream of well-formed updates with randomly
+//!   selected types, uniformly or Zipf distributed over the key space.
+//! * [`zipf`] — a Zipf(θ) key sampler for the skew experiments of §3.5.
+//! * [`tpch`] — a TPC-H-*like* replay workload. The paper replays
+//!   `blktrace` I/O traces of 20 TPC-H queries (SF 30) captured on a
+//!   commercial row store; those traces reduce to multi-table range
+//!   scans over a schema dominated by `lineitem` and `orders` (>80% of
+//!   bytes). We regenerate equivalent range-scan traces from scaled
+//!   tables with the same size proportions and query shapes — the
+//!   substitution preserves the I/O interference behaviour the
+//!   experiment measures (see DESIGN.md).
+
+pub mod synthetic;
+pub mod tpch;
+pub mod zipf;
+
+pub use synthetic::{SyntheticTable, UpdateKind, UpdateMix, UpdateStreamGen};
+pub use tpch::{QueryProfile, TpchTables, TPCH_QUERIES};
+pub use zipf::Zipf;

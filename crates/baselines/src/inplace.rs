@@ -110,13 +110,17 @@ mod tests {
     }
 
     fn scan_keys(e: &InPlaceEngine, s: &SessionHandle, a: Key, b: Key) -> Vec<Key> {
-        e.heap().scan_range(s.clone(), a, b).map(|r| r.key).collect()
+        e.heap()
+            .scan_range(s.clone(), a, b)
+            .map(|r| r.key)
+            .collect()
     }
 
     #[test]
     fn insert_delete_modify_roundtrip() {
         let (e, s) = setup(500);
-        e.apply_update(&s, 11, UpdateOp::Insert(payload(110)), 1).unwrap();
+        e.apply_update(&s, 11, UpdateOp::Insert(payload(110)), 1)
+            .unwrap();
         e.apply_update(&s, 20, UpdateOp::Delete, 2).unwrap();
         e.apply_update(
             &s,
@@ -131,11 +135,7 @@ mod tests {
         let keys = scan_keys(&e, &s, 0, 50);
         assert!(keys.contains(&11));
         assert!(!keys.contains(&20));
-        let rec = e
-            .heap()
-            .scan_range(s, 30, 30)
-            .next()
-            .unwrap();
+        let rec = e.heap().scan_range(s, 30, 30).next().unwrap();
         assert_eq!(schema().get_u32(&rec.payload, 0), 303);
         assert_eq!(e.applied(), 3);
     }
@@ -164,8 +164,13 @@ mod tests {
         let start = s.now();
         let n = 200u64;
         for i in 0..n {
-            e.apply_update(&s, (i * 12_347) % 100_000, UpdateOp::Replace(payload(2)), i + 1)
-                .unwrap();
+            e.apply_update(
+                &s,
+                (i * 12_347) % 100_000,
+                UpdateOp::Replace(payload(2)),
+                i + 1,
+            )
+            .unwrap();
         }
         let elapsed_s = (s.now() - start) as f64 / 1e9;
         let rate = n as f64 / elapsed_s;

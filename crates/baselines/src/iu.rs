@@ -74,8 +74,7 @@ impl IuEngine {
     /// (the cost the paper points out IU pays that MaSM does not).
     pub fn index_memory_bytes(&self) -> u64 {
         let st = self.state.lock();
-        st.index.values().map(|v| 8 + 12 * v.len() as u64)
-            .sum()
+        st.index.values().map(|v| 8 + 12 * v.len() as u64).sum()
     }
 
     /// Append one update to the SSD tables and index it in memory.
@@ -222,7 +221,8 @@ mod tests {
     #[test]
     fn updates_visible_through_scan() {
         let (e, s) = setup(500);
-        e.apply_update(&s, 11, UpdateOp::Insert(payload(110)), 1).unwrap();
+        e.apply_update(&s, 11, UpdateOp::Insert(payload(110)), 1)
+            .unwrap();
         e.apply_update(&s, 20, UpdateOp::Delete, 2).unwrap();
         let keys: Vec<Key> = e
             .begin_scan(s, 0, 50, u64::MAX)
@@ -285,13 +285,11 @@ mod tests {
     #[test]
     fn duplicate_updates_merge_in_ts_order() {
         let (e, s) = setup(100);
-        e.apply_update(&s, 10, UpdateOp::Replace(payload(1)), 1).unwrap();
-        e.apply_update(&s, 10, UpdateOp::Replace(payload(2)), 2).unwrap();
-        let rec = e
-            .begin_scan(s, 10, 10, u64::MAX)
-            .unwrap()
-            .next()
+        e.apply_update(&s, 10, UpdateOp::Replace(payload(1)), 1)
             .unwrap();
+        e.apply_update(&s, 10, UpdateOp::Replace(payload(2)), 2)
+            .unwrap();
+        let rec = e.begin_scan(s, 10, 10, u64::MAX).unwrap().next().unwrap();
         assert_eq!(schema().get_u32(&rec.payload, 0), 2, "later replace wins");
     }
 }

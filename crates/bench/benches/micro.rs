@@ -111,9 +111,7 @@ fn bench_kway_merge(c: &mut Criterion) {
             let streams: Vec<UpdateStream> = (0..8)
                 .map(|s| {
                     let us: Vec<UpdateRecord> = (0..1000u64)
-                        .map(|i| {
-                            UpdateRecord::new(s * 1000 + i + 1, i * 16 + s, UpdateOp::Delete)
-                        })
+                        .map(|i| UpdateRecord::new(s * 1000 + i + 1, i * 16 + s, UpdateOp::Delete))
                         .collect();
                     Box::new(us.into_iter()) as UpdateStream
                 })
@@ -152,7 +150,7 @@ fn bench_run_roundtrip(c: &mut Criterion) {
             let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
             let session = SessionHandle::fresh(clock);
             let run = write_run(&session, &ssd, &cfg, 0, 0, 1, &updates).unwrap();
-            let n = RunScan::new(ssd, session, Arc::new(run), &cfg, 0, u64::MAX).count();
+            let n = RunScan::new(ssd, session, Arc::new(run), 0, u64::MAX).count();
             black_box(n)
         })
     });

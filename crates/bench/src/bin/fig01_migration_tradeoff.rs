@@ -14,8 +14,9 @@ fn main() {
     let model = MigrationModel::paper_defaults();
     let reference = model.in_memory_overhead(16.0 * 1024.0 * 1024.0 * 1024.0);
 
-    let mems_mb: Vec<f64> = vec![16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
-        4096.0, 8192.0, 16384.0];
+    let mems_mb: Vec<f64> = vec![
+        16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0,
+    ];
     let mut rows = Vec::new();
     for &mb in &mems_mb {
         let bytes = mb * 1024.0 * 1024.0;
@@ -31,7 +32,12 @@ fn main() {
     }
     print_table(
         "Figure 1 — migration overhead vs memory (normalized to state-of-the-art @16GB)",
-        &["memory", "state-of-the-art", "MaSM (ours)", "MaSM SSD cache"],
+        &[
+            "memory",
+            "state-of-the-art",
+            "MaSM (ours)",
+            "MaSM SSD cache",
+        ],
         &rows,
     );
     println!(

@@ -47,7 +47,12 @@ fn main() {
     let n = TPCH_QUERIES.len() as f64;
     print_table(
         &format!("Figure 3 — TPC-H replay with in-place updates, row store ({mb} MiB of tables)"),
-        &["query", "no-updates (s)", "w/ updates", "query-only + update-only"],
+        &[
+            "query",
+            "no-updates (s)",
+            "w/ updates",
+            "query-only + update-only",
+        ],
         &rows,
     );
     println!(

@@ -76,48 +76,36 @@ fn main() {
     for &size in &sizes {
         let count = if size <= MIB { reps * 2 } else { reps };
         let ranges = baseline.ranges(size, count);
-        let base = avg(
-            ranges
-                .iter()
-                .map(|&(b, e)| baseline.time_pure_scan(b, e))
-                .collect(),
-        );
-        let inplace = avg(
-            ranges
-                .iter()
-                .enumerate()
-                .map(|(i, &(b, e))| {
-                    time_scan_with_inplace_updates(&inplace_env, b, e, 100 + i as u64)
-                })
-                .collect(),
-        );
-        let iu_t = avg(
-            ranges
-                .iter()
-                .map(|&(b, e)| {
-                    let session = iu_env.machine.session();
-                    let start = session.now();
-                    let n = iu
-                        .begin_scan(session.clone(), b, e, u64::MAX)
-                        .unwrap()
-                        .count();
-                    std::hint::black_box(n);
-                    session.now() - start
-                })
-                .collect(),
-        );
-        let coarse = avg(
-            ranges
-                .iter()
-                .map(|&(b, e)| masm_coarse.time_masm_scan(b, e))
-                .collect(),
-        );
-        let fine = avg(
-            ranges
-                .iter()
-                .map(|&(b, e)| masm_fine.time_masm_scan(b, e))
-                .collect(),
-        );
+        let base = avg(ranges
+            .iter()
+            .map(|&(b, e)| baseline.time_pure_scan(b, e))
+            .collect());
+        let inplace = avg(ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, e))| time_scan_with_inplace_updates(&inplace_env, b, e, 100 + i as u64))
+            .collect());
+        let iu_t = avg(ranges
+            .iter()
+            .map(|&(b, e)| {
+                let session = iu_env.machine.session();
+                let start = session.now();
+                let n = iu
+                    .begin_scan(session.clone(), b, e, u64::MAX)
+                    .unwrap()
+                    .count();
+                std::hint::black_box(n);
+                session.now() - start
+            })
+            .collect());
+        let coarse = avg(ranges
+            .iter()
+            .map(|&(b, e)| masm_coarse.time_masm_scan(b, e))
+            .collect());
+        let fine = avg(ranges
+            .iter()
+            .map(|&(b, e)| masm_fine.time_masm_scan(b, e))
+            .collect());
         rows.push(vec![
             size_label(size),
             ratio(inplace, base),
@@ -132,13 +120,7 @@ fn main() {
             "Figure 9 — range scans with online updates, normalized to no-update scans \
              (table {mb} MiB, cache 50% full)"
         ),
-        &[
-            "range",
-            "in-place",
-            "IU",
-            "MaSM coarse",
-            "MaSM fine",
-        ],
+        &["range", "in-place", "IU", "MaSM coarse", "MaSM fine"],
         &rows,
     );
     println!(

@@ -1,0 +1,278 @@
+//! Figure 9b (new experiment): point lookups against a materialized
+//! update run — legacy sparse-index format vs the block-run format
+//! (`masm-blockrun`), bloom filter on/off, block cache cold/warm.
+//!
+//! The paper's Figure 9 covers *range* scans, where the sparse index is
+//! already good. Point lookups are the worst case it leaves open: a
+//! lookup for a key the run does not contain still pays a full
+//! index-cell read. The block-run format attacks both sides:
+//!
+//! * **bloom filter** — absent keys are rejected from memory, zero I/O;
+//! * **block cache** — repeated lookups of hot keys are served from
+//!   decoded blocks, zero device reads when warm.
+//!
+//! Emits one JSON object (line prefixed `JSON:`) plus a readable table.
+
+use std::sync::Arc;
+
+use masm_bench::{print_table, scale_mb};
+use masm_blockrun::{
+    point_lookup, write_run as write_block_run, BlockCache, BlockRunConfig, Entry,
+};
+use masm_core::update::{UpdateOp, UpdateRecord};
+use masm_storage::{DeviceProfile, Ns, SessionHandle, SimClock, SimDevice};
+
+/// The legacy run format this PR replaced: a flat byte stream of update
+/// records plus an in-memory sparse index (smallest key per fixed byte
+/// cell). Kept here, in the benchmark only, as the comparison baseline.
+struct SparseRun {
+    index: Vec<(u64, u64)>, // (first key, byte offset)
+    total_bytes: u64,
+    min_key: u64,
+    max_key: u64,
+}
+
+impl SparseRun {
+    fn write(
+        session: &SessionHandle,
+        dev: &SimDevice,
+        updates: &[UpdateRecord],
+        granularity: u64,
+    ) -> SparseRun {
+        let mut buf = Vec::new();
+        let mut index = Vec::new();
+        let mut next_cell = 0u64;
+        for u in updates {
+            let off = buf.len() as u64;
+            if off >= next_cell {
+                index.push((u.key, off));
+                next_cell = off + granularity;
+            }
+            u.encode_into(&mut buf);
+        }
+        for chunk_start in (0..buf.len()).step_by(64 * 1024) {
+            let end = (chunk_start + 64 * 1024).min(buf.len());
+            session
+                .write(dev, chunk_start as u64, &buf[chunk_start..end])
+                .expect("write");
+        }
+        SparseRun {
+            index,
+            total_bytes: buf.len() as u64,
+            min_key: updates.first().expect("non-empty").key,
+            max_key: updates.last().expect("non-empty").key,
+        }
+    }
+
+    fn lookup(&self, session: &SessionHandle, dev: &SimDevice, key: u64) -> Option<UpdateRecord> {
+        if key < self.min_key || key > self.max_key {
+            return None;
+        }
+        let cell = self
+            .index
+            .partition_point(|&(k, _)| k <= key)
+            .saturating_sub(1);
+        let lo = self.index[cell].1;
+        let hi = self
+            .index
+            .get(cell + 1)
+            .map_or(self.total_bytes, |&(_, off)| off);
+        let data = session.read(dev, lo, hi - lo).expect("read");
+        let mut pos = 0usize;
+        while let Some((u, used)) = UpdateRecord::decode(&data[pos..]) {
+            pos += used;
+            if u.key == key {
+                return Some(u);
+            }
+            if u.key > key {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+struct Row {
+    scheme: &'static str,
+    phase: &'static str,
+    found: u64,
+    ssd_reads: u64,
+    bytes_read: u64,
+    avg_ns: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn main() {
+    // Scale entry count with the usual knob; lookups stay fixed.
+    let entries_n = (scale_mb() * 4096).max(50_000);
+    let lookups = 600u64;
+
+    let updates: Vec<UpdateRecord> = (0..entries_n)
+        .map(|i| UpdateRecord::new(i + 1, i * 2, UpdateOp::Replace(vec![7u8; 60])))
+        .collect();
+    // Half present (even), half absent (odd), spread over the key space.
+    let probes: Vec<u64> = (0..lookups)
+        .map(|i| {
+            let slot = (i * 2_654_435_761) % entries_n;
+            if i % 2 == 0 {
+                slot * 2
+            } else {
+                slot * 2 + 1
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Legacy sparse-index flat run -------------------------------
+    {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let run = SparseRun::write(&session, &dev, &updates, 1024);
+        dev.reset_stats();
+        let start: Ns = session.now();
+        let mut found = 0u64;
+        for &p in &probes {
+            found += run.lookup(&session, &dev, p).is_some() as u64;
+        }
+        let stats = dev.stats();
+        rows.push(Row {
+            scheme: "sparse_index",
+            phase: "cold",
+            found,
+            ssd_reads: stats.read_ops,
+            bytes_read: stats.bytes_read,
+            avg_ns: (session.now() - start) as f64 / probes.len() as f64,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+    }
+
+    // --- Block runs: bloom off/on, cache cold/warm ------------------
+    for (scheme, bloom_bits, use_cache) in [
+        ("blockrun_bloom_off", 0u32, false),
+        ("blockrun_bloom_on", 10u32, false),
+        ("blockrun_bloom_on_cached", 10u32, true),
+    ] {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let entries: Vec<Entry> = updates
+            .iter()
+            .map(|u| Entry::new(u.key, u.ts, u.encode_value()))
+            .collect();
+        let cfg = BlockRunConfig {
+            block_bytes: 1024,
+            bloom_bits_per_key: bloom_bits,
+        };
+        let meta = write_block_run(&session, &dev, 0, &cfg, &entries).expect("write run");
+        let cache = use_cache.then(|| Arc::new(BlockCache::new(64 << 20)));
+
+        let phases: &[&'static str] = if use_cache {
+            &["cold", "warm"]
+        } else {
+            &["cold"]
+        };
+        for &phase in phases {
+            dev.reset_stats();
+            if let Some(c) = &cache {
+                c.reset_stats();
+            }
+            let start = session.now();
+            let mut found = 0u64;
+            for &p in &probes {
+                let hits = point_lookup(
+                    &session,
+                    &dev,
+                    &meta,
+                    p,
+                    cache.as_ref().map(|c| (c.as_ref(), 1u64)),
+                )
+                .expect("lookup");
+                found += (!hits.is_empty()) as u64;
+            }
+            let stats = dev.stats();
+            let cs = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+            rows.push(Row {
+                scheme,
+                phase,
+                found,
+                ssd_reads: stats.read_ops,
+                bytes_read: stats.bytes_read,
+                avg_ns: (session.now() - start) as f64 / probes.len() as f64,
+                cache_hits: cs.hits,
+                cache_misses: cs.misses,
+            });
+        }
+    }
+
+    // --- Report ------------------------------------------------------
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.phase.to_string(),
+                r.found.to_string(),
+                r.ssd_reads.to_string(),
+                r.bytes_read.to_string(),
+                format!("{:.0}", r.avg_ns),
+                r.cache_hits.to_string(),
+                r.cache_misses.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 9b — point lookups over one materialized run \
+             ({entries_n} entries, {lookups} lookups, half absent)"
+        ),
+        &[
+            "scheme",
+            "phase",
+            "found",
+            "ssd_reads",
+            "bytes_read",
+            "ns/lookup",
+            "cache_hits",
+            "cache_miss",
+        ],
+        &table,
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"scheme\":\"{}\",\"phase\":\"{}\",\"found\":{},\"ssd_reads\":{},\
+                 \"bytes_read\":{},\"avg_ns_per_lookup\":{:.1},\"cache_hits\":{},\
+                 \"cache_misses\":{}}}",
+                r.scheme,
+                r.phase,
+                r.found,
+                r.ssd_reads,
+                r.bytes_read,
+                r.avg_ns,
+                r.cache_hits,
+                r.cache_misses
+            )
+        })
+        .collect();
+    println!(
+        "\nJSON:{{\"figure\":\"fig09b_point_lookup\",\"entries\":{entries_n},\
+         \"lookups\":{lookups},\"results\":[{}]}}",
+        json_rows.join(",")
+    );
+
+    let warm = rows
+        .iter()
+        .find(|r| r.scheme == "blockrun_bloom_on_cached" && r.phase == "warm")
+        .expect("warm row");
+    println!(
+        "\nexpected shape: bloom halves cold reads (absent keys cost zero I/O); \
+         warm cache serves every block from memory (ssd_reads == 0; got {}).",
+        warm.ssd_reads
+    );
+}

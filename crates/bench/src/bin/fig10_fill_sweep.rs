@@ -16,7 +16,14 @@ fn avg(ns: Vec<u64>) -> u64 {
 fn main() {
     let mb = scale_mb();
     let table_bytes = mb * MIB;
-    let sizes: Vec<u64> = vec![4 * 1024, 100 * 1024, MIB, 10 * MIB, table_bytes / 2, table_bytes];
+    let sizes: Vec<u64> = vec![
+        4 * 1024,
+        100 * 1024,
+        MIB,
+        10 * MIB,
+        table_bytes / 2,
+        table_bytes,
+    ];
     let fills = [0.25, 0.50, 0.75, 0.99];
 
     let baseline = SyntheticEnv::new(mb);
@@ -34,26 +41,24 @@ fn main() {
     let mut rows = Vec::new();
     for &size in &sizes {
         let ranges = baseline.ranges(size, 5);
-        let base = avg(
-            ranges
-                .iter()
-                .map(|&(b, e)| baseline.time_pure_scan(b, e))
-                .collect(),
-        );
+        let base = avg(ranges
+            .iter()
+            .map(|&(b, e)| baseline.time_pure_scan(b, e))
+            .collect());
         let mut row = vec![size_label(size)];
         for env in &envs {
-            let t = avg(
-                ranges
-                    .iter()
-                    .map(|&(b, e)| env.time_masm_scan(b, e))
-                    .collect(),
-            );
+            let t = avg(ranges
+                .iter()
+                .map(|&(b, e)| env.time_masm_scan(b, e))
+                .collect());
             row.push(ratio(t, base));
         }
         rows.push(row);
     }
     print_table(
-        &format!("Figure 10 — MaSM scans vs cache fill (table {mb} MiB, fine index, migration off)"),
+        &format!(
+            "Figure 10 — MaSM scans vs cache fill (table {mb} MiB, fine index, migration off)"
+        ),
         &["range", "25% full", "50% full", "75% full", "99% full"],
         &rows,
     );

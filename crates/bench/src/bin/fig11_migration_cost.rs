@@ -31,7 +31,11 @@ fn main() {
         &format!("Figure 11 — migration vs pure scan (table {mb} MiB, cache ~95% full)"),
         &["configuration", "virtual time (s)", "normalized"],
         &[
-            vec!["scan".into(), format!("{:.3}", secs(scan_ns)), "1.00x".into()],
+            vec![
+                "scan".into(),
+                format!("{:.3}", secs(scan_ns)),
+                "1.00x".into(),
+            ],
             vec![
                 "scan w/ migration".into(),
                 format!("{:.3}", secs(mig_ns)),

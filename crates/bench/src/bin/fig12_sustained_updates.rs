@@ -67,8 +67,7 @@ fn main() {
             cfg.migration_threshold = 0.5;
         });
         let session = env.machine.session();
-        let mut gen =
-            UpdateStreamGen::uniform(env.table.clone(), UpdateMix::default(), 11);
+        let mut gen = UpdateStreamGen::uniform(env.table.clone(), UpdateMix::default(), 11);
         let start = session.now();
         let mut applied = 0u64;
         let mut migrations = 0;

@@ -37,8 +37,14 @@ fn main() {
         let mut row = vec![label.to_string()];
         for &size in &[4 * 1024u64, MIB] {
             let ranges = baseline.ranges(size, 5);
-            let base = avg(ranges.iter().map(|&(b, e)| baseline.time_pure_scan(b, e)).collect());
-            let t = avg(ranges.iter().map(|&(b, e)| env.time_masm_scan(b, e)).collect());
+            let base = avg(ranges
+                .iter()
+                .map(|&(b, e)| baseline.time_pure_scan(b, e))
+                .collect());
+            let t = avg(ranges
+                .iter()
+                .map(|&(b, e)| env.time_masm_scan(b, e))
+                .collect());
             row.push(ratio(t, base));
         }
         rows.push(row);
@@ -71,8 +77,14 @@ fn main() {
         }
         let cached_kb = env.engine.cached_bytes() / 1024;
         let ranges = baseline.ranges(MIB, 5);
-        let base = avg(ranges.iter().map(|&(b, e)| baseline.time_pure_scan(b, e)).collect());
-        let t = avg(ranges.iter().map(|&(b, e)| env.time_masm_scan(b, e)).collect());
+        let base = avg(ranges
+            .iter()
+            .map(|&(b, e)| baseline.time_pure_scan(b, e))
+            .collect());
+        let t = avg(ranges
+            .iter()
+            .map(|&(b, e)| env.time_masm_scan(b, e))
+            .collect());
         rows.push(vec![
             label.to_string(),
             format!("{ingested}"),
@@ -106,8 +118,14 @@ fn main() {
         let amp = env.machine.ssd.stats().bytes_written as f64 / logical.max(1) as f64;
         let mem_kb = env.engine.config().total_memory_bytes() / 1024;
         let ranges = baseline.ranges(MIB, 5);
-        let base = avg(ranges.iter().map(|&(b, e)| baseline.time_pure_scan(b, e)).collect());
-        let t = avg(ranges.iter().map(|&(b, e)| env.time_masm_scan(b, e)).collect());
+        let base = avg(ranges
+            .iter()
+            .map(|&(b, e)| baseline.time_pure_scan(b, e))
+            .collect());
+        let t = avg(ranges
+            .iter()
+            .map(|&(b, e)| env.time_masm_scan(b, e))
+            .collect());
         rows.push(vec![
             format!("α = {alpha}"),
             format!("{mem_kb} KiB"),

@@ -19,14 +19,9 @@ fn build(cache_profile: DeviceProfile, mb: u64) -> SyntheticEnv {
     let mut cfg = scaled_masm_config(mb * MIB);
     cfg.migration_threshold = 1.0;
     let heap = Arc::new(TableHeap::new(machine.disk.clone(), HeapConfig::default()));
-    let engine = masm_core::MasmEngine::new(
-        heap,
-        cache,
-        machine.wal.clone(),
-        table.schema.clone(),
-        cfg,
-    )
-    .unwrap();
+    let engine =
+        masm_core::MasmEngine::new(heap, cache, machine.wal.clone(), table.schema.clone(), cfg)
+            .unwrap();
     let session = machine.session();
     engine.load_table(&session, table.records(), 1.0).unwrap();
     let table_bytes = mb * MIB;
@@ -54,9 +49,18 @@ fn main() {
     let mut rows = Vec::new();
     for &size in &[MIB, 10 * MIB] {
         let ranges = baseline.ranges(size, 5);
-        let base = avg(ranges.iter().map(|&(b, e)| baseline.time_pure_scan(b, e)).collect());
-        let ssd = avg(ranges.iter().map(|&(b, e)| ssd_env.time_masm_scan(b, e)).collect());
-        let hdd = avg(ranges.iter().map(|&(b, e)| hdd_env.time_masm_scan(b, e)).collect());
+        let base = avg(ranges
+            .iter()
+            .map(|&(b, e)| baseline.time_pure_scan(b, e))
+            .collect());
+        let ssd = avg(ranges
+            .iter()
+            .map(|&(b, e)| ssd_env.time_masm_scan(b, e))
+            .collect());
+        let hdd = avg(ranges
+            .iter()
+            .map(|&(b, e)| hdd_env.time_masm_scan(b, e))
+            .collect());
         rows.push(vec![size_label(size), ratio(ssd, base), ratio(hdd, base)]);
     }
     print_table(

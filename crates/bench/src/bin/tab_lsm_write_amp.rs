@@ -7,12 +7,12 @@
 //! still writes each entry ≈17 times — "applying LSM on an SSD reduces
 //! its lifetime 17 fold (e.g., from 3 years to 2 months)".
 
+use masm_baselines::lsm::{LsmConfig, LsmEngine};
 use masm_bench::print_table;
 use masm_core::theory::{lsm_optimal_levels, lsm_writes_per_update};
-use masm_baselines::lsm::{LsmConfig, LsmEngine};
+use masm_core::update::UpdateOp;
 use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
-use masm_core::update::UpdateOp;
 use std::sync::Arc;
 
 fn measured_amp(h: u32) -> f64 {

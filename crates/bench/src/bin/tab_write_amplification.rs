@@ -44,10 +44,17 @@ fn measure(alpha: f64) -> (f64, u64) {
                 .count();
         }
     }
-    let _ = env.engine.begin_scan(session.clone(), 0, 10).unwrap().count();
+    let _ = env
+        .engine
+        .begin_scan(session.clone(), 0, 10)
+        .unwrap()
+        .count();
     let (_, logical) = env.engine.ingest_stats();
     let written = env.machine.ssd.stats().bytes_written;
-    (written as f64 / logical as f64, env.engine.config().m_pages())
+    (
+        written as f64 / logical as f64,
+        env.engine.config().m_pages(),
+    )
 }
 
 fn main() {

@@ -86,6 +86,7 @@ pub fn scaled_masm_config(table_bytes: u64) -> MasmConfig {
         migration_threshold: 0.9,
         merge_duplicates: true,
         ssd_region_base: 0,
+        ..MasmConfig::default()
     };
     // Round capacity to whole pages.
     cfg.ssd_capacity -= cfg.ssd_capacity % cfg.ssd_page_size as u64;
@@ -144,8 +145,7 @@ impl SyntheticEnv {
     pub fn fill_cache(&self, fraction: f64, seed: u64) {
         let target = (self.engine.config().ssd_capacity as f64 * fraction) as u64;
         let session = self.machine.session();
-        let mut gen =
-            UpdateStreamGen::uniform(self.table.clone(), UpdateMix::default(), seed);
+        let mut gen = UpdateStreamGen::uniform(self.table.clone(), UpdateMix::default(), seed);
         while self.engine.cached_bytes() < target {
             let (key, op) = gen.next_update();
             match self.engine.apply_update(&session, key, op) {
@@ -271,12 +271,7 @@ impl<'a> ConcurrentInPlaceUpdater<'a> {
 }
 
 /// Time a scan while a saturated in-place updater hammers the same disk.
-pub fn time_scan_with_inplace_updates(
-    env: &SyntheticEnv,
-    begin: Key,
-    end: Key,
-    seed: u64,
-) -> Ns {
+pub fn time_scan_with_inplace_updates(env: &SyntheticEnv, begin: Key, end: Key, seed: u64) -> Ns {
     let session = env.machine.session();
     let mut updater = ConcurrentInPlaceUpdater::new(
         Arc::clone(env.engine.heap()),

@@ -211,6 +211,7 @@ impl TpchMasm {
                 migration_threshold: 1.0,
                 merge_duplicates: true,
                 ssd_region_base: base,
+                ..MasmConfig::default()
             };
             MasmEngine::new(
                 Arc::clone(heap),
@@ -232,9 +233,7 @@ impl TpchMasm {
     pub fn fill(&self, env: &TpchEnv, fraction: f64, seed: u64) {
         let session = env.machine.session();
         let mut gen = TpchUpdateGen::new(&env.tables, seed);
-        let target = |e: &Arc<MasmEngine>| {
-            (e.config().ssd_capacity as f64 * fraction) as u64
-        };
+        let target = |e: &Arc<MasmEngine>| (e.config().ssd_capacity as f64 * fraction) as u64;
         while self.lineitem.cached_bytes() < target(&self.lineitem)
             || self.orders.cached_bytes() < target(&self.orders)
         {

@@ -1,0 +1,226 @@
+//! Data-block encoding: delta/prefix-compressed entries.
+//!
+//! A block holds a key-ordered slice of a run's entries. Keys are stored
+//! as varint deltas against the previous key in the block (the first
+//! entry's delta is against 0), which is the integer-key analogue of the
+//! byte-prefix compression used by SST data blocks: sorted keys share
+//! their high bits, so consecutive deltas are small and a delete entry
+//! shrinks from 17 bytes (flat encoding) to typically 3–5 bytes.
+//!
+//! Layout:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────────────────────┐
+//! │ count: u32 │ entry × count                                │
+//! ├────────────┴──────────────────────────────────────────────┤
+//! │ entry := varint(key − prev_key) varint(ts)                │
+//! │          varint(len(value)) value…                        │
+//! └───────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The block's CRC lives in its zone-map entry (see
+//! [`crate::format::ZoneMap`]), not in the block itself, so integrity
+//! can be checked before any decoding starts.
+
+/// One run entry: an opaque value filed under `(key, ts)`.
+///
+/// The value bytes are whatever the layer above stores — `masm-core`
+/// puts its encoded update operation (tag + content) there — so this
+/// crate stays independent of record semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Primary key the entry applies to.
+    pub key: u64,
+    /// Commit timestamp.
+    pub ts: u64,
+    /// Opaque payload.
+    pub value: Vec<u8>,
+}
+
+impl Entry {
+    /// Construct an entry.
+    pub fn new(key: u64, ts: u64, value: Vec<u8>) -> Self {
+        Entry { key, ts, value }
+    }
+
+    /// In-memory footprint estimate (for cache weighting).
+    pub fn weight(&self) -> usize {
+        std::mem::size_of::<Entry>() + self.value.len()
+    }
+}
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Decode a LEB128 varint from the front of `buf`; returns the value and
+/// bytes consumed.
+pub fn get_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        let low = (b & 0x7F) as u64;
+        if shift == 63 && low > 1 {
+            return None; // overflow past 64 bits
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+fn varint_len(v: u64) -> usize {
+    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Encoded size of `entry` when it follows a key of `prev_key`.
+pub fn encoded_entry_len(prev_key: u64, entry: &Entry) -> usize {
+    varint_len(entry.key - prev_key)
+        + varint_len(entry.ts)
+        + varint_len(entry.value.len() as u64)
+        + entry.value.len()
+}
+
+/// Encode `entries` (key-ordered) into one data block.
+pub fn encode_block(entries: &[Entry]) -> Vec<u8> {
+    debug_assert!(entries.windows(2).all(|w| w[0].key <= w[1].key));
+    let mut out = Vec::with_capacity(16 + entries.len() * 8);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    let mut prev_key = 0u64;
+    for e in entries {
+        put_varint(&mut out, e.key - prev_key);
+        put_varint(&mut out, e.ts);
+        put_varint(&mut out, e.value.len() as u64);
+        out.extend_from_slice(&e.value);
+        prev_key = e.key;
+    }
+    out
+}
+
+/// Decode a data block produced by [`encode_block`]. Returns `None` on
+/// any structural inconsistency (callers verify the CRC first, so a
+/// `None` here means a logic error or deliberate corruption).
+pub fn decode_block(buf: &[u8]) -> Option<Vec<Entry>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let mut pos = 4usize;
+    let mut out = Vec::with_capacity(count);
+    let mut prev_key = 0u64;
+    for _ in 0..count {
+        let (delta, used) = get_varint(&buf[pos..])?;
+        pos += used;
+        let (ts, used) = get_varint(&buf[pos..])?;
+        pos += used;
+        let (len, used) = get_varint(&buf[pos..])?;
+        pos += used;
+        let len = len as usize;
+        if buf.len() < pos + len {
+            return None;
+        }
+        let key = prev_key.checked_add(delta)?;
+        out.push(Entry {
+            key,
+            ts,
+            value: buf[pos..pos + len].to_vec(),
+        });
+        pos += len;
+        prev_key = key;
+    }
+    (pos == buf.len()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<Entry> {
+        (0..n)
+            .map(|i| Entry::new(i * 3, i + 1, vec![i as u8; (i % 5) as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len of {v}");
+            let (back, used) = get_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+        assert!(get_varint(&[0x80]).is_none(), "truncated varint");
+        assert!(
+            get_varint(&[0xFF; 11]).is_none(),
+            "varint longer than 64 bits"
+        );
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let entries = sample(200);
+        let block = encode_block(&entries);
+        assert_eq!(decode_block(&block).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let block = encode_block(&[]);
+        assert_eq!(decode_block(&block).unwrap(), Vec::<Entry>::new());
+    }
+
+    #[test]
+    fn delta_compression_beats_flat_encoding() {
+        // 17+ bytes per entry flat; deltas of 2 with small ts fit in ~4.
+        let entries: Vec<Entry> = (0..1000)
+            .map(|i| Entry::new(i * 2, i + 1, vec![]))
+            .collect();
+        let block = encode_block(&entries);
+        assert!(
+            block.len() < entries.len() * 8,
+            "{} bytes for {} entries",
+            block.len(),
+            entries.len()
+        );
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let block = encode_block(&sample(20));
+        for cut in [0, 3, block.len() / 2, block.len() - 1] {
+            assert!(decode_block(&block[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut block = encode_block(&sample(5));
+        block.push(0);
+        assert!(decode_block(&block).is_none());
+    }
+
+    #[test]
+    fn entry_len_matches_encoding() {
+        let entries = sample(50);
+        let mut prev = 0u64;
+        let mut total = 4usize;
+        for e in &entries {
+            total += encoded_entry_len(prev, e);
+            prev = e.key;
+        }
+        assert_eq!(total, encode_block(&entries).len());
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-run bloom filter for point lookups.
+//!
+//! A range scan prunes blocks with zone maps, but a *point* lookup over
+//! many runs mostly hits runs that do not contain the key at all. A
+//! small bloom filter per run (10 bits/key ≈ 0.8% false positives at
+//! k = 7) lets those runs answer "definitely absent" from memory,
+//! skipping the SSD read entirely — the same role bloom filters play in
+//! SST-based LSM stores.
+//!
+//! Double hashing: `g_i(x) = h1(x) + i·h2(x)` over two independent
+//! 64-bit mixes of the key (Kirsch–Mitzenmacher), which matches the
+//! false-positive behaviour of k independent hashes.
+
+use crate::block::{get_varint, put_varint};
+
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// An immutable bloom filter over a run's key set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Number of hash probes for a given bits-per-key budget
+    /// (`k_opt = bits_per_key · ln 2`).
+    pub fn optimal_k(bits_per_key: u32) -> u32 {
+        ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 30)
+    }
+
+    /// Theoretical false-positive rate for a bits-per-key budget.
+    pub fn expected_fpr(bits_per_key: u32) -> f64 {
+        let k = Self::optimal_k(bits_per_key) as f64;
+        (1.0 - (-k / bits_per_key as f64).exp()).powf(k)
+    }
+
+    /// Build a filter over `keys` with `bits_per_key` bits per key.
+    pub fn build(keys: impl IntoIterator<Item = u64>, bits_per_key: u32) -> Self {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let n_bits = (keys.len() as u64 * bits_per_key as u64).max(64);
+        let n_bits = n_bits.next_multiple_of(64);
+        let mut filter = BloomFilter {
+            bits: vec![0u64; (n_bits / 64) as usize],
+            n_bits,
+            k: Self::optimal_k(bits_per_key),
+        };
+        for key in keys {
+            let (h1, h2) = filter.hashes(key);
+            for i in 0..filter.k as u64 {
+                let bit = h1.wrapping_add(i.wrapping_mul(h2)) % filter.n_bits;
+                filter.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        filter
+    }
+
+    fn hashes(&self, key: u64) -> (u64, u64) {
+        let h1 = mix64(key ^ 0x9E37_79B9_7F4A_7C15);
+        let h2 = mix64(key.wrapping_add(0x6A09_E667_F3BC_C909)) | 1;
+        (h1, h2)
+    }
+
+    /// Whether `key` may be present (false ⇒ definitely absent).
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = self.hashes(key);
+        (0..self.k as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn bit_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Serialize (without checksum; the enclosing region adds one).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() * 8);
+        put_varint(&mut out, self.k as u64);
+        put_varint(&mut out, self.n_bits);
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a filter produced by [`BloomFilter::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let (k, used) = get_varint(buf)?;
+        let mut pos = used;
+        let (n_bits, used) = get_varint(&buf[pos..])?;
+        pos += used;
+        if n_bits == 0 || n_bits % 64 != 0 || k == 0 || k > 64 {
+            return None;
+        }
+        let n_words = (n_bits / 64) as usize;
+        if buf.len() != pos + n_words * 8 {
+            return None;
+        }
+        let bits = buf[pos..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Some(BloomFilter {
+            bits,
+            n_bits,
+            k: k as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..5000).map(|i| i * 7 + 1).collect();
+        let f = BloomFilter::build(keys.iter().copied(), 10);
+        for k in keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let f = BloomFilter::build(keys, 10);
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .map(|i| 1_000_000 + i * 3)
+            .filter(|&k| f.contains(k))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        let expect = BloomFilter::expected_fpr(10);
+        assert!(
+            rate <= expect * 2.0,
+            "fp rate {rate:.5} vs expected {expect:.5}"
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = BloomFilter::build(0..1000, 12);
+        let back = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let f = BloomFilter::build(0..10, 8);
+        let enc = f.encode();
+        assert!(BloomFilter::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(BloomFilter::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_key_set_is_all_absent() {
+        let f = BloomFilter::build(std::iter::empty(), 10);
+        let hits = (0..1000u64).filter(|&k| f.contains(k)).count();
+        assert_eq!(hits, 0);
+    }
+}

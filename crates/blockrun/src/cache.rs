@@ -1,0 +1,279 @@
+//! Sharded LRU cache of decoded data blocks.
+//!
+//! Sits between run scans and the SSD: a block read off the device is
+//! CRC-verified, decoded once, and kept here so later queries touching
+//! the same hot run pages skip the SSD entirely (warm point lookups
+//! issue *zero* device reads — asserted by tests and reported by the
+//! `fig09b_point_lookup` benchmark). Sharding by key hash keeps lock
+//! hold times short under concurrent scans, the buffer-pool shape used
+//! by databases rather than one global LRU lock.
+//!
+//! Keys are `(run_key, block_idx)`. Run keys are engine-assigned run ids
+//! and are never reused (the id sequence is monotonic, including across
+//! recovery), so entries of a deleted run can never be wrongly served;
+//! they simply age out.
+//!
+//! Hit/miss/insertion/eviction counters live in
+//! [`masm_storage::stats::CacheStats`] so benchmarks report cache
+//! effectiveness alongside device I/O statistics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use masm_storage::{CacheStats, CacheStatsSnapshot};
+use parking_lot::Mutex;
+
+use crate::block::Entry;
+
+/// Cache key: `(run_key, block_idx)`.
+pub type BlockKey = (u64, u32);
+
+/// A decoded, CRC-verified data block.
+pub type CachedBlock = Arc<Vec<Entry>>;
+
+struct ShardEntry {
+    block: CachedBlock,
+    weight: usize,
+    last_used: u64,
+}
+
+/// One shard: the block map plus a recency index (`last_used` tick →
+/// key, ticks are globally unique), so the LRU victim is the index's
+/// first entry — eviction is O(log n), not a scan of the whole shard.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<BlockKey, ShardEntry>,
+    by_recency: BTreeMap<u64, BlockKey>,
+    bytes: usize,
+}
+
+impl Shard {
+    fn remove(&mut self, key: BlockKey) -> Option<ShardEntry> {
+        let entry = self.map.remove(&key)?;
+        self.by_recency.remove(&entry.last_used);
+        self.bytes -= entry.weight;
+        Some(entry)
+    }
+
+    fn touch(&mut self, key: BlockKey, new_tick: u64) {
+        if let Some(e) = self.map.get_mut(&key) {
+            self.by_recency.remove(&e.last_used);
+            e.last_used = new_tick;
+            self.by_recency.insert(new_tick, key);
+        }
+    }
+}
+
+/// A sharded LRU cache of decoded blocks, bounded in bytes.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    tick: std::sync::atomic::AtomicU64,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+const DEFAULT_SHARDS: usize = 16;
+
+impl BlockCache {
+    /// A cache bounded to ~`capacity_bytes` across [`DEFAULT_SHARDS`]
+    /// shards.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_shards(capacity_bytes, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (power of two recommended).
+    pub fn with_shards(capacity_bytes: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        BlockCache {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard: (capacity_bytes / n_shards).max(1),
+            tick: std::sync::atomic::AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard_of(&self, key: BlockKey) -> &Mutex<Shard> {
+        let mut h = key.0 ^ (key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Look up a block, counting a hit or miss.
+    pub fn get(&self, key: BlockKey) -> Option<CachedBlock> {
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(key).lock();
+        match shard.map.get(&key) {
+            Some(e) => {
+                let block = Arc::clone(&e.block);
+                shard.touch(key, tick);
+                self.stats.record_hit();
+                Some(block)
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Whether a block is resident, without touching recency or stats
+    /// (used by prefetch decisions).
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.shard_of(key).lock().map.contains_key(&key)
+    }
+
+    /// Record a miss for a block obtained without a [`BlockCache::get`]
+    /// call — the async-prefetch read path, which checks residency with
+    /// [`BlockCache::contains`] and goes straight to the device. Keeps
+    /// hit/miss accounting truthful for scans.
+    pub fn record_bypass_miss(&self) {
+        self.stats.record_miss();
+    }
+
+    /// Insert a decoded block, evicting least-recently-used entries from
+    /// the shard until it fits (each eviction pops the recency index's
+    /// first entry — no shard scan).
+    pub fn insert(&self, key: BlockKey, block: CachedBlock) {
+        let weight: usize = block.iter().map(Entry::weight).sum::<usize>() + 64;
+        let tick = self.next_tick();
+        let mut shard = self.shard_of(key).lock();
+        shard.remove(key);
+        while shard.bytes + weight > self.capacity_per_shard && !shard.map.is_empty() {
+            let victim = *shard
+                .by_recency
+                .first_key_value()
+                .expect("recency index tracks the map")
+                .1;
+            shard.remove(victim);
+            self.stats.record_eviction();
+        }
+        shard.bytes += weight;
+        shard.by_recency.insert(tick, key);
+        shard.map.insert(
+            key,
+            ShardEntry {
+                block,
+                weight,
+                last_used: tick,
+            },
+        );
+        self.stats.record_insertion();
+    }
+
+    /// Approximate resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zero the counters (resident blocks are kept).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Drop every cached block (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.by_recency.clear();
+            s.bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> CachedBlock {
+        Arc::new(
+            (0..n)
+                .map(|i| Entry::new(i as u64, 1, vec![0u8; 16]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = BlockCache::new(1 << 20);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), block(4));
+        assert!(c.get((1, 0)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let c = BlockCache::new(1 << 20);
+        c.insert((7, 3), block(1));
+        assert!(c.contains((7, 3)));
+        assert!(!c.contains((7, 4)));
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        // Single shard so recency ordering is observable.
+        let per_block = block(10).iter().map(Entry::weight).sum::<usize>() + 64;
+        let c = BlockCache::with_shards(per_block * 3, 1);
+        c.insert((1, 0), block(10));
+        c.insert((1, 1), block(10));
+        c.insert((1, 2), block(10));
+        // Touch block 0 so block 1 is now coldest.
+        assert!(c.get((1, 0)).is_some());
+        c.insert((1, 3), block(10));
+        assert!(c.contains((1, 0)), "recently used survives");
+        assert!(!c.contains((1, 1)), "coldest evicted");
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_weight() {
+        let c = BlockCache::with_shards(1 << 20, 1);
+        c.insert((1, 0), block(10));
+        let before = c.resident_bytes();
+        c.insert((1, 0), block(10));
+        assert_eq!(c.resident_bytes(), before, "no double counting");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let c = BlockCache::with_shards(4096, 4);
+        for i in 0..200u32 {
+            c.insert((1, i), block(8));
+        }
+        assert!(
+            c.resident_bytes() <= 4096 + 4 * 1024,
+            "{}",
+            c.resident_bytes()
+        );
+        c.clear();
+        assert_eq!(c.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The on-SSD block-run format: writer, metadata reader, range scan,
+//! and point lookup.
+//!
+//! A block run is laid out as one strictly sequential byte stream:
+//!
+//! ```text
+//! base                                                    base+total_bytes
+//! │                                                                     │
+//! ▼                                                                     ▼
+//! ┌─────────┬─────────┬───┬─────────┬─────────────┬─────────────┬────────┐
+//! │ block 0 │ block 1 │ … │ block n │ index block │ bloom block │ footer │
+//! └─────────┴─────────┴───┴─────────┴─────────────┴─────────────┴────────┘
+//!   data blocks (≤ block_bytes     zone maps +     optional,     fixed
+//!   of delta-compressed entries    CRC             k + bits +    92 B
+//!   each; CRC in the zone map)                     CRC
+//! ```
+//!
+//! * **Data blocks** — [`crate::block::encode_block`] output, the I/O
+//!   unit of every read (64 KB by default, the paper's §4.1 SSD page).
+//! * **Index block** — one [`ZoneMap`] per data block: byte offset,
+//!   length, entry count, min/max key, min/max timestamp, and the CRC-32
+//!   of the block bytes. The `(min_key → offset)` mapping doubles as the
+//!   first-key index; the min/max columns prune blocks from scans.
+//! * **Bloom block** — optional per-run filter over all keys for point
+//!   lookups ([`crate::bloom::BloomFilter`]).
+//! * **Footer** — magic, version, region geometry, run-wide key/ts
+//!   bounds, and its own CRC; always the trailing [`FOOTER_LEN`] bytes,
+//!   so a reader needs only `(base, total_bytes)` to bootstrap.
+//!
+//! Everything is written front to back in one pass — the writer never
+//! seeks backwards, preserving MaSM's `random_writes == 0` invariant on
+//! the simulated SSD.
+
+use std::fmt;
+use std::sync::Arc;
+
+use masm_storage::{IoTicket, SessionHandle, SimDevice, StorageError};
+
+use crate::block::{decode_block, encode_block, encoded_entry_len, Entry};
+use crate::bloom::BloomFilter;
+use crate::cache::{BlockCache, CachedBlock};
+use crate::checksum::crc32;
+
+/// `b"MASMBRUN"` as a little-endian u64.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"MASMBRUN");
+/// Format version written into footers.
+pub const VERSION: u32 = 1;
+/// Fixed footer size in bytes.
+pub const FOOTER_LEN: u64 = 92;
+/// Encoded size of one [`ZoneMap`] in the index block.
+pub const ZONE_MAP_LEN: usize = 52;
+
+/// Errors from reading or writing block runs.
+#[derive(Debug)]
+pub enum BlockRunError {
+    /// Underlying device failure.
+    Storage(StorageError),
+    /// Structurally invalid bytes (bad magic, truncation, bad counts).
+    Corrupt(&'static str),
+    /// A region's CRC-32 did not match its bytes.
+    ChecksumMismatch {
+        /// Which region failed ("block", "index", "bloom", "footer").
+        region: &'static str,
+        /// Block index for data blocks, 0 otherwise.
+        index: u32,
+    },
+}
+
+impl fmt::Display for BlockRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockRunError::Storage(e) => write!(f, "storage: {e}"),
+            BlockRunError::Corrupt(what) => write!(f, "corrupt block run: {what}"),
+            BlockRunError::ChecksumMismatch { region, index } => {
+                write!(f, "checksum mismatch in {region} {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockRunError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for BlockRunError {
+    fn from(e: StorageError) -> Self {
+        BlockRunError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type BlockRunResult<T> = Result<T, BlockRunError>;
+
+/// Writer/reader knobs.
+#[derive(Debug, Clone)]
+pub struct BlockRunConfig {
+    /// Target encoded size of one data block — the read I/O unit
+    /// (64 KB by default, matching the paper's §4.1 SSD page).
+    pub block_bytes: usize,
+    /// Bloom-filter budget in bits per key; 0 disables the filter.
+    pub bloom_bits_per_key: u32,
+}
+
+impl Default for BlockRunConfig {
+    fn default() -> Self {
+        BlockRunConfig {
+            block_bytes: 64 * 1024,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Per-block metadata: location, entry statistics, and integrity.
+///
+/// The vector of zone maps *is* the index block: entries are ordered by
+/// `min_key`, so a binary search finds the blocks overlapping any key
+/// range, and min/max timestamps allow time-based pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Byte offset of the block, relative to the run base.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// Number of entries.
+    pub count: u32,
+    /// Smallest key in the block.
+    pub min_key: u64,
+    /// Largest key in the block.
+    pub max_key: u64,
+    /// Smallest timestamp in the block.
+    pub min_ts: u64,
+    /// Largest timestamp in the block.
+    pub max_ts: u64,
+    /// CRC-32 of the encoded block bytes.
+    pub crc: u32,
+}
+
+impl ZoneMap {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.min_key.to_le_bytes());
+        out.extend_from_slice(&self.max_key.to_le_bytes());
+        out.extend_from_slice(&self.min_ts.to_le_bytes());
+        out.extend_from_slice(&self.max_ts.to_le_bytes());
+        out.extend_from_slice(&self.crc.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Option<ZoneMap> {
+        if buf.len() < ZONE_MAP_LEN {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
+        Some(ZoneMap {
+            offset: u64_at(0),
+            len: u32_at(8),
+            count: u32_at(12),
+            min_key: u64_at(16),
+            max_key: u64_at(24),
+            min_ts: u64_at(32),
+            max_ts: u64_at(40),
+            crc: u32_at(48),
+        })
+    }
+}
+
+/// In-memory metadata of one block run: everything a reader needs to
+/// plan I/O without touching the data blocks.
+#[derive(Debug, Clone)]
+pub struct BlockRunMeta {
+    /// Byte offset of the run on the device.
+    pub base: u64,
+    /// Total encoded bytes (data + index + bloom + footer).
+    pub total_bytes: u64,
+    /// Bytes of the data-block region alone.
+    pub data_bytes: u64,
+    /// Total entries across all blocks.
+    pub entry_count: u64,
+    /// Smallest key in the run (`u64::MAX` when empty).
+    pub min_key: u64,
+    /// Largest key in the run (0 when empty).
+    pub max_key: u64,
+    /// Smallest timestamp in the run (`u64::MAX` when empty).
+    pub min_ts: u64,
+    /// Largest timestamp in the run (0 when empty).
+    pub max_ts: u64,
+    /// One zone map per data block, ordered by `min_key`.
+    pub zones: Vec<ZoneMap>,
+    /// Optional per-run bloom filter over all keys.
+    pub bloom: Option<BloomFilter>,
+}
+
+impl BlockRunMeta {
+    /// Indices of the data blocks that may contain keys in
+    /// `[begin, end]` (a contiguous range, since blocks are key-ordered
+    /// and disjoint up to shared boundary keys).
+    pub fn blocks_overlapping(&self, begin: u64, end: u64) -> std::ops::Range<usize> {
+        if end < begin {
+            return 0..0;
+        }
+        let first = self.zones.partition_point(|z| z.max_key < begin);
+        let last = self.zones.partition_point(|z| z.min_key <= end);
+        first..last.max(first)
+    }
+
+    /// Whether `key` may be present: zone-map bounds first, then the
+    /// bloom filter when one exists. `false` means definitely absent.
+    pub fn might_contain(&self, key: u64) -> bool {
+        if key < self.min_key || key > self.max_key {
+            return false;
+        }
+        self.bloom.as_ref().is_none_or(|b| b.contains(key))
+    }
+
+    /// In-memory footprint of the zone maps + bloom filter (the run's
+    /// metadata cost, the analogue of the old sparse index's
+    /// `memory_bytes`).
+    pub fn memory_bytes(&self) -> usize {
+        self.zones.len() * std::mem::size_of::<ZoneMap>()
+            + self.bloom.as_ref().map_or(0, |b| b.bit_bytes())
+    }
+
+    /// A metadata-only stand-in for unit tests that never touch the
+    /// device (no zones, no bloom).
+    pub fn synthetic(min_key: u64, max_key: u64, min_ts: u64, max_ts: u64, count: u64) -> Self {
+        BlockRunMeta {
+            base: 0,
+            total_bytes: 0,
+            data_bytes: 0,
+            entry_count: count,
+            min_key,
+            max_key,
+            min_ts,
+            max_ts,
+            zones: Vec::new(),
+            bloom: None,
+        }
+    }
+}
+
+/// Build the full encoded byte stream and metadata of a run from
+/// key-ordered entries, without touching any device. `meta.base` is 0;
+/// the caller rebases when it decides where the run lives.
+pub fn build_run(cfg: &BlockRunConfig, entries: &[Entry]) -> (BlockRunMeta, Vec<u8>) {
+    assert!(cfg.block_bytes >= 64, "block_bytes too small");
+    debug_assert!(
+        entries
+            .windows(2)
+            .all(|w| (w[0].key, w[0].ts) <= (w[1].key, w[1].ts)),
+        "entries must be sorted by (key, ts)"
+    );
+
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut zones: Vec<ZoneMap> = Vec::new();
+    let mut block: Vec<Entry> = Vec::new();
+    let mut block_encoded = 4usize; // count header
+    let flush = |block: &mut Vec<Entry>, bytes: &mut Vec<u8>, zones: &mut Vec<ZoneMap>| {
+        if block.is_empty() {
+            return;
+        }
+        let encoded = encode_block(block);
+        zones.push(ZoneMap {
+            offset: bytes.len() as u64,
+            len: encoded.len() as u32,
+            count: block.len() as u32,
+            min_key: block.first().expect("non-empty").key,
+            max_key: block.last().expect("non-empty").key,
+            min_ts: block.iter().map(|e| e.ts).min().expect("non-empty"),
+            max_ts: block.iter().map(|e| e.ts).max().expect("non-empty"),
+            crc: crc32(&encoded),
+        });
+        bytes.extend_from_slice(&encoded);
+        block.clear();
+    };
+
+    for e in entries {
+        let prev_key = block.last().map_or(0, |p| p.key);
+        let add = encoded_entry_len(prev_key, e);
+        if !block.is_empty() && block_encoded + add > cfg.block_bytes {
+            flush(&mut block, &mut bytes, &mut zones);
+            block_encoded = 4;
+        }
+        // Recompute against a fresh block's base key of 0.
+        let add = if block.is_empty() {
+            encoded_entry_len(0, e)
+        } else {
+            add
+        };
+        block_encoded += add;
+        block.push(e.clone());
+    }
+    flush(&mut block, &mut bytes, &mut zones);
+    let data_bytes = bytes.len() as u64;
+
+    // Index block: count, zone maps, CRC of the preceding index bytes.
+    let index_off = bytes.len() as u64;
+    let mut index = Vec::with_capacity(4 + zones.len() * ZONE_MAP_LEN + 4);
+    index.extend_from_slice(&(zones.len() as u32).to_le_bytes());
+    for z in &zones {
+        z.encode_into(&mut index);
+    }
+    let index_crc = crc32(&index);
+    index.extend_from_slice(&index_crc.to_le_bytes());
+    let index_len = index.len() as u64;
+    bytes.extend_from_slice(&index);
+
+    // Bloom block: encoded filter + CRC.
+    let bloom = (cfg.bloom_bits_per_key > 0 && !entries.is_empty())
+        .then(|| BloomFilter::build(entries.iter().map(|e| e.key), cfg.bloom_bits_per_key));
+    let (bloom_off, bloom_len) = match &bloom {
+        Some(b) => {
+            let off = bytes.len() as u64;
+            let mut enc = b.encode();
+            let crc = crc32(&enc);
+            enc.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(&enc);
+            (off, enc.len() as u64)
+        }
+        None => (0, 0),
+    };
+
+    let min_key = entries.first().map_or(u64::MAX, |e| e.key);
+    let max_key = entries.last().map_or(0, |e| e.key);
+    let min_ts = entries.iter().map(|e| e.ts).min().unwrap_or(u64::MAX);
+    let max_ts = entries.iter().map(|e| e.ts).max().unwrap_or(0);
+
+    // Footer (fixed FOOTER_LEN bytes).
+    let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+    footer.extend_from_slice(&MAGIC.to_le_bytes());
+    footer.extend_from_slice(&VERSION.to_le_bytes());
+    footer.extend_from_slice(&(zones.len() as u32).to_le_bytes());
+    footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    footer.extend_from_slice(&index_off.to_le_bytes());
+    footer.extend_from_slice(&index_len.to_le_bytes());
+    footer.extend_from_slice(&bloom_off.to_le_bytes());
+    footer.extend_from_slice(&bloom_len.to_le_bytes());
+    footer.extend_from_slice(&min_key.to_le_bytes());
+    footer.extend_from_slice(&max_key.to_le_bytes());
+    footer.extend_from_slice(&min_ts.to_le_bytes());
+    footer.extend_from_slice(&max_ts.to_le_bytes());
+    let crc = crc32(&footer);
+    footer.extend_from_slice(&crc.to_le_bytes());
+    debug_assert_eq!(footer.len() as u64, FOOTER_LEN);
+    bytes.extend_from_slice(&footer);
+
+    let meta = BlockRunMeta {
+        base: 0,
+        total_bytes: bytes.len() as u64,
+        data_bytes,
+        entry_count: entries.len() as u64,
+        min_key,
+        max_key,
+        min_ts,
+        max_ts,
+        zones,
+        bloom,
+    };
+    (meta, bytes)
+}
+
+/// Write an already-built run's bytes at `meta.base`, strictly
+/// sequentially: one I/O per data block (the block is the I/O unit),
+/// one for the index + bloom region, one for the footer.
+pub fn write_built(
+    session: &SessionHandle,
+    dev: &SimDevice,
+    meta: &BlockRunMeta,
+    bytes: &[u8],
+) -> BlockRunResult<()> {
+    debug_assert_eq!(bytes.len() as u64, meta.total_bytes);
+    let mut boundaries: Vec<u64> = meta.zones.iter().map(|z| z.offset).collect();
+    boundaries.push(meta.data_bytes);
+    boundaries.push(meta.total_bytes - FOOTER_LEN);
+    boundaries.push(meta.total_bytes);
+    boundaries.dedup();
+    let mut prev = 0u64;
+    for b in boundaries {
+        if b > prev {
+            session.write(dev, meta.base + prev, &bytes[prev as usize..b as usize])?;
+            prev = b;
+        }
+    }
+    Ok(())
+}
+
+/// Materialize a run at `base`: build the byte stream and write it
+/// strictly sequentially via [`write_built`].
+pub fn write_run(
+    session: &SessionHandle,
+    dev: &SimDevice,
+    base: u64,
+    cfg: &BlockRunConfig,
+    entries: &[Entry],
+) -> BlockRunResult<BlockRunMeta> {
+    let (mut meta, bytes) = build_run(cfg, entries);
+    meta.base = base;
+    write_built(session, dev, &meta, &bytes)?;
+    Ok(meta)
+}
+
+fn verify_region(data: &[u8], region: &'static str, index: u32) -> Result<(), BlockRunError> {
+    if data.len() < 4 {
+        return Err(BlockRunError::Corrupt("region shorter than its CRC"));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(BlockRunError::ChecksumMismatch { region, index });
+    }
+    Ok(())
+}
+
+/// Load and verify a run's metadata from its footer, index block, and
+/// bloom block. Only `(base, total_bytes)` need to be known (they come
+/// from the engine's WAL).
+pub fn read_meta(
+    session: &SessionHandle,
+    dev: &SimDevice,
+    base: u64,
+    total_bytes: u64,
+) -> BlockRunResult<BlockRunMeta> {
+    if total_bytes < FOOTER_LEN {
+        return Err(BlockRunError::Corrupt("run shorter than footer"));
+    }
+    let footer = session.read(dev, base + total_bytes - FOOTER_LEN, FOOTER_LEN)?;
+    verify_region(&footer, "footer", 0)?;
+    let u64_at = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().expect("8 bytes"));
+    let u32_at = |o: usize| u32::from_le_bytes(footer[o..o + 4].try_into().expect("4 bytes"));
+    if u64_at(0) != MAGIC {
+        return Err(BlockRunError::Corrupt("bad magic"));
+    }
+    if u32_at(8) != VERSION {
+        return Err(BlockRunError::Corrupt("unsupported version"));
+    }
+    let block_count = u32_at(12) as usize;
+    let entry_count = u64_at(16);
+    let index_off = u64_at(24);
+    let index_len = u64_at(32);
+    let bloom_off = u64_at(40);
+    let bloom_len = u64_at(48);
+    let (min_key, max_key) = (u64_at(56), u64_at(64));
+    let (min_ts, max_ts) = (u64_at(72), u64_at(80));
+
+    if index_off + index_len > total_bytes || bloom_off + bloom_len > total_bytes {
+        return Err(BlockRunError::Corrupt("region out of bounds"));
+    }
+    let index = session.read(dev, base + index_off, index_len)?;
+    verify_region(&index, "index", 0)?;
+    if index.len() < 8 {
+        return Err(BlockRunError::Corrupt("index block too short"));
+    }
+    let n = u32::from_le_bytes(index[0..4].try_into().expect("4 bytes")) as usize;
+    if n != block_count || index.len() != 4 + n * ZONE_MAP_LEN + 4 {
+        return Err(BlockRunError::Corrupt("index block geometry"));
+    }
+    let mut zones = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 4 + i * ZONE_MAP_LEN;
+        zones.push(
+            ZoneMap::decode(&index[off..off + ZONE_MAP_LEN])
+                .ok_or(BlockRunError::Corrupt("zone map"))?,
+        );
+    }
+
+    let bloom = if bloom_len > 0 {
+        let raw = session.read(dev, base + bloom_off, bloom_len)?;
+        verify_region(&raw, "bloom", 0)?;
+        Some(
+            BloomFilter::decode(&raw[..raw.len() - 4])
+                .ok_or(BlockRunError::Corrupt("bloom filter"))?,
+        )
+    } else {
+        None
+    };
+
+    Ok(BlockRunMeta {
+        base,
+        total_bytes,
+        data_bytes: index_off,
+        entry_count,
+        min_key,
+        max_key,
+        min_ts,
+        max_ts,
+        zones,
+        bloom,
+    })
+}
+
+fn decode_verified_block(raw: &[u8], zone: &ZoneMap, idx: usize) -> BlockRunResult<Vec<Entry>> {
+    if crc32(raw) != zone.crc {
+        return Err(BlockRunError::ChecksumMismatch {
+            region: "block",
+            index: idx as u32,
+        });
+    }
+    decode_block(raw).ok_or(BlockRunError::Corrupt("block entries"))
+}
+
+/// Read data block `idx`, serving from `cache` when possible; a device
+/// read is CRC-verified, decoded, and inserted into the cache.
+/// `run_key` identifies the run in the cache keyspace (engine run ids —
+/// never reused).
+pub fn read_block(
+    session: &SessionHandle,
+    dev: &SimDevice,
+    meta: &BlockRunMeta,
+    idx: usize,
+    cache: Option<(&BlockCache, u64)>,
+) -> BlockRunResult<CachedBlock> {
+    let zone = meta
+        .zones
+        .get(idx)
+        .ok_or(BlockRunError::Corrupt("block index"))?;
+    if let Some((cache, run_key)) = cache {
+        if let Some(hit) = cache.get((run_key, idx as u32)) {
+            return Ok(hit);
+        }
+    }
+    let raw = session.read(dev, meta.base + zone.offset, zone.len as u64)?;
+    let entries = Arc::new(decode_verified_block(&raw, zone, idx)?);
+    if let Some((cache, run_key)) = cache {
+        cache.insert((run_key, idx as u32), Arc::clone(&entries));
+    }
+    Ok(entries)
+}
+
+/// All entries for `key` in this run, in timestamp order. Costs zero
+/// I/O when the bloom filter (or key bounds) excludes the key, and zero
+/// *device* I/O when the needed blocks are cached.
+pub fn point_lookup(
+    session: &SessionHandle,
+    dev: &SimDevice,
+    meta: &BlockRunMeta,
+    key: u64,
+    cache: Option<(&BlockCache, u64)>,
+) -> BlockRunResult<Vec<Entry>> {
+    if !meta.might_contain(key) {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for idx in meta.blocks_overlapping(key, key) {
+        let block = read_block(session, dev, meta, idx, cache)?;
+        let start = block.partition_point(|e| e.key < key);
+        out.extend(block[start..].iter().take_while(|e| e.key == key).cloned());
+    }
+    Ok(out)
+}
+
+/// Streaming scan of one run restricted to `[begin, end]`.
+///
+/// Zone maps select the contiguous block range to visit; each needed
+/// block comes from the cache when resident, otherwise from an
+/// asynchronous device read issued while the previous block decodes
+/// (the paper's §3.7 libaio overlap). The iterator stops early on a
+/// checksum or device error, which is then available via
+/// [`BlockRunScan::error`].
+pub struct BlockRunScan {
+    dev: SimDevice,
+    session: SessionHandle,
+    meta: Arc<BlockRunMeta>,
+    cache: Option<Arc<BlockCache>>,
+    run_key: u64,
+    begin: u64,
+    end: u64,
+    /// Next block index to consume.
+    next_idx: usize,
+    /// One past the last block index to consume.
+    end_idx: usize,
+    /// In-flight read for `pending_idx`.
+    pending: Option<(usize, IoTicket)>,
+    buffer: std::collections::VecDeque<Entry>,
+    bytes_read: u64,
+    error: Option<BlockRunError>,
+}
+
+impl BlockRunScan {
+    /// Open a scan of `[begin, end]`.
+    pub fn new(
+        dev: SimDevice,
+        session: SessionHandle,
+        meta: Arc<BlockRunMeta>,
+        cache: Option<Arc<BlockCache>>,
+        run_key: u64,
+        begin: u64,
+        end: u64,
+    ) -> Self {
+        let range = meta.blocks_overlapping(begin, end);
+        let mut scan = BlockRunScan {
+            dev,
+            session,
+            meta,
+            cache,
+            run_key,
+            begin,
+            end,
+            next_idx: range.start,
+            end_idx: range.end,
+            pending: None,
+            buffer: std::collections::VecDeque::new(),
+            bytes_read: 0,
+            error: None,
+        };
+        // Issue the first read immediately: a query opens all its run
+        // scans at once, so their first SSD reads queue together and
+        // overlap across runs.
+        scan.prefetch(scan.next_idx);
+        scan
+    }
+
+    /// Bytes actually read from the device (cache hits cost nothing).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// The first error encountered, if the scan stopped early.
+    pub fn error(&self) -> Option<&BlockRunError> {
+        self.error.as_ref()
+    }
+
+    /// Issue an async read for block `idx` unless it is out of range,
+    /// already in flight, or resident in the cache.
+    fn prefetch(&mut self, idx: usize) {
+        if self.pending.is_some() || idx >= self.end_idx {
+            return;
+        }
+        if let Some(cache) = &self.cache {
+            if cache.contains((self.run_key, idx as u32)) {
+                return;
+            }
+        }
+        let zone = self.meta.zones[idx];
+        match self
+            .session
+            .read_async(&self.dev, self.meta.base + zone.offset, zone.len as u64)
+        {
+            Ok(ticket) => {
+                self.bytes_read += zone.len as u64;
+                self.pending = Some((idx, ticket));
+            }
+            Err(e) => self.error = Some(e.into()),
+        }
+    }
+
+    /// Load the next block into the buffer; false when exhausted.
+    fn refill(&mut self) -> bool {
+        if self.error.is_some() || self.next_idx >= self.end_idx {
+            return false;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+
+        let entries: CachedBlock = match self.pending.take() {
+            Some((pidx, ticket)) if pidx == idx => {
+                // The block came from the device via prefetch, not from
+                // `cache.get` — still a miss for the hit-rate accounting.
+                if let Some(cache) = &self.cache {
+                    cache.record_bypass_miss();
+                }
+                let raw = self.session.wait(ticket);
+                // Overlap: issue the next read before decoding this one.
+                self.prefetch(self.next_idx);
+                match decode_verified_block(&raw, &self.meta.zones[idx], idx) {
+                    Ok(entries) => {
+                        let entries = Arc::new(entries);
+                        if let Some(cache) = &self.cache {
+                            cache.insert((self.run_key, idx as u32), Arc::clone(&entries));
+                        }
+                        entries
+                    }
+                    Err(e) => {
+                        self.error = Some(e);
+                        return false;
+                    }
+                }
+            }
+            other => {
+                // No (or stale) in-flight read: serve from cache or read
+                // synchronously.
+                self.pending = other;
+                let cached = self
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.get((self.run_key, idx as u32)));
+                match cached {
+                    Some(hit) => {
+                        self.prefetch(self.next_idx);
+                        hit
+                    }
+                    None => {
+                        let zone = self.meta.zones[idx];
+                        match self.session.read(
+                            &self.dev,
+                            self.meta.base + zone.offset,
+                            zone.len as u64,
+                        ) {
+                            Ok(raw) => {
+                                self.bytes_read += zone.len as u64;
+                                self.prefetch(self.next_idx);
+                                match decode_verified_block(&raw, &zone, idx) {
+                                    Ok(entries) => {
+                                        let entries = Arc::new(entries);
+                                        if let Some(cache) = &self.cache {
+                                            cache.insert(
+                                                (self.run_key, idx as u32),
+                                                Arc::clone(&entries),
+                                            );
+                                        }
+                                        entries
+                                    }
+                                    Err(e) => {
+                                        self.error = Some(e);
+                                        return false;
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                self.error = Some(e.into());
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        let start = entries.partition_point(|e| e.key < self.begin);
+        self.buffer.extend(
+            entries[start..]
+                .iter()
+                .take_while(|e| e.key <= self.end)
+                .cloned(),
+        );
+        true
+    }
+}
+
+impl Iterator for BlockRunScan {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        while self.buffer.is_empty() {
+            if !self.refill() {
+                return None;
+            }
+        }
+        self.buffer.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masm_storage::{DeviceProfile, SimClock};
+
+    fn setup() -> (SimDevice, SessionHandle) {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        (dev, SessionHandle::fresh(clock))
+    }
+
+    fn entries(keys: &[u64]) -> Vec<Entry> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Entry::new(k, i as u64 + 1, vec![k as u8; 8]))
+            .collect()
+    }
+
+    fn small_cfg() -> BlockRunConfig {
+        BlockRunConfig {
+            block_bytes: 128,
+            bloom_bits_per_key: 10,
+        }
+    }
+
+    #[test]
+    fn write_read_meta_roundtrip() {
+        let (dev, s) = setup();
+        let es = entries(&(0..500).map(|i| i * 2).collect::<Vec<_>>());
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &es).unwrap();
+        assert!(meta.zones.len() > 4, "{} blocks", meta.zones.len());
+        assert_eq!(meta.entry_count, 500);
+        assert_eq!(meta.min_key, 0);
+        assert_eq!(meta.max_key, 998);
+
+        let back = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+        assert_eq!(back.zones, meta.zones);
+        assert_eq!(back.bloom, meta.bloom);
+        assert_eq!(back.entry_count, meta.entry_count);
+        assert_eq!((back.min_key, back.max_key), (meta.min_key, meta.max_key));
+        assert_eq!((back.min_ts, back.max_ts), (meta.min_ts, meta.max_ts));
+    }
+
+    #[test]
+    fn writes_are_strictly_sequential() {
+        let (dev, s) = setup();
+        dev.prime_head_position(0);
+        let es = entries(&(0..2000).collect::<Vec<_>>());
+        write_run(&s, &dev, 0, &small_cfg(), &es).unwrap();
+        let stats = dev.stats();
+        assert_eq!(stats.random_writes, 0, "{stats:?}");
+        assert!(stats.write_ops > 10);
+    }
+
+    #[test]
+    fn scan_returns_exact_range() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..300).map(|i| i * 3).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let got: Vec<u64> = BlockRunScan::new(dev, s, meta, None, 1, 100, 200)
+            .map(|e| e.key)
+            .collect();
+        let want: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| (100..=200).contains(k))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zone_maps_narrow_reads() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..2000).map(|i| i * 2).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let mut scan = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            None,
+            1,
+            1000,
+            1100,
+        );
+        let got: Vec<u64> = scan.by_ref().map(|e| e.key).collect();
+        assert_eq!(
+            got,
+            (1000..=1100).filter(|k| k % 2 == 0).collect::<Vec<_>>()
+        );
+        assert!(
+            scan.bytes_read() < meta.data_bytes / 8,
+            "read {} of {}",
+            scan.bytes_read(),
+            meta.data_bytes
+        );
+    }
+
+    #[test]
+    fn scan_outside_range_reads_nothing() {
+        let (dev, s) = setup();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&[5, 10, 15])).unwrap());
+        let mut scan = BlockRunScan::new(dev, s, meta, None, 1, 100, 200);
+        assert!(scan.next().is_none());
+        assert_eq!(scan.bytes_read(), 0);
+    }
+
+    #[test]
+    fn corrupted_block_fails_with_checksum_error() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..500).collect();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap();
+        // Flip one byte in the middle of block 2's data.
+        let zone = meta.zones[2];
+        let (orig, _) = dev.read_at(0, zone.offset + 5, 1).unwrap();
+        dev.write_at(0, zone.offset + 5, &[orig[0] ^ 0xFF]).unwrap();
+
+        let err = read_block(&s, &dev, &meta, 2, None).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BlockRunError::ChecksumMismatch {
+                    region: "block",
+                    index: 2
+                }
+            ),
+            "{err}"
+        );
+        // A scan across the corruption stops with the error rather than
+        // yielding garbage.
+        let mut scan =
+            BlockRunScan::new(dev.clone(), s.clone(), Arc::new(meta), None, 1, 0, u64::MAX);
+        let got: Vec<Entry> = scan.by_ref().collect();
+        assert!(got.len() < keys.len());
+        assert!(matches!(
+            scan.error(),
+            Some(BlockRunError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_footer_and_index_detected() {
+        let (dev, s) = setup();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&[1, 2, 3])).unwrap();
+        // Corrupt the footer's magic.
+        let footer_off = meta.total_bytes - FOOTER_LEN;
+        dev.write_at(0, footer_off, &[0xAA]).unwrap();
+        assert!(read_meta(&s, &dev, 0, meta.total_bytes).is_err());
+    }
+
+    #[test]
+    fn point_lookup_uses_bloom_to_skip_io() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..1000).map(|i| i * 2).collect();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap();
+        dev.reset_stats();
+        // Absent key inside the key bounds: bloom usually rejects it with
+        // zero reads; measure over many probes.
+        let mut io_free = 0;
+        for probe in 0..200u64 {
+            let before = dev.stats().read_ops;
+            let hits = point_lookup(&s, &dev, &meta, probe * 2 + 1, None).unwrap();
+            assert!(hits.is_empty());
+            if dev.stats().read_ops == before {
+                io_free += 1;
+            }
+        }
+        assert!(io_free > 180, "bloom skipped I/O for {io_free}/200 probes");
+        // Present key: found with exactly one block read.
+        let before = dev.stats().read_ops;
+        let found = point_lookup(&s, &dev, &meta, 500, None).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(dev.stats().read_ops - before, 1);
+    }
+
+    #[test]
+    fn warm_cache_lookups_issue_zero_reads() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..1000).collect();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap();
+        let cache = BlockCache::new(1 << 20);
+        for k in [10u64, 500, 990] {
+            point_lookup(&s, &dev, &meta, k, Some((&cache, 1))).unwrap();
+        }
+        let warm_start = dev.stats().read_ops;
+        for k in [10u64, 500, 990] {
+            let found = point_lookup(&s, &dev, &meta, k, Some((&cache, 1))).unwrap();
+            assert_eq!(found.len(), 1);
+        }
+        assert_eq!(dev.stats().read_ops, warm_start, "zero device reads warm");
+        assert!(cache.stats().hits >= 3);
+    }
+
+    #[test]
+    fn scan_served_from_cache_reads_nothing() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..800).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let cache = Arc::new(BlockCache::new(1 << 22));
+        let cold: Vec<u64> = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            Some(Arc::clone(&cache)),
+            1,
+            0,
+            u64::MAX,
+        )
+        .map(|e| e.key)
+        .collect();
+        assert_eq!(cold, keys);
+        let mut warm = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            Some(Arc::clone(&cache)),
+            1,
+            0,
+            u64::MAX,
+        );
+        let warm_keys: Vec<u64> = warm.by_ref().map(|e| e.key).collect();
+        assert_eq!(warm_keys, keys);
+        assert_eq!(warm.bytes_read(), 0, "warm scan is pure cache");
+    }
+
+    #[test]
+    fn empty_run_roundtrip() {
+        let (dev, s) = setup();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &[]).unwrap();
+        assert_eq!(meta.entry_count, 0);
+        let back = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+        assert!(back.zones.is_empty());
+        assert!(!back.might_contain(0));
+        let got: Vec<Entry> =
+            BlockRunScan::new(dev, s, Arc::new(back), None, 1, 0, u64::MAX).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn blocks_overlapping_bounds() {
+        let mut meta = BlockRunMeta::synthetic(0, 100, 1, 1, 4);
+        for (i, (lo, hi)) in [(0u64, 24u64), (25, 49), (50, 74), (75, 100)]
+            .iter()
+            .enumerate()
+        {
+            meta.zones.push(ZoneMap {
+                offset: i as u64 * 100,
+                len: 100,
+                count: 1,
+                min_key: *lo,
+                max_key: *hi,
+                min_ts: 1,
+                max_ts: 1,
+                crc: 0,
+            });
+        }
+        assert_eq!(meta.blocks_overlapping(0, 100), 0..4);
+        assert_eq!(meta.blocks_overlapping(30, 60), 1..3);
+        assert_eq!(meta.blocks_overlapping(25, 25), 1..2);
+        assert_eq!(meta.blocks_overlapping(101, 200), 4..4);
+        assert_eq!(meta.blocks_overlapping(60, 30), 0..0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # masm-blockrun — immutable block-based run storage
+//!
+//! The MaSM engine caches sorted runs of updates on the SSD and merges
+//! them into every range scan, so the cost of reading a run back *is*
+//! the cost of online updates. This crate gives those runs the storage
+//! format modern SST-based engines use, while preserving the paper's
+//! core invariant that runs are written strictly sequentially:
+//!
+//! * [`block`] — fixed-budget data blocks of delta/prefix-compressed
+//!   entries; the block is the read I/O unit (64 KB by default, the
+//!   paper's §4.1 SSD page).
+//! * [`checksum`] — CRC-32 on every block, the index, the bloom filter,
+//!   and the footer, so a corrupted SSD read fails loudly
+//!   ([`BlockRunError::ChecksumMismatch`]) instead of decoding garbage.
+//! * [`format`] — the run layout: data blocks, an index block of
+//!   [`ZoneMap`]s (first-key → offset plus min/max key and timestamp per
+//!   block, for pruning), an optional per-run bloom filter, and a
+//!   self-describing footer. Includes the sequential writer, the
+//!   verifying reader, a zone-map-pruned range scan with async prefetch,
+//!   and a bloom-guarded point lookup.
+//! * [`bloom`] — the per-run bloom filter (point lookups skip runs that
+//!   definitely lack the key, with zero I/O).
+//! * [`cache`] — a sharded LRU [`BlockCache`] of decoded blocks shared
+//!   by all scans of an engine; hit/miss counters are surfaced through
+//!   [`masm_storage::stats::CacheStats`] so benchmarks can report cache
+//!   effectiveness. Warm lookups issue zero device reads.
+//!
+//! `masm-core` materializes and scans all of its runs through this
+//! crate; see `masm_core::run` for the engine-facing wrapper.
+
+pub mod block;
+pub mod bloom;
+pub mod cache;
+pub mod checksum;
+pub mod format;
+
+pub use block::Entry;
+pub use bloom::BloomFilter;
+pub use cache::{BlockCache, BlockKey, CachedBlock};
+pub use checksum::crc32;
+pub use format::{
+    build_run, point_lookup, read_block, read_meta, write_built, write_run, BlockRunConfig,
+    BlockRunError, BlockRunMeta, BlockRunResult, BlockRunScan, ZoneMap, FOOTER_LEN, MAGIC, VERSION,
+};

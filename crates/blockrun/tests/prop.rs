@@ -1,0 +1,153 @@
+//! Property-based tests for the block-run format: codec round-trips,
+//! zone-map pruning correctness, and bloom-filter false-positive rate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use masm_blockrun::block::{decode_block, encode_block};
+use masm_blockrun::{
+    read_meta, write_run, BlockCache, BlockRunConfig, BlockRunScan, BloomFilter, Entry,
+};
+use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
+
+fn device() -> (SimDevice, SessionHandle) {
+    let clock = SimClock::new();
+    let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    (dev, SessionHandle::fresh(clock))
+}
+
+fn raw_entries() -> impl Strategy<Value = Vec<(u64, u64, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            0u64..5000,
+            1u64..1000,
+            proptest::collection::vec(any::<u8>(), 0..24),
+        ),
+        1..250,
+    )
+}
+
+fn to_sorted_entries(raw: Vec<(u64, u64, Vec<u8>)>) -> Vec<Entry> {
+    let mut entries: Vec<Entry> = raw
+        .into_iter()
+        .map(|(k, ts, v)| Entry::new(k, ts, v))
+        .collect();
+    entries.sort_by_key(|e| (e.key, e.ts));
+    entries
+}
+
+fn small_cfg() -> BlockRunConfig {
+    BlockRunConfig {
+        block_bytes: 128,
+        bloom_bits_per_key: 10,
+    }
+}
+
+proptest! {
+    /// Arbitrary records → block → records is the identity.
+    #[test]
+    fn block_codec_roundtrip(raw in raw_entries()) {
+        let entries = to_sorted_entries(raw);
+        let encoded = encode_block(&entries);
+        prop_assert_eq!(decode_block(&encoded).unwrap(), entries);
+    }
+
+    /// Arbitrary records → whole run on a device → scan is the
+    /// identity, including metadata recovered purely from the footer.
+    #[test]
+    fn run_roundtrip_through_device(raw in raw_entries()) {
+        let entries = to_sorted_entries(raw);
+        let (dev, s) = device();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries).unwrap();
+        let reopened = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+        prop_assert_eq!(&reopened.zones, &meta.zones);
+        let got: Vec<Entry> =
+            BlockRunScan::new(dev, s, Arc::new(reopened), None, 1, 0, u64::MAX).collect();
+        prop_assert_eq!(got, entries);
+    }
+
+    /// Zone-map pruning never skips a block containing an in-range key:
+    /// a pruned scan over any `[a, b]` returns exactly the model's
+    /// entries, in order.
+    #[test]
+    fn zone_map_pruning_is_exact(
+        raw in raw_entries(),
+        a in 0u64..5200,
+        b in 0u64..5200,
+    ) {
+        let (begin, end) = (a.min(b), a.max(b));
+        let entries = to_sorted_entries(raw);
+        let (dev, s) = device();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries).unwrap());
+
+        // Every entry's key maps into the overlap range computed for it.
+        let mut cursor = 0usize;
+        for (idx, zone) in meta.zones.iter().enumerate() {
+            for e in &entries[cursor..cursor + zone.count as usize] {
+                let range = meta.blocks_overlapping(e.key, e.key);
+                prop_assert!(
+                    range.contains(&idx),
+                    "block {} holding key {} pruned by {:?}",
+                    idx, e.key, range
+                );
+            }
+            cursor += zone.count as usize;
+        }
+
+        let got: Vec<(u64, u64)> = BlockRunScan::new(dev, s, meta, None, 1, begin, end)
+            .map(|e| (e.key, e.ts))
+            .collect();
+        let want: Vec<(u64, u64)> = entries
+            .iter()
+            .filter(|e| (begin..=end).contains(&e.key))
+            .map(|e| (e.key, e.ts))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A cached scan returns the same result as an uncached one and a
+    /// warm re-scan reads zero device bytes.
+    #[test]
+    fn cache_is_transparent(raw in raw_entries()) {
+        let entries = to_sorted_entries(raw);
+        let (dev, s) = device();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries).unwrap());
+        let cache = Arc::new(BlockCache::new(1 << 22));
+        let cold: Vec<Entry> = BlockRunScan::new(
+            dev.clone(), s.clone(), Arc::clone(&meta), Some(Arc::clone(&cache)), 1, 0, u64::MAX,
+        ).collect();
+        prop_assert_eq!(&cold, &entries);
+        let mut warm_scan = BlockRunScan::new(
+            dev, s, meta, Some(cache), 1, 0, u64::MAX,
+        );
+        let warm: Vec<Entry> = warm_scan.by_ref().collect();
+        prop_assert_eq!(&warm, &entries);
+        prop_assert_eq!(warm_scan.bytes_read(), 0);
+    }
+
+    /// The measured false-positive rate stays within 2× the configured
+    /// target (the satellite acceptance bound), with no false negatives.
+    #[test]
+    fn bloom_fpr_within_twice_target(
+        keys in proptest::collection::btree_set(0u64..100_000, 50..400),
+        bits_per_key in 8u32..=14,
+    ) {
+        let filter = BloomFilter::build(keys.iter().copied(), bits_per_key);
+        for &k in &keys {
+            prop_assert!(filter.contains(k), "false negative on {}", k);
+        }
+        let probes = 5000u64;
+        let fps = (0..probes)
+            .map(|i| 200_000 + i * 7)
+            .filter(|&k| filter.contains(k))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        let target = BloomFilter::expected_fpr(bits_per_key);
+        prop_assert!(
+            rate <= target * 2.0,
+            "fp rate {:.5} exceeds 2x target {:.5} at {} bits/key",
+            rate, target, bits_per_key
+        );
+    }
+}

@@ -135,7 +135,7 @@ impl RunSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::RunIndex;
+    use masm_blockrun::BlockRunMeta;
 
     fn dummy_run(id: u64, passes: u8, min_ts: u64, bytes: u64) -> Arc<SortedRun> {
         Arc::new(SortedRun {
@@ -148,7 +148,7 @@ mod tests {
             min_ts,
             max_ts: min_ts,
             passes,
-            index: RunIndex::default(),
+            meta: Arc::new(BlockRunMeta::synthetic(0, 10, min_ts, min_ts, 1)),
         })
     }
 

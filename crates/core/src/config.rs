@@ -16,17 +16,24 @@
 
 use crate::error::{MasmError, MasmResult};
 
-/// Granularity of the read-only run index (§3.5 "Granularity of Run
+/// Granularity of the run's read-only index (§3.5 "Granularity of Run
 /// Index").
+///
+/// With the block-run format (`masm-blockrun`) this is the **data-block
+/// size**: one zone-map entry indexes one block, so the granularity is
+/// both the pruning resolution and the read I/O unit of a run. Fine
+/// granularity (4 KB blocks) keeps a 4 KB range scan at ≈4 KB read per
+/// run — the paper's headline ≤1.07× result; coarse granularity (64 KB
+/// blocks, the §4.1 SSD page) minimizes metadata and per-I/O overhead
+/// for large scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexGranularity {
-    /// One entry per 64 KB of cached updates — minimal memory, best for
-    /// very large ranges.
+    /// 64 KB blocks — minimal metadata, best for very large ranges.
     Coarse,
-    /// One entry per 4 KB of cached updates — precise enough that a 4 KB
-    /// range scan reads ≈4 KB per run (the paper's headline setting).
+    /// 4 KB blocks — precise enough that a 4 KB range scan reads ≈4 KB
+    /// per run (the paper's headline setting).
     Fine,
-    /// Custom: one entry per this many bytes.
+    /// Custom block size in bytes.
     Bytes(u64),
 }
 
@@ -63,6 +70,17 @@ pub struct MasmConfig {
     /// Byte offset of this engine's region on the shared SSD device.
     /// Several engines (one per table, §4.3) can divide one SSD.
     pub ssd_region_base: u64,
+    /// Upper bound on a run's data-block size in bytes (the block-run
+    /// read I/O unit; 64 KB by default, the paper's §4.1 SSD page). The
+    /// effective block size is the finer of this and
+    /// [`MasmConfig::index_granularity`].
+    pub block_bytes: usize,
+    /// Bloom-filter budget per materialized run, in bits per key
+    /// (10 ⇒ ≈0.8% false positives); 0 disables run bloom filters.
+    pub bloom_bits_per_key: u32,
+    /// Capacity of the shared block cache holding decoded run blocks,
+    /// in bytes.
+    pub block_cache_bytes: usize,
 }
 
 impl Default for MasmConfig {
@@ -75,6 +93,9 @@ impl Default for MasmConfig {
             migration_threshold: 0.9,
             merge_duplicates: true,
             ssd_region_base: 0,
+            block_bytes: 64 * 1024,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -90,6 +111,9 @@ impl MasmConfig {
             migration_threshold: 0.9,
             merge_duplicates: true,
             ssd_region_base: 0,
+            block_bytes: 4096,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 2 * 1024 * 1024,
         }
     }
 
@@ -152,6 +176,23 @@ impl MasmConfig {
         (self.ssd_capacity as f64 * self.migration_threshold) as u64
     }
 
+    /// Effective data-block size of materialized runs: the finer of the
+    /// run-index granularity and the [`MasmConfig::block_bytes`] cap,
+    /// never below the format's 64-byte minimum.
+    pub fn effective_block_bytes(&self) -> usize {
+        (self.index_granularity.bytes() as usize)
+            .min(self.block_bytes)
+            .max(64)
+    }
+
+    /// Parameters handed to `masm-blockrun` when materializing a run.
+    pub fn blockrun_config(&self) -> masm_blockrun::BlockRunConfig {
+        masm_blockrun::BlockRunConfig {
+            block_bytes: self.effective_block_bytes(),
+            bloom_bits_per_key: self.bloom_bits_per_key,
+        }
+    }
+
     /// Validate invariants; call before constructing an engine.
     pub fn validate(&self) -> MasmResult<()> {
         if self.ssd_page_size < 1024 {
@@ -176,7 +217,12 @@ impl MasmConfig {
             )));
         }
         if !(0.0..=1.0).contains(&self.migration_threshold) {
-            return Err(MasmError::Config("migration_threshold must be in [0,1]".into()));
+            return Err(MasmError::Config(
+                "migration_threshold must be in [0,1]".into(),
+            ));
+        }
+        if self.block_bytes < 64 {
+            return Err(MasmError::Config("block_bytes must be ≥ 64".into()));
         }
         Ok(())
     }
@@ -211,7 +257,7 @@ mod tests {
         assert_eq!(c.total_memory_pages(), 512);
         assert_eq!(c.s_pages(), 256); // buffer of M pages
         assert_eq!(c.query_pages(), 256); // can hold all M runs
-        // N degenerates (no merging is ever triggered since runs ≤ M).
+                                          // N degenerates (no merging is ever triggered since runs ≤ M).
         assert!(c.n_merge() >= 2);
     }
 
@@ -230,6 +276,26 @@ mod tests {
         assert_eq!(IndexGranularity::Coarse.bytes(), 65536);
         assert_eq!(IndexGranularity::Fine.bytes(), 4096);
         assert_eq!(IndexGranularity::Bytes(512).bytes(), 512);
+    }
+
+    #[test]
+    fn effective_block_size_is_finer_of_granularity_and_cap() {
+        let mut c = MasmConfig::default();
+        assert_eq!(c.effective_block_bytes(), 4096, "fine granularity wins");
+        c.index_granularity = IndexGranularity::Coarse;
+        assert_eq!(c.effective_block_bytes(), 65536, "cap applies");
+        c.index_granularity = IndexGranularity::Bytes(16);
+        assert_eq!(c.effective_block_bytes(), 64, "floor applies");
+        assert_eq!(c.blockrun_config().bloom_bits_per_key, 10);
+    }
+
+    #[test]
+    fn validation_rejects_tiny_blocks() {
+        let c = MasmConfig {
+            block_bytes: 16,
+            ..MasmConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

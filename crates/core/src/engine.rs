@@ -20,15 +20,16 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
-use masm_storage::{SessionHandle, SimDevice};
+use masm_storage::{CacheStatsSnapshot, SessionHandle, SimDevice};
 
 use crate::algo::RunSet;
 use crate::config::MasmConfig;
 use crate::error::{MasmError, MasmResult};
 use crate::membuf::UpdateBuffer;
 use crate::merge::{fold_duplicates, KWayUpdates, MergeDataUpdates, MergeUpdates, UpdateStream};
-use crate::run::{build_run, write_run, RunScan, SortedRun, SsdSpace};
+use crate::run::{build_run, recover_run, write_built, RunScan, SortedRun, SsdSpace};
 use crate::ts::{Timestamp, TimestampOracle};
 use crate::update::{UpdateOp, UpdateRecord};
 use crate::wal::{Wal, WalRecord};
@@ -76,6 +77,10 @@ pub struct MasmEngine {
     ssd: SimDevice,
     cfg: MasmConfig,
     schema: Schema,
+    /// Shared cache of decoded run blocks: every run scan of this
+    /// engine — queries, merges, migrations — goes through it, so hot
+    /// run pages are read off the SSD once.
+    cache: Arc<BlockCache>,
     oracle: TimestampOracle,
     state: Mutex<EngineState>,
     quiesce: Condvar,
@@ -112,11 +117,19 @@ impl MasmEngine {
         let buffer = UpdateBuffer::new(cfg.update_buffer_bytes() as usize);
         let mut runs = RunSet::new();
         runs.set_space(SsdSpace::with_origin(cfg.ssd_region_base));
+        // The engine only ever appends runs from its region base; prime
+        // the head there so the very first run write on a *fresh* device
+        // is classified sequential (design goal 2: random_writes == 0).
+        // On a shared device that already has a head position this is a
+        // no-op — another engine's accounting must not be rewritten.
+        ssd.prime_head_position_if_unset(cfg.ssd_region_base);
+        let cache = Arc::new(BlockCache::new(cfg.block_cache_bytes));
         Ok(Arc::new(MasmEngine {
             heap,
             ssd,
             cfg,
             schema,
+            cache,
             oracle: TimestampOracle::new(),
             state: Mutex::new(EngineState {
                 buffer,
@@ -175,6 +188,16 @@ impl MasmEngine {
     /// The SSD update-cache device (for statistics).
     pub fn ssd(&self) -> &SimDevice {
         &self.ssd
+    }
+
+    /// The shared block cache of decoded run blocks.
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the block cache.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache.stats()
     }
 
     /// The timestamp oracle.
@@ -267,8 +290,7 @@ impl MasmEngine {
             // MaSM-M (Fig. 8): steal an unused query page if one exists,
             // otherwise materialize a 1-pass run.
             let page = self.cfg.ssd_page_size;
-            let stolen =
-                (st.buffer.capacity() - st.buffer.base_capacity()) / page;
+            let stolen = (st.buffer.capacity() - st.buffer.base_capacity()) / page;
             let in_use = st.pinned_pages + stolen as u64;
             if self.cfg.alpha < 2.0 && in_use < self.cfg.query_pages() {
                 st.buffer.steal_page(page);
@@ -315,10 +337,14 @@ impl MasmEngine {
         } else {
             updates
         };
-        let bytes: usize = updates.iter().map(|u| u.encoded_len()).sum();
+        // Build first: the block format's encoded size (compression,
+        // zone maps, bloom, footer) is only known after building, and
+        // the run's SSD extent must be allocated before it is written.
         let id = st.runs.next_id();
-        let base = st.runs.alloc_space(bytes as u64);
-        let run = write_run(session, &self.ssd, &self.cfg, id, base, 1, &updates)?;
+        let (mut run, encoded) = build_run(&self.cfg, id, 0, 1, &updates);
+        let base = st.runs.alloc_space(run.bytes);
+        run.rebase(base);
+        write_built(session, &self.ssd, &run, &encoded)?;
         self.wal.lock().append(
             session,
             &WalRecord::RunCreated {
@@ -365,6 +391,10 @@ impl MasmEngine {
         plan: Vec<Arc<SortedRun>>,
         fold: bool,
     ) -> MasmResult<()> {
+        // Merge inputs bypass the block cache: each block is read exactly
+        // once and the input runs are deleted right after, so caching
+        // them would only evict genuinely hot query blocks (the 2-pass
+        // cost model counts these reads as device I/O anyway).
         let streams: Vec<UpdateStream> = plan
             .iter()
             .map(|r| {
@@ -372,7 +402,6 @@ impl MasmEngine {
                     self.ssd.clone(),
                     session.clone(),
                     Arc::clone(r),
-                    &self.cfg,
                     0,
                     Key::MAX,
                 )) as UpdateStream
@@ -387,10 +416,11 @@ impl MasmEngine {
         } else {
             merged
         };
-        let bytes: usize = merged.iter().map(|u| u.encoded_len()).sum();
         let id = st.runs.next_id();
-        let base = st.runs.alloc_space(bytes as u64);
-        let run = write_run(session, &self.ssd, &self.cfg, id, base, 2, &merged)?;
+        let (mut run, encoded) = build_run(&self.cfg, id, 0, 2, &merged);
+        let base = st.runs.alloc_space(run.bytes);
+        run.rebase(base);
+        write_built(session, &self.ssd, &run, &encoded)?;
         let old_ids: Vec<u64> = plan.iter().map(|r| r.id).collect();
         {
             let mut wal = self.wal.lock();
@@ -465,11 +495,11 @@ impl MasmEngine {
             if run.max_key < begin || run.min_key > end {
                 continue;
             }
-            streams.push(Box::new(RunScan::new(
+            streams.push(Box::new(RunScan::with_cache(
                 self.ssd.clone(),
                 session.clone(),
                 Arc::clone(run),
-                &self.cfg,
+                Some(Arc::clone(&self.cache)),
                 begin,
                 end,
             )));
@@ -549,12 +579,7 @@ impl MasmEngine {
         // Wait for queries earlier than t (§3.2).
         {
             let mut st = self.state.lock();
-            while st
-                .active_queries
-                .keys()
-                .next()
-                .is_some_and(|&t| t < mig_ts)
-            {
+            while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
                 self.quiesce.wait(&mut st);
             }
         }
@@ -609,12 +634,7 @@ impl MasmEngine {
         // pages stamped with it (§3.2).
         {
             let mut st = self.state.lock();
-            while st
-                .active_queries
-                .keys()
-                .next()
-                .is_some_and(|&t| t < mig_ts)
-            {
+            while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
                 self.quiesce.wait(&mut st);
             }
         }
@@ -627,7 +647,6 @@ impl MasmEngine {
                     self.ssd.clone(),
                     session.clone(),
                     Arc::clone(r),
-                    &self.cfg,
                     begin,
                     end,
                 )) as UpdateStream
@@ -652,6 +671,10 @@ impl MasmEngine {
         mig_ts: Timestamp,
         runs: &[Arc<SortedRun>],
     ) -> MasmResult<MigrationReport> {
+        // Migration reads bypass the block cache: the runs are retired as
+        // soon as the migration completes, so inserting their blocks
+        // would evict hot query blocks for entries that can never be hit
+        // again (run ids are not reused).
         let streams: Vec<UpdateStream> = runs
             .iter()
             .map(|r| {
@@ -659,14 +682,12 @@ impl MasmEngine {
                     self.ssd.clone(),
                     session.clone(),
                     Arc::clone(r),
-                    &self.cfg,
                     0,
                     Key::MAX,
                 )) as UpdateStream
             })
             .collect();
-        let mut updates =
-            MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
+        let mut updates = MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
         let mut applied = 0u64;
 
         if self.heap.num_pages() == 0 {
@@ -734,10 +755,7 @@ impl MasmEngine {
                 let page_ts = page.timestamp();
                 for record in page.records() {
                     // Emit updates for keys before this record.
-                    while updates
-                        .peek()
-                        .is_some_and(|u| u.key < record.key)
-                    {
+                    while updates.peek().is_some_and(|u| u.key < record.key) {
                         let u = updates.next().expect("peeked");
                         applied += 1;
                         if let Some(r) = u.apply_to(None, &self.schema) {
@@ -762,10 +780,7 @@ impl MasmEngine {
                 }
             }
             // Absorb gap/trailing inserts belonging to this chunk.
-            while updates
-                .peek()
-                .is_some_and(|u| at_end || u.key <= chunk_max)
-            {
+            while updates.peek().is_some_and(|u| at_end || u.key <= chunk_max) {
                 let u = updates.next().expect("peeked");
                 applied += 1;
                 if let Some(r) = u.apply_to(None, &self.schema) {
@@ -884,13 +899,15 @@ impl MasmEngine {
                 }
             }
         }
-        if !records.is_empty() && !heap_loaded && heap.num_pages() == 0 && !live_runs.is_empty()
-        {
+        if !records.is_empty() && !heap_loaded && heap.num_pages() == 0 && !live_runs.is_empty() {
             // Runs exist but the heap was never loaded: legal (updates
             // into an empty table); nothing to restore.
         }
 
-        // Rebuild run metadata by re-reading the durable run bytes.
+        // Re-open run metadata from the durable, checksummed block-run
+        // footers: zone maps, bloom filters, and key/timestamp bounds
+        // come back without decoding a single update record (the old
+        // format re-read and re-decoded every run byte here).
         let mut runs = RunSet::new();
         let mut high_water = 0u64;
         let mut live_bytes = 0u64;
@@ -898,18 +915,8 @@ impl MasmEngine {
         let mut rebuilt: Vec<Arc<SortedRun>> = Vec::new();
         for (id, info) in &live_runs {
             let bytes = run_bytes[id];
-            let data = session.read(&ssd, info.base, bytes)?;
-            let mut us = Vec::new();
-            let mut pos = 0usize;
-            while pos < data.len() {
-                let (u, used) = UpdateRecord::decode(&data[pos..])
-                    .ok_or(MasmError::Corrupt("run bytes during recovery"))?;
-                max_ts = max_ts.max(u.ts);
-                us.push(u);
-                pos += used;
-            }
-            let (run, encoded) = build_run(&cfg, *id, info.base, info.passes, &us);
-            debug_assert_eq!(encoded.len() as u64, bytes);
+            let run = recover_run(&session, &ssd, *id, info.base, bytes, info.passes)?;
+            max_ts = max_ts.max(run.max_ts);
             high_water = high_water.max(info.base + bytes);
             live_bytes += bytes;
             max_run_id = max_run_id.max(*id);
@@ -935,6 +942,7 @@ impl MasmEngine {
         let engine = Arc::new(MasmEngine {
             heap,
             ssd,
+            cache: Arc::new(BlockCache::new(cfg.block_cache_bytes)),
             cfg,
             schema,
             oracle: TimestampOracle::resume_after(max_ts),
@@ -1043,14 +1051,8 @@ mod tests {
         let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let wal_dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-        let engine = MasmEngine::new(
-            heap,
-            ssd,
-            wal_dev,
-            schema(),
-            MasmConfig::small_for_tests(),
-        )
-        .unwrap();
+        let engine =
+            MasmEngine::new(heap, ssd, wal_dev, schema(), MasmConfig::small_for_tests()).unwrap();
         let session = SessionHandle::fresh(clock.clone());
         if n_records > 0 {
             engine
@@ -1274,14 +1276,9 @@ mod tests {
         // handle over the same disk device (metadata comes from the WAL).
         drop(engine);
         let heap2 = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-        let (engine2, report) = MasmEngine::recover(
-            heap2,
-            ssd,
-            wal_dev,
-            schema(),
-            MasmConfig::small_for_tests(),
-        )
-        .unwrap();
+        let (engine2, report) =
+            MasmEngine::recover(heap2, ssd, wal_dev, schema(), MasmConfig::small_for_tests())
+                .unwrap();
         assert_eq!(report.updates_recovered as usize, buffered);
         assert_eq!(report.runs_recovered, runs);
         assert!(!report.redid_migration);
@@ -1344,16 +1341,15 @@ mod tests {
         }
         drop(engine);
         let heap2 = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-        let (engine2, report) = MasmEngine::recover(
-            heap2,
-            ssd,
-            wal_dev,
-            schema(),
-            MasmConfig::small_for_tests(),
-        )
-        .unwrap();
+        let (engine2, report) =
+            MasmEngine::recover(heap2, ssd, wal_dev, schema(), MasmConfig::small_for_tests())
+                .unwrap();
         assert!(report.redid_migration);
-        assert_eq!(engine2.run_count(), 0, "migration completed during recovery");
+        assert_eq!(
+            engine2.run_count(),
+            0,
+            "migration completed during recovery"
+        );
         let got: Vec<Key> = engine2
             .begin_scan(session, 0, u64::MAX)
             .unwrap()
@@ -1456,7 +1452,11 @@ mod tests {
         // Hammer a handful of keys so folding has teeth.
         for i in 0..6_000u64 {
             f.engine
-                .apply_update(&f.session, (i % 10) * 2, UpdateOp::Replace(payload(i as u32)))
+                .apply_update(
+                    &f.session,
+                    (i % 10) * 2,
+                    UpdateOp::Replace(payload(i as u32)),
+                )
                 .unwrap();
         }
         let runs_before = f.engine.run_count();

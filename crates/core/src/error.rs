@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use masm_blockrun::BlockRunError;
 use masm_storage::StorageError;
 
 /// Errors surfaced by the MaSM engine.
@@ -9,6 +10,8 @@ use masm_storage::StorageError;
 pub enum MasmError {
     /// Underlying storage failure.
     Storage(StorageError),
+    /// Block-run format failure (checksum mismatch, corrupt region).
+    BlockRun(BlockRunError),
     /// The SSD update cache is full and migration is required.
     CacheFull {
         /// Bytes currently cached.
@@ -32,8 +35,12 @@ impl fmt::Display for MasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MasmError::Storage(e) => write!(f, "storage: {e}"),
+            MasmError::BlockRun(e) => write!(f, "block run: {e}"),
             MasmError::CacheFull { cached, capacity } => {
-                write!(f, "update cache full: {cached}/{capacity} bytes; migrate first")
+                write!(
+                    f,
+                    "update cache full: {cached}/{capacity} bytes; migrate first"
+                )
             }
             MasmError::Corrupt(what) => write!(f, "corrupt encoding: {what}"),
             MasmError::Conflict { key } => write!(f, "write-write conflict on key {key}"),
@@ -46,6 +53,7 @@ impl std::error::Error for MasmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MasmError::Storage(e) => Some(e),
+            MasmError::BlockRun(e) => Some(e),
             _ => None,
         }
     }
@@ -54,6 +62,17 @@ impl std::error::Error for MasmError {
 impl From<StorageError> for MasmError {
     fn from(e: StorageError) -> Self {
         MasmError::Storage(e)
+    }
+}
+
+impl From<BlockRunError> for MasmError {
+    fn from(e: BlockRunError) -> Self {
+        // Storage failures keep their own variant so callers can match
+        // on them uniformly.
+        match e {
+            BlockRunError::Storage(s) => MasmError::Storage(s),
+            other => MasmError::BlockRun(other),
+        }
     }
 }
 
@@ -72,7 +91,9 @@ mod tests {
         }
         .to_string()
         .contains("9/10"));
-        assert!(MasmError::Corrupt("run header").to_string().contains("run header"));
+        assert!(MasmError::Corrupt("run header")
+            .to_string()
+            .contains("run header"));
         assert!(MasmError::Conflict { key: 7 }.to_string().contains("key 7"));
     }
 

@@ -10,9 +10,12 @@
 //!
 //! 1. **Low query overhead with a small memory footprint** — updates are
 //!    external-sorted: [`run`] materializes sorted runs of updates on the
-//!    SSD with a read-only *run index*, so a range scan reads only the
-//!    SSD pages overlapping its key range ([`run::RunScan`]), and
-//!    [`merge`] combines them with the scan in one pass.
+//!    SSD in the block-run format of `masm-blockrun` (checksummed,
+//!    delta-compressed blocks with per-block zone maps and a per-run
+//!    bloom filter), so a range scan reads only the blocks overlapping
+//!    its key range ([`run::RunScan`]), hot blocks are served from a
+//!    shared block cache with zero SSD reads, and [`merge`] combines
+//!    them with the scan in one pass.
 //! 2. **No random SSD writes** — runs are written strictly sequentially
 //!    ([`run::write_run`]); the `random_writes` counter of the simulated
 //!    SSD stays zero, and tests assert it.

@@ -100,12 +100,7 @@ impl UpdateBuffer {
 
     /// Sorted snapshot of updates overlapping `[begin, end]` with
     /// `ts ≤ as_of` — the `Mem_scan` input for one query.
-    pub fn snapshot_range(
-        &self,
-        begin: Key,
-        end: Key,
-        as_of: Timestamp,
-    ) -> Vec<UpdateRecord> {
+    pub fn snapshot_range(&self, begin: Key, end: Key, as_of: Timestamp) -> Vec<UpdateRecord> {
         let mut out: Vec<UpdateRecord> = self
             .entries
             .iter()

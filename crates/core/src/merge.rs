@@ -351,8 +351,7 @@ mod tests {
     #[test]
     fn merge_respects_as_of() {
         let s1 = stream(vec![ins(1, 10, 1), modi(5, 10, 5), ins(9, 20, 9)]);
-        let merged: Vec<UpdateRecord> =
-            MergeUpdates::new(vec![s1], schema(), 4).collect();
+        let merged: Vec<UpdateRecord> = MergeUpdates::new(vec![s1], schema(), 4).collect();
         // Only ts=1 visible for key 10; key 20 invisible entirely.
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].ts, 1);
@@ -361,8 +360,7 @@ mod tests {
 
     #[test]
     fn merge_empty_streams() {
-        let merged: Vec<UpdateRecord> =
-            MergeUpdates::new(vec![], schema(), u64::MAX).collect();
+        let merged: Vec<UpdateRecord> = MergeUpdates::new(vec![], schema(), u64::MAX).collect();
         assert!(merged.is_empty());
         let merged: Vec<UpdateRecord> =
             MergeUpdates::new(vec![stream(vec![])], schema(), u64::MAX).collect();
@@ -400,7 +398,12 @@ mod tests {
     fn outer_join_all_cases() {
         // Data: keys 10, 20, 30 (page_ts 0). Updates: delete 10, modify
         // 20, insert 15, modify 99 (no base).
-        let updates = vec![del(1, 10), ins(2, 15, 150), modi(3, 20, 200), modi(4, 99, 990)];
+        let updates = vec![
+            del(1, 10),
+            ins(2, 15, 150),
+            modi(3, 20, 200),
+            modi(4, 99, 990),
+        ];
         let out: Vec<Record> = MergeDataUpdates::new(
             data(vec![(10, 1, 0), (20, 2, 0), (30, 3, 0)]),
             updates.into_iter(),
@@ -418,13 +421,10 @@ mod tests {
     #[test]
     fn outer_join_trailing_inserts() {
         let updates = vec![ins(1, 100, 1), ins(2, 200, 2)];
-        let out: Vec<Key> = MergeDataUpdates::new(
-            data(vec![(10, 1, 0)]),
-            updates.into_iter(),
-            schema(),
-        )
-        .map(|r| r.key)
-        .collect();
+        let out: Vec<Key> =
+            MergeDataUpdates::new(data(vec![(10, 1, 0)]), updates.into_iter(), schema())
+                .map(|r| r.key)
+                .collect();
         assert_eq!(out, vec![10, 100, 200]);
     }
 
@@ -432,12 +432,8 @@ mod tests {
     fn outer_join_page_ts_skips_applied_updates() {
         // Page already carries the update (page_ts = 5 ≥ u.ts = 3).
         let updates = vec![modi(3, 10, 999)];
-        let out: Vec<Record> = MergeDataUpdates::new(
-            data(vec![(10, 1, 5)]),
-            updates.into_iter(),
-            schema(),
-        )
-        .collect();
+        let out: Vec<Record> =
+            MergeDataUpdates::new(data(vec![(10, 1, 5)]), updates.into_iter(), schema()).collect();
         assert_eq!(schema().get_u32(&out[0].payload, 0), 1, "must not re-apply");
     }
 
@@ -460,13 +456,10 @@ mod tests {
     #[test]
     fn outer_join_delete_of_missing_key_is_noop() {
         let updates = vec![del(1, 5)];
-        let out: Vec<Key> = MergeDataUpdates::new(
-            data(vec![(10, 1, 0)]),
-            updates.into_iter(),
-            schema(),
-        )
-        .map(|r| r.key)
-        .collect();
+        let out: Vec<Key> =
+            MergeDataUpdates::new(data(vec![(10, 1, 0)]), updates.into_iter(), schema())
+                .map(|r| r.key)
+                .collect();
         assert_eq!(out, vec![10]);
     }
 }

@@ -1,16 +1,28 @@
-//! Materialized sorted runs with read-only run indexes (§3.1–§3.3).
+//! Materialized sorted runs on the block-run format (§3.1–§3.3).
 //!
 //! A sorted run is a key-ordered sequence of update records written
-//! **sequentially** to the SSD in `P`-sized I/Os (64 KB in §4.1) — never
-//! a random SSD write. Because runs are read-only once materialized, a
-//! simple *run index* (the smallest key per fixed amount of bytes) lets a
-//! range scan read only the SSD pages overlapping its key range: with the
-//! fine-grain index a 4 KB range scan reads ≈4 KB per run, which is what
-//! keeps small-scan overhead at a few percent (Figure 9).
+//! **sequentially** to the SSD — never a random SSD write. Since the
+//! `masm-blockrun` migration, a run is no longer a flat byte stream with
+//! an in-memory sparse index: it is an immutable block-structured file
+//! (see [`masm_blockrun::format`]) with
+//!
+//! * fixed-budget data blocks of delta-compressed records (the block is
+//!   the read I/O unit — 64 KB default, 4 KB with the fine-grain index),
+//! * a per-block zone map (min/max key and timestamp) that replaces the
+//!   old sparse index and prunes blocks from scans,
+//! * a per-run bloom filter for point lookups,
+//! * CRC-32 checksums on every region, so a corrupted SSD read fails
+//!   loudly instead of decoding garbage, and
+//! * a self-describing footer, which lets crash recovery re-open a run
+//!   from `(base, bytes)` without decoding a single record.
+//!
+//! Scans go through the engine's shared [`BlockCache`]: a block read off
+//! the SSD is verified, decoded once, and served from memory afterwards
+//! — warm scans and point lookups issue zero device reads.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
+use masm_blockrun::{BlockCache, BlockRunMeta, BlockRunScan, Entry};
 use masm_pagestore::Key;
 use masm_storage::{SessionHandle, SimDevice};
 
@@ -19,95 +31,77 @@ use crate::error::MasmResult;
 use crate::ts::Timestamp;
 use crate::update::UpdateRecord;
 
-/// One run-index entry: the first key at a byte offset within the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunIndexEntry {
-    /// Smallest key at or after `offset`.
-    pub key: Key,
-    /// Record-aligned byte offset within the run.
-    pub offset: u64,
-}
-
-/// Read-only sparse index over one materialized run.
-#[derive(Debug, Clone, Default)]
-pub struct RunIndex {
-    entries: Vec<RunIndexEntry>,
-    total_bytes: u64,
-}
-
-impl RunIndex {
-    /// Number of index entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when the run is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Memory footprint of the index in bytes (4-byte key prefix + 4-byte
-    /// offset per entry would suffice; we count 16 for our fatter repr).
-    pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<RunIndexEntry>()
-    }
-
-    /// Byte span `[lo, hi)` of the run that can contain keys in
-    /// `[begin, end]`.
-    pub fn lookup(&self, begin: Key, end: Key) -> Option<(u64, u64)> {
-        if self.entries.is_empty() || end < begin {
-            return None;
-        }
-        // First cell whose first key could reach `begin`: the last entry
-        // with key <= begin (earlier cells end before `begin`).
-        let lo_idx = self
-            .entries
-            .partition_point(|e| e.key <= begin)
-            .saturating_sub(1);
-        // Cells after the first entry with key > end cannot overlap.
-        let hi_idx = self.entries.partition_point(|e| e.key <= end);
-        if hi_idx == 0 {
-            return None;
-        }
-        let lo = self.entries[lo_idx].offset;
-        let hi = if hi_idx < self.entries.len() {
-            self.entries[hi_idx].offset
-        } else {
-            self.total_bytes
-        };
-        (lo < hi).then_some((lo, hi))
-    }
-}
-
 /// Metadata of one materialized sorted run.
 #[derive(Debug, Clone)]
 pub struct SortedRun {
-    /// Engine-assigned id (creation order).
+    /// Engine-assigned id (creation order; also the run's block-cache
+    /// keyspace — ids are never reused, so stale cache entries cannot
+    /// alias a live run).
     pub id: u64,
     /// Byte offset of the run on the SSD device.
     pub base: u64,
-    /// Total encoded bytes.
+    /// Total encoded bytes (data blocks + index + bloom + footer).
     pub bytes: u64,
     /// Number of update records.
     pub count: u64,
-    /// Smallest / largest key in the run.
+    /// Smallest key in the run.
     pub min_key: Key,
     /// Largest key in the run.
     pub max_key: Key,
-    /// Smallest / largest update timestamp in the run.
+    /// Smallest update timestamp in the run.
     pub min_ts: Timestamp,
     /// Largest update timestamp in the run.
     pub max_ts: Timestamp,
     /// 1 for runs flushed straight from memory, 2 for merged runs
     /// (§3.3's 1-pass / 2-pass distinction).
     pub passes: u8,
-    /// The read-only run index.
-    pub index: RunIndex,
+    /// Block-run metadata: zone maps, bloom filter, region geometry.
+    pub meta: Arc<BlockRunMeta>,
 }
 
-/// Build the metadata (including the run index) and the encoded bytes of
-/// a run from its sorted updates. Used by [`write_run`] and by crash
-/// recovery, which re-derives the in-memory index from durable run bytes.
+impl SortedRun {
+    /// Wrap block-run metadata in engine-level run metadata.
+    pub fn from_meta(id: u64, passes: u8, meta: BlockRunMeta) -> SortedRun {
+        SortedRun {
+            id,
+            base: meta.base,
+            bytes: meta.total_bytes,
+            count: meta.entry_count,
+            min_key: meta.min_key,
+            max_key: meta.max_key,
+            min_ts: meta.min_ts,
+            max_ts: meta.max_ts,
+            passes,
+            meta: Arc::new(meta),
+        }
+    }
+
+    /// Move the run (not yet written) to its allocated device offset.
+    pub fn rebase(&mut self, base: u64) {
+        self.base = base;
+        Arc::make_mut(&mut self.meta).base = base;
+    }
+
+    /// In-memory metadata footprint (zone maps + bloom filter) — the
+    /// analogue of the old sparse index's memory cost.
+    pub fn memory_bytes(&self) -> usize {
+        self.meta.memory_bytes()
+    }
+}
+
+fn to_entry(u: &UpdateRecord) -> Entry {
+    Entry::new(u.key, u.ts, u.encode_value())
+}
+
+fn from_entry(run_id: u64, e: Entry) -> UpdateRecord {
+    UpdateRecord::decode_value(e.key, e.ts, &e.value)
+        .unwrap_or_else(|| panic!("run {run_id}: undecodable entry for key {}", e.key))
+}
+
+/// Build the metadata and the full encoded byte stream of a run from its
+/// sorted updates, without touching any device. The returned run has
+/// base 0 — callers allocate space, [`SortedRun::rebase`], then write
+/// with [`write_built`].
 pub fn build_run(
     cfg: &MasmConfig,
     id: u64,
@@ -119,46 +113,29 @@ pub fn build_run(
     debug_assert!(updates
         .windows(2)
         .all(|w| (w[0].key, w[0].ts) <= (w[1].key, w[1].ts)));
-
-    let granularity = cfg.index_granularity.bytes();
-    let mut buf = Vec::with_capacity(updates.len() * 24);
-    let mut entries = Vec::new();
-    let mut next_cell = 0u64;
-    let mut min_ts = Timestamp::MAX;
-    let mut max_ts = 0;
-    for u in updates {
-        let off = buf.len() as u64;
-        if off >= next_cell {
-            entries.push(RunIndexEntry { key: u.key, offset: off });
-            next_cell = off + granularity;
-        }
-        u.encode_into(&mut buf);
-        min_ts = min_ts.min(u.ts);
-        max_ts = max_ts.max(u.ts);
-    }
-    let run = SortedRun {
-        id,
-        base,
-        bytes: buf.len() as u64,
-        count: updates.len() as u64,
-        min_key: updates.first().expect("non-empty").key,
-        max_key: updates.last().expect("non-empty").key,
-        min_ts,
-        max_ts,
-        passes,
-        index: RunIndex {
-            entries,
-            total_bytes: buf.len() as u64,
-        },
-    };
-    (run, buf)
+    let entries: Vec<Entry> = updates.iter().map(to_entry).collect();
+    let (meta, bytes) = masm_blockrun::build_run(&cfg.blockrun_config(), &entries);
+    let mut run = SortedRun::from_meta(id, passes, meta);
+    run.rebase(base);
+    (run, bytes)
 }
 
-/// Write a materialized sorted run.
+/// Write an already-built run's bytes at its base, strictly
+/// sequentially, one I/O per block/region.
+pub fn write_built(
+    session: &SessionHandle,
+    ssd: &SimDevice,
+    run: &SortedRun,
+    bytes: &[u8],
+) -> MasmResult<()> {
+    masm_blockrun::format::write_built(session, ssd, &run.meta, bytes)?;
+    Ok(())
+}
+
+/// Build and write a materialized sorted run at `base`.
 ///
-/// `updates` must be sorted by `(key, ts)`. Writes proceed sequentially
-/// in `ssd_page_size` I/Os. Returns the run metadata (including the
-/// freshly built run index).
+/// `updates` must be sorted by `(key, ts)`. All writes are sequential —
+/// the `random_writes` counter of the update-cache SSD stays zero.
 pub fn write_run(
     session: &SessionHandle,
     ssd: &SimDevice,
@@ -168,133 +145,83 @@ pub fn write_run(
     passes: u8,
     updates: &[UpdateRecord],
 ) -> MasmResult<SortedRun> {
-    let (run, buf) = build_run(cfg, id, base, passes, updates);
-
-    // Sequential writes in P-sized I/Os (the last one may be short).
-    let page = cfg.ssd_page_size;
-    let mut off = base;
-    for chunk in buf.chunks(page) {
-        session.write(ssd, off, chunk)?;
-        off += chunk.len() as u64;
-    }
+    let (run, bytes) = build_run(cfg, id, base, passes, updates);
+    write_built(session, ssd, &run, &bytes)?;
     Ok(run)
 }
 
-/// Streaming scan of one run restricted to `[begin, end]`.
+/// Re-open a run during crash recovery from its durable footer: the
+/// zone maps, bloom filter, and key/timestamp bounds all come back from
+/// the (checksummed) metadata regions — no record is decoded.
+pub fn recover_run(
+    session: &SessionHandle,
+    ssd: &SimDevice,
+    id: u64,
+    base: u64,
+    bytes: u64,
+    passes: u8,
+) -> MasmResult<SortedRun> {
+    let meta = masm_blockrun::read_meta(session, ssd, base, bytes)?;
+    Ok(SortedRun::from_meta(id, passes, meta))
+}
+
+/// Streaming scan of one run restricted to `[begin, end]` — the
+/// `Run_scan` operator of Figure 6, on blocks.
 ///
-/// Reads the index-selected byte span in `P`-sized chunks, prefetching
-/// the next chunk asynchronously while the current one is decoded — this
-/// is the `Run_scan` operator of Figure 6.
+/// Zone maps select the blocks to visit; blocks come from the shared
+/// [`BlockCache`] when resident, otherwise from asynchronous SSD reads
+/// prefetched while the previous block decodes (§3.7's libaio overlap).
+///
+/// A checksum failure mid-scan **panics** with the block-run error: a
+/// corrupted cached-update block means queries would silently lose
+/// updates, which is strictly worse than stopping. Callers that want a
+/// recoverable error use the `masm_blockrun` APIs directly.
 pub struct RunScan {
-    ssd: SimDevice,
-    session: SessionHandle,
+    inner: BlockRunScan,
     run: Arc<SortedRun>,
-    begin: Key,
-    end: Key,
-    /// Absolute device offset of the next unread byte.
-    next_off: u64,
-    /// Absolute device offset one past the span.
-    span_end: u64,
-    /// Pending async read (data, for the carry buffer).
-    pending: Option<masm_storage::IoTicket>,
-    carry: Vec<u8>,
-    buffer: VecDeque<UpdateRecord>,
-    chunk: u64,
-    /// Bytes read from the SSD by this scan.
-    bytes_read: u64,
-    done: bool,
 }
 
 impl RunScan {
-    /// Open a scan of `run` over `[begin, end]`.
+    /// Open an uncached scan of `run` over `[begin, end]`.
     pub fn new(
         ssd: SimDevice,
         session: SessionHandle,
         run: Arc<SortedRun>,
-        cfg: &MasmConfig,
         begin: Key,
         end: Key,
     ) -> Self {
-        let in_range = begin <= run.max_key && end >= run.min_key;
-        let (next_off, span_end, done) = match in_range
-            .then(|| run.index.lookup(begin, end))
-            .flatten()
-        {
-            Some((lo, hi)) => (run.base + lo, run.base + hi, false),
-            None => (run.base, run.base, true),
-        };
-        let mut scan = RunScan {
-            ssd,
-            session,
-            run,
-            begin,
-            end,
-            next_off,
-            span_end,
-            pending: None,
-            carry: Vec::new(),
-            buffer: VecDeque::new(),
-            chunk: cfg.ssd_page_size as u64,
-            bytes_read: 0,
-            done,
-        };
-        // Issue the first read immediately: a query opens all its
-        // Run_scans at once, so their first (random) SSD reads queue
-        // together and overlap — the paper's libaio behaviour (§3.7).
-        scan.issue_next();
-        scan
+        Self::with_cache(ssd, session, run, None, begin, end)
     }
 
-    /// Bytes this scan has read off the SSD.
+    /// Open a scan served through `cache`.
+    pub fn with_cache(
+        ssd: SimDevice,
+        session: SessionHandle,
+        run: Arc<SortedRun>,
+        cache: Option<Arc<BlockCache>>,
+        begin: Key,
+        end: Key,
+    ) -> Self {
+        let inner = BlockRunScan::new(
+            ssd,
+            session,
+            Arc::clone(&run.meta),
+            cache,
+            run.id,
+            begin,
+            end,
+        );
+        RunScan { inner, run }
+    }
+
+    /// Bytes this scan has read off the SSD (cache hits cost nothing).
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read
+        self.inner.bytes_read()
     }
 
     /// The run being scanned.
     pub fn run(&self) -> &SortedRun {
         &self.run
-    }
-
-    fn issue_next(&mut self) {
-        if self.pending.is_some() || self.next_off >= self.span_end {
-            return;
-        }
-        let len = (self.span_end - self.next_off).min(self.chunk);
-        if let Ok(ticket) = self.session.read_async(&self.ssd, self.next_off, len) {
-            self.next_off += len;
-            self.bytes_read += len;
-            self.pending = Some(ticket);
-        } else {
-            self.done = true;
-        }
-    }
-
-    fn refill(&mut self) -> bool {
-        if self.done {
-            return false;
-        }
-        self.issue_next();
-        let Some(ticket) = self.pending.take() else {
-            self.done = true;
-            return false;
-        };
-        let data = self.session.wait(ticket);
-        // Prefetch the next chunk before decoding (overlap).
-        self.issue_next();
-        self.carry.extend_from_slice(&data);
-        let mut pos = 0usize;
-        while let Some((u, used)) = UpdateRecord::decode(&self.carry[pos..]) {
-            pos += used;
-            if u.key > self.end {
-                self.done = true;
-                break;
-            }
-            if u.key >= self.begin {
-                self.buffer.push_back(u);
-            }
-        }
-        self.carry.drain(..pos);
-        true
     }
 }
 
@@ -302,13 +229,31 @@ impl Iterator for RunScan {
     type Item = UpdateRecord;
 
     fn next(&mut self) -> Option<UpdateRecord> {
-        while self.buffer.is_empty() {
-            if !self.refill() {
-                return None;
+        match self.inner.next() {
+            Some(e) => Some(from_entry(self.run.id, e)),
+            None => {
+                if let Some(e) = self.inner.error() {
+                    panic!("run {} scan failed: {e}", self.run.id);
+                }
+                None
             }
         }
-        self.buffer.pop_front()
     }
+}
+
+/// All updates for `key` in `run`, oldest first — a bloom-guarded point
+/// lookup: zero I/O when the filter excludes the key, zero *device* I/O
+/// when the needed block is cached.
+pub fn lookup_in_run(
+    session: &SessionHandle,
+    ssd: &SimDevice,
+    run: &SortedRun,
+    cache: Option<&BlockCache>,
+    key: Key,
+) -> MasmResult<Vec<UpdateRecord>> {
+    let entries =
+        masm_blockrun::point_lookup(session, ssd, &run.meta, key, cache.map(|c| (c, run.id)))?;
+    Ok(entries.into_iter().map(|e| from_entry(run.id, e)).collect())
 }
 
 /// Bump allocator for run space on the SSD.
@@ -375,7 +320,7 @@ impl SsdSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::update::UpdateOp;
+    use crate::update::{FieldPatch, UpdateOp};
     use masm_storage::{DeviceProfile, SimClock};
 
     fn setup() -> (SimDevice, SessionHandle, MasmConfig) {
@@ -404,22 +349,42 @@ mod tests {
         assert_eq!(run.max_key, 9);
         assert_eq!(run.min_ts, 1);
         assert_eq!(run.max_ts, 5);
-        let got: Vec<Key> = RunScan::new(ssd, s, Arc::new(run), &cfg, 0, u64::MAX)
+        let got: Vec<Key> = RunScan::new(ssd, s, Arc::new(run), 0, u64::MAX)
             .map(|u| u.key)
             .collect();
         assert_eq!(got, vec![1, 3, 5, 7, 9]);
     }
 
     #[test]
+    fn all_op_kinds_roundtrip_through_blocks() {
+        let (ssd, s, cfg) = setup();
+        let us = vec![
+            UpdateRecord::new(1, 2, UpdateOp::Insert(vec![7u8; 20])),
+            UpdateRecord::new(2, 4, UpdateOp::Delete),
+            UpdateRecord::new(
+                3,
+                6,
+                UpdateOp::Modify(vec![FieldPatch {
+                    field: 1,
+                    value: vec![1, 2, 3, 4],
+                }]),
+            ),
+            UpdateRecord::new(4, 8, UpdateOp::Replace(vec![9u8; 12])),
+        ];
+        let run = write_run(&s, &ssd, &cfg, 1, 0, 1, &us).unwrap();
+        let got: Vec<UpdateRecord> = RunScan::new(ssd, s, Arc::new(run), 0, u64::MAX).collect();
+        assert_eq!(got, us);
+    }
+
+    #[test]
     fn scan_range_narrows_reads() {
         let (ssd, s, cfg) = setup();
-        // Enough updates that the index has several cells (granularity 64B,
-        // each delete record is 17B -> ~4 records per cell).
+        // Enough updates that the run spans many 64-byte blocks.
         let keys: Vec<Key> = (0..200).map(|i| i * 2).collect();
         let us = updates(&keys);
         let run = Arc::new(write_run(&s, &ssd, &cfg, 1, 0, 1, &us).unwrap());
-        assert!(run.index.len() > 10);
-        let mut scan = RunScan::new(ssd.clone(), s.clone(), run.clone(), &cfg, 100, 110);
+        assert!(run.meta.zones.len() > 10, "{} blocks", run.meta.zones.len());
+        let mut scan = RunScan::new(ssd.clone(), s.clone(), run.clone(), 100, 110);
         let got: Vec<Key> = scan.by_ref().map(|u| u.key).collect();
         assert_eq!(got, vec![100, 102, 104, 106, 108, 110]);
         assert!(
@@ -435,7 +400,7 @@ mod tests {
         let (ssd, s, cfg) = setup();
         let us = updates(&[100, 200, 300]);
         let run = Arc::new(write_run(&s, &ssd, &cfg, 1, 0, 1, &us).unwrap());
-        let mut scan = RunScan::new(ssd, s, run, &cfg, 400, 500);
+        let mut scan = RunScan::new(ssd, s, run, 400, 500);
         assert!(scan.next().is_none());
         assert_eq!(scan.bytes_read(), 0);
     }
@@ -443,34 +408,79 @@ mod tests {
     #[test]
     fn run_writes_are_never_random() {
         let (ssd, s, cfg) = setup();
+        ssd.prime_head_position(0);
         ssd.reset_stats();
         let keys: Vec<Key> = (0..5000).collect();
         let us = updates(&keys);
         write_run(&s, &ssd, &cfg, 1, 0, 1, &us).unwrap();
         let stats = ssd.stats();
-        // First write of a fresh device counts as random (no predecessor);
-        // everything else must be sequential.
-        assert!(stats.random_writes <= 1, "{stats:?}");
+        assert_eq!(stats.random_writes, 0, "{stats:?}");
         assert!(stats.write_ops > 10);
     }
 
     #[test]
-    fn index_lookup_bounds() {
-        let idx = RunIndex {
-            entries: vec![
-                RunIndexEntry { key: 10, offset: 0 },
-                RunIndexEntry { key: 50, offset: 100 },
-                RunIndexEntry { key: 90, offset: 200 },
-            ],
-            total_bytes: 300,
-        };
-        // Range entirely before the run: no cell can contain keys < 10.
-        assert_eq!(idx.lookup(0, 5), None);
-        let full = idx.lookup(0, 1000);
-        assert_eq!(full, Some((0, 300)));
-        assert_eq!(idx.lookup(50, 50), Some((100, 200)));
-        assert_eq!(idx.lookup(91, 95), Some((200, 300)));
-        assert_eq!(idx.lookup(10, 49), Some((0, 100)));
+    fn cached_rescan_reads_zero_bytes() {
+        let (ssd, s, cfg) = setup();
+        let keys: Vec<Key> = (0..500).collect();
+        let run = Arc::new(write_run(&s, &ssd, &cfg, 1, 0, 1, &updates(&keys)).unwrap());
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let cold: Vec<Key> = RunScan::with_cache(
+            ssd.clone(),
+            s.clone(),
+            Arc::clone(&run),
+            Some(Arc::clone(&cache)),
+            0,
+            u64::MAX,
+        )
+        .map(|u| u.key)
+        .collect();
+        assert_eq!(cold, keys);
+        let mut warm = RunScan::with_cache(ssd, s, run, Some(Arc::clone(&cache)), 0, u64::MAX);
+        let warm_keys: Vec<Key> = warm.by_ref().map(|u| u.key).collect();
+        assert_eq!(warm_keys, keys);
+        assert_eq!(warm.bytes_read(), 0, "warm scan is pure cache");
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn point_lookup_finds_and_excludes() {
+        let (ssd, s, cfg) = setup();
+        let keys: Vec<Key> = (0..400).map(|i| i * 2).collect();
+        let run = write_run(&s, &ssd, &cfg, 1, 0, 1, &updates(&keys)).unwrap();
+        let hit = lookup_in_run(&s, &ssd, &run, None, 200).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].key, 200);
+        // Absent keys mostly cost zero reads thanks to the bloom filter.
+        ssd.reset_stats();
+        let mut io_free = 0;
+        for probe in 0..100u64 {
+            let before = ssd.stats().read_ops;
+            assert!(lookup_in_run(&s, &ssd, &run, None, probe * 2 + 1)
+                .unwrap()
+                .is_empty());
+            if ssd.stats().read_ops == before {
+                io_free += 1;
+            }
+        }
+        assert!(io_free > 90, "bloom skipped I/O for {io_free}/100");
+    }
+
+    #[test]
+    fn recovery_reopens_run_from_footer() {
+        let (ssd, s, cfg) = setup();
+        let keys: Vec<Key> = (0..300).map(|i| i * 3).collect();
+        let run = write_run(&s, &ssd, &cfg, 7, 0, 2, &updates(&keys)).unwrap();
+        let back = recover_run(&s, &ssd, 7, 0, run.bytes, 2).unwrap();
+        assert_eq!(back.count, run.count);
+        assert_eq!(back.min_key, run.min_key);
+        assert_eq!(back.max_key, run.max_key);
+        assert_eq!(back.min_ts, run.min_ts);
+        assert_eq!(back.max_ts, run.max_ts);
+        assert_eq!(back.meta.zones, run.meta.zones);
+        let got: Vec<Key> = RunScan::new(ssd, s, Arc::new(back), 0, u64::MAX)
+            .map(|u| u.key)
+            .collect();
+        assert_eq!(got, keys);
     }
 
     #[test]
@@ -486,19 +496,5 @@ mod tests {
         sp.free(50);
         assert_eq!(sp.live_bytes(), 0);
         assert_eq!(sp.alloc(10), 0, "pointer rewound");
-    }
-
-    #[test]
-    fn decode_across_chunk_boundaries() {
-        let (ssd, s, mut cfg) = setup();
-        cfg.ssd_page_size = 1024; // force many small chunks
-        let keys: Vec<Key> = (0..500).collect();
-        let us = updates(&keys);
-        let run = Arc::new(write_run(&s, &ssd, &cfg, 1, 0, 1, &us).unwrap());
-        let got: Vec<Key> = RunScan::new(ssd, s, run, &cfg, 0, u64::MAX)
-            .map(|u| u.key)
-            .collect();
-        assert_eq!(got.len(), 500);
-        assert!(got.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -107,12 +107,7 @@ impl SecondaryIndex {
 
     /// Apply an update to the engine and the index atomically enough
     /// for single-statement semantics.
-    pub fn apply_update(
-        &self,
-        session: &SessionHandle,
-        key: Key,
-        op: UpdateOp,
-    ) -> MasmResult<u64> {
+    pub fn apply_update(&self, session: &SessionHandle, key: Key, op: UpdateOp) -> MasmResult<u64> {
         self.note_update(key, &op);
         self.engine.apply_update(session, key, op)
     }
@@ -134,8 +129,7 @@ impl SecondaryIndex {
         let candidates: BTreeSet<Key> = {
             let inner = self.inner.lock();
             let range = (y_begin.to_vec(), Key::MIN)..=(y_end.to_vec(), Key::MAX);
-            let mut c: BTreeSet<Key> =
-                inner.base.range(range.clone()).map(|(_, k)| *k).collect();
+            let mut c: BTreeSet<Key> = inner.base.range(range.clone()).map(|(_, k)| *k).collect();
             c.extend(inner.updates.range(range).map(|(_, k)| *k));
             c
         };
@@ -144,8 +138,7 @@ impl SecondaryIndex {
         let mut out = Vec::new();
         for key in candidates {
             // Point merged-read: sees base data + all cached updates.
-            if let Some(record) = self.engine.begin_scan(session.clone(), key, key)?.next()
-            {
+            if let Some(record) = self.engine.begin_scan(session.clone(), key, key)?.next() {
                 let y = schema.get(&record.payload, self.field);
                 if y >= y_begin && y <= y_end {
                     out.push(record);
@@ -223,7 +216,8 @@ mod tests {
     fn inserted_records_found_through_update_index() {
         let (engine, s) = setup();
         let idx = SecondaryIndex::build(&engine, &s, 0).unwrap();
-        idx.apply_update(&s, 401, UpdateOp::Insert(payload(11))).unwrap();
+        idx.apply_update(&s, 401, UpdateOp::Insert(payload(11)))
+            .unwrap();
         let got = idx.index_scan(&s, &y(11), &y(11)).unwrap();
         assert_eq!(keys_of(&got), vec![22, 401]);
         assert!(idx.update_index_len() > 0);
@@ -262,7 +256,8 @@ mod tests {
     fn rebuild_after_migration_stays_consistent() {
         let (engine, s) = setup();
         let idx = SecondaryIndex::build(&engine, &s, 0).unwrap();
-        idx.apply_update(&s, 401, UpdateOp::Insert(payload(50))).unwrap();
+        idx.apply_update(&s, 401, UpdateOp::Insert(payload(50)))
+            .unwrap();
         idx.apply_update(&s, 100, UpdateOp::Delete).unwrap();
         let before = keys_of(&idx.index_scan(&s, &y(49), &y(51)).unwrap());
         engine.migrate(&s).unwrap();

@@ -141,7 +141,10 @@ mod tests {
         let o1 = m.masm_overhead(16.0e6, 1.0);
         let o2 = m.masm_overhead(32.0e6, 1.0);
         let ratio = o1 / o2;
-        assert!((ratio - 4.0).abs() < 0.01, "doubling memory → 4× lower: {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "doubling memory → 4× lower: {ratio}"
+        );
         // Prior approach: only 2×.
         let p1 = m.in_memory_overhead(16.0e6);
         let p2 = m.in_memory_overhead(32.0e6);

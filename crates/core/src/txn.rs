@@ -64,12 +64,7 @@ impl Transaction {
     /// Open a range scan that sees the snapshot **plus** this
     /// transaction's own staged writes (the private-buffer `Mem_scan` of
     /// §3.6).
-    pub fn scan(
-        &self,
-        session: SessionHandle,
-        begin: Key,
-        end: Key,
-    ) -> MasmResult<MergeScan> {
+    pub fn scan(&self, session: SessionHandle, begin: Key, end: Key) -> MasmResult<MergeScan> {
         let private: Vec<UpdateRecord> = self
             .writes
             .iter()
@@ -210,8 +205,8 @@ mod tests {
         let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let wal = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-        let engine = MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests())
-            .unwrap();
+        let engine =
+            MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests()).unwrap();
         let session = SessionHandle::fresh(clock);
         engine
             .load_table(
@@ -351,11 +346,7 @@ mod tests {
         let ts_b = handle.join().unwrap();
         assert!(ts_b > ts_a, "B serialized after A by the lock");
         // B's value wins.
-        let rec = engine
-            .begin_scan(session, 60, 60)
-            .unwrap()
-            .next()
-            .unwrap();
+        let rec = engine.begin_scan(session, 60, 60).unwrap().next().unwrap();
         assert_eq!(schema().get_u32(&rec.payload, 0), 2);
     }
 

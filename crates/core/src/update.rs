@@ -72,10 +72,17 @@ impl UpdateRecord {
         8 + 8 + 1 + content
     }
 
-    /// Append the encoding to `out`.
+    /// Append the full `(ts, key, op)` encoding to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.ts.to_le_bytes());
         out.extend_from_slice(&self.key.to_le_bytes());
+        self.encode_value_into(out);
+    }
+
+    /// Append only the operation part (tag + content) to `out` — the
+    /// *value* of a block-run entry, whose key and timestamp are stored
+    /// by the block format itself.
+    pub fn encode_value_into(&self, out: &mut Vec<u8>) {
         out.push(self.op.type_tag());
         match &self.op {
             UpdateOp::Insert(p) | UpdateOp::Replace(p) => {
@@ -95,16 +102,18 @@ impl UpdateRecord {
         }
     }
 
-    /// Decode one record from the front of `buf`; returns it and the
-    /// bytes consumed, or `None` if `buf` is truncated.
-    pub fn decode(buf: &[u8]) -> Option<(UpdateRecord, usize)> {
-        if buf.len() < 17 {
-            return None;
-        }
-        let ts = Timestamp::from_le_bytes(buf[0..8].try_into().ok()?);
-        let key = Key::from_le_bytes(buf[8..16].try_into().ok()?);
-        let tag = buf[16];
-        let mut pos = 17usize;
+    /// The operation part (tag + content) as owned bytes.
+    pub fn encode_value(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() - 16);
+        self.encode_value_into(&mut out);
+        out
+    }
+
+    /// Decode an operation (tag + content) from the front of `buf`;
+    /// returns it and the bytes consumed.
+    fn decode_op(buf: &[u8]) -> Option<(UpdateOp, usize)> {
+        let tag = *buf.first()?;
+        let mut pos = 1usize;
         let op = match tag {
             0 | 3 => {
                 if buf.len() < pos + 2 {
@@ -136,8 +145,7 @@ impl UpdateRecord {
                         return None;
                     }
                     let field = u16::from_le_bytes(buf[pos..pos + 2].try_into().ok()?);
-                    let len =
-                        u16::from_le_bytes(buf[pos + 2..pos + 4].try_into().ok()?) as usize;
+                    let len = u16::from_le_bytes(buf[pos + 2..pos + 4].try_into().ok()?) as usize;
                     pos += 4;
                     if buf.len() < pos + len {
                         return None;
@@ -152,7 +160,27 @@ impl UpdateRecord {
             }
             _ => return None,
         };
-        Some((UpdateRecord { ts, key, op }, pos))
+        Some((op, pos))
+    }
+
+    /// Decode one record from the front of `buf`; returns it and the
+    /// bytes consumed, or `None` if `buf` is truncated.
+    pub fn decode(buf: &[u8]) -> Option<(UpdateRecord, usize)> {
+        if buf.len() < 17 {
+            return None;
+        }
+        let ts = Timestamp::from_le_bytes(buf[0..8].try_into().ok()?);
+        let key = Key::from_le_bytes(buf[8..16].try_into().ok()?);
+        let (op, used) = Self::decode_op(&buf[16..])?;
+        Some((UpdateRecord { ts, key, op }, 16 + used))
+    }
+
+    /// Reassemble a record from block-run parts: the `(key, ts)` the
+    /// block format stored plus the opaque value written by
+    /// [`UpdateRecord::encode_value`]. Rejects trailing bytes.
+    pub fn decode_value(key: Key, ts: Timestamp, value: &[u8]) -> Option<UpdateRecord> {
+        let (op, used) = Self::decode_op(value)?;
+        (used == value.len()).then_some(UpdateRecord { ts, key, op })
     }
 
     /// Apply this update to an optional existing record, producing the
@@ -161,9 +189,7 @@ impl UpdateRecord {
     /// This is the per-record core of `Merge_data_updates`' outer join.
     pub fn apply_to(&self, base: Option<Record>, schema: &Schema) -> Option<Record> {
         match &self.op {
-            UpdateOp::Insert(p) | UpdateOp::Replace(p) => {
-                Some(Record::new(self.key, p.clone()))
-            }
+            UpdateOp::Insert(p) | UpdateOp::Replace(p) => Some(Record::new(self.key, p.clone())),
             UpdateOp::Delete => None,
             UpdateOp::Modify(patches) => base.map(|mut r| {
                 for p in patches {
@@ -210,9 +236,7 @@ impl UpdateRecord {
             (UpdateOp::Modify(m1), UpdateOp::Modify(m2)) => {
                 let mut merged: Vec<FieldPatch> = m1.clone();
                 for p2 in m2 {
-                    if let Some(existing) =
-                        merged.iter_mut().find(|p| p.field == p2.field)
-                    {
+                    if let Some(existing) = merged.iter_mut().find(|p| p.field == p2.field) {
                         existing.value = p2.value.clone();
                     } else {
                         merged.push(p2.clone());
@@ -284,6 +308,33 @@ mod tests {
             pos += used;
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn value_codec_roundtrip() {
+        let cases = vec![
+            UpdateRecord::new(1, 10, UpdateOp::Insert(payload(5, b"abcd"))),
+            UpdateRecord::new(2, 11, UpdateOp::Delete),
+            UpdateRecord::new(
+                3,
+                12,
+                UpdateOp::Modify(vec![FieldPatch {
+                    field: 1,
+                    value: b"wxyz".to_vec(),
+                }]),
+            ),
+            UpdateRecord::new(4, 13, UpdateOp::Replace(payload(9, b"zzzz"))),
+        ];
+        for c in &cases {
+            let value = c.encode_value();
+            assert_eq!(value.len(), c.encoded_len() - 16);
+            let back = UpdateRecord::decode_value(c.key, c.ts, &value).unwrap();
+            assert_eq!(&back, c);
+        }
+        // Trailing bytes are rejected.
+        let mut value = cases[1].encode_value();
+        value.push(0);
+        assert!(UpdateRecord::decode_value(11, 2, &value).is_none());
     }
 
     #[test]

@@ -145,9 +145,7 @@ mod tests {
         engine
             .apply_update(&session, 1, UpdateOp::Insert(payload(50)))
             .unwrap();
-        engine
-            .apply_update(&session, 0, UpdateOp::Delete)
-            .unwrap();
+        engine.apply_update(&session, 0, UpdateOp::Delete).unwrap();
         assert_eq!(view.refresh_count(), 1, "no eager maintenance");
 
         // The next read refreshes once and is exact.
@@ -188,7 +186,9 @@ mod tests {
             *acc += 1;
         });
         assert_eq!(view.get(&session).unwrap(), 11);
-        engine.apply_update(&session, 5, UpdateOp::Insert(payload(1))).unwrap();
+        engine
+            .apply_update(&session, 5, UpdateOp::Insert(payload(1)))
+            .unwrap();
         assert_eq!(view.get(&session).unwrap(), 12);
     }
 }

@@ -215,8 +215,7 @@ impl WalRecord {
                 pos += 4;
                 let record_count =
                     get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load count"))?;
-                let min_keys =
-                    get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("load keys"))?;
+                let min_keys = get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("load keys"))?;
                 WalRecord::HeapLoaded {
                     base,
                     page_size,
@@ -228,8 +227,7 @@ impl WalRecord {
                 let at = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice at"))? as usize;
                 let n_old =
                     get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice n_old"))? as usize;
-                let base_phys =
-                    get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice base"))?;
+                let base_phys = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice base"))?;
                 let n_new =
                     get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice n_new"))? as usize;
                 let record_delta = i64::from_le_bytes(
@@ -239,8 +237,7 @@ impl WalRecord {
                         .unwrap(),
                 );
                 pos += 8;
-                let min_keys =
-                    get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("splice keys"))?;
+                let min_keys = get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("splice keys"))?;
                 WalRecord::MapSplice(ChunkCommit {
                     at,
                     n_old,
@@ -292,10 +289,7 @@ impl Wal {
 
     /// Read every record from `dev` (recovery). Returns the records and
     /// the end offset for further appends.
-    pub fn read_all(
-        session: &SessionHandle,
-        dev: &SimDevice,
-    ) -> MasmResult<(Vec<WalRecord>, u64)> {
+    pub fn read_all(session: &SessionHandle, dev: &SimDevice) -> MasmResult<(Vec<WalRecord>, u64)> {
         let len = dev.len();
         if len == 0 {
             return Ok((Vec::new(), 0));

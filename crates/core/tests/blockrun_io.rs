@@ -1,0 +1,143 @@
+//! Storage-level acceptance tests of the block-run subsystem as used by
+//! the engine: the paper's `random_writes == 0` invariant, loud
+//! checksum failures on corruption, and zero-SSD-read warm-cache scans.
+
+use std::sync::Arc;
+
+use masm_core::config::MasmConfig;
+use masm_core::run::{lookup_in_run, write_run, RunScan};
+use masm_core::update::{UpdateOp, UpdateRecord};
+use masm_core::{MasmEngine, MasmError};
+use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
+use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
+
+fn schema() -> Schema {
+    Schema::synthetic_100b()
+}
+
+fn payload(v: u32) -> Vec<u8> {
+    let s = schema();
+    let mut p = s.empty_payload();
+    s.set_u32(&mut p, 0, v);
+    p
+}
+
+struct Fixture {
+    engine: Arc<MasmEngine>,
+    session: SessionHandle,
+}
+
+fn fixture(n_records: u64) -> Fixture {
+    let clock = SimClock::new();
+    let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+    let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    let wal = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+    let engine = MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests()).unwrap();
+    let session = SessionHandle::fresh(clock);
+    engine
+        .load_table(
+            &session,
+            (0..n_records).map(|i| Record::new(i * 2, payload(i as u32))),
+            1.0,
+        )
+        .unwrap();
+    Fixture { engine, session }
+}
+
+/// Design goal 2, strictly: writing block runs and migrating them back
+/// into the main data issues **zero** random writes on the update-cache
+/// SSD. (The engine primes the device head at its region base, so even
+/// the first run write counts as a sequential continuation.)
+#[test]
+fn block_run_writes_and_migration_issue_zero_random_ssd_writes() {
+    let f = fixture(500);
+    f.engine.ssd().reset_stats();
+    for i in 0..4000u64 {
+        f.engine
+            .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(i as u32)))
+            .unwrap();
+    }
+    assert!(f.engine.run_count() > 1, "several runs materialized");
+    let report = f.engine.migrate(&f.session).unwrap();
+    assert!(report.runs_migrated > 1);
+
+    let stats = f.engine.ssd().stats();
+    assert!(stats.write_ops > 10, "{stats:?}");
+    assert_eq!(stats.random_writes, 0, "{stats:?}");
+}
+
+/// A corrupted block fails the CRC check and surfaces as a checksum
+/// error — never as silently wrong update records.
+#[test]
+fn corrupted_block_read_fails_with_checksum_error() {
+    let clock = SimClock::new();
+    let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    let session = SessionHandle::fresh(clock);
+    let cfg = MasmConfig::small_for_tests();
+    let updates: Vec<UpdateRecord> = (0..2000u64)
+        .map(|i| UpdateRecord::new(i + 1, i * 2, UpdateOp::Replace(payload(i as u32))))
+        .collect();
+    let run = write_run(&session, &ssd, &cfg, 1, 0, 1, &updates).unwrap();
+    assert!(run.meta.zones.len() > 2, "{} blocks", run.meta.zones.len());
+
+    // Flip one byte inside the second data block.
+    let zone = run.meta.zones[1];
+    let (orig, _) = ssd.read_at(0, zone.offset + 7, 1).unwrap();
+    ssd.write_at(0, zone.offset + 7, &[orig[0] ^ 0x40]).unwrap();
+
+    // Point lookup through the corrupted block: checksum error.
+    let probe = zone.min_key;
+    let err = lookup_in_run(&session, &ssd, &run, None, probe).unwrap_err();
+    assert!(
+        matches!(err, MasmError::BlockRun(_)),
+        "expected checksum failure, got {err}"
+    );
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    // A streaming scan refuses to continue past the corruption (it
+    // panics rather than yielding garbage).
+    let run = Arc::new(run);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        RunScan::new(ssd.clone(), session.clone(), Arc::clone(&run), 0, u64::MAX).count()
+    }));
+    assert!(
+        result.is_err(),
+        "scan across corrupted block must not succeed"
+    );
+}
+
+/// Reading the same key ranges twice: the second pass is served entirely
+/// from the block cache — zero SSD reads — and the counters show it.
+#[test]
+fn warm_cache_scans_issue_zero_ssd_reads() {
+    let f = fixture(300);
+    for i in 0..3000u64 {
+        f.engine
+            .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(1)))
+            .unwrap();
+    }
+    assert!(f.engine.run_count() > 0);
+
+    let scan_all = || {
+        f.engine
+            .begin_scan(f.session.clone(), 0, u64::MAX)
+            .unwrap()
+            .count()
+    };
+    let cold_n = scan_all();
+    let cold = f.engine.ssd().stats();
+    assert!(cold.read_ops > 0, "cold scan read the SSD");
+
+    let warm_n = scan_all();
+    let warm = f.engine.ssd().stats();
+    assert_eq!(cold_n, warm_n);
+    assert_eq!(
+        warm.read_ops, cold.read_ops,
+        "warm scan issued SSD reads: {warm:?}"
+    );
+
+    let cache = f.engine.cache_stats();
+    assert!(cache.hits > 0, "{cache:?}");
+    assert!(cache.hit_rate() > 0.0);
+}

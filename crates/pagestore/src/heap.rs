@@ -80,9 +80,7 @@ impl Allocator {
             // Find the first ascending run of length n with stride page_size.
             let mut run_start = 0usize;
             for i in 1..=self.free.len() {
-                if i == self.free.len()
-                    || self.free[i] != self.free[i - 1] + page_size
-                {
+                if i == self.free.len() || self.free[i] != self.free[i - 1] + page_size {
                     if i - run_start >= n {
                         let offset = self.free[run_start];
                         self.free.drain(run_start..run_start + n);
@@ -198,10 +196,11 @@ impl TableHeap {
             last_key = Some(r.key);
             let need = r.encoded_len() + crate::page::SLOT_SIZE;
             if (used + need > target_bytes.min(page_size) || !cur.fits(&r))
-                && cur.record_count() > 0 {
-                    pages.push(std::mem::replace(&mut cur, Page::new(page_size)));
-                    used = 0;
-                }
+                && cur.record_count() > 0
+            {
+                pages.push(std::mem::replace(&mut cur, Page::new(page_size)));
+                used = 0;
+            }
             assert!(cur.append(&r), "record larger than page");
             used += need;
             count += 1;
@@ -285,7 +284,7 @@ impl TableHeap {
         let mut new_pages: Vec<Page> = Vec::new();
         let mut cur = Page::new(page_size);
         cur.set_timestamp(timestamp);
-        
+
         for r in &records {
             if !cur.fits(r) {
                 new_pages.push(std::mem::replace(&mut cur, Page::new(page_size)));
@@ -411,12 +410,7 @@ impl TableHeap {
     /// `[begin, end]` (partial migration, §3.5 "Improving Migration":
     /// "one can migrate a portion … of updates at a time to distribute
     /// the cost across multiple operations").
-    pub fn rewriter_range(
-        &self,
-        session: SessionHandle,
-        begin: Key,
-        end: Key,
-    ) -> HeapRewriter<'_> {
+    pub fn rewriter_range(&self, session: SessionHandle, begin: Key, end: Key) -> HeapRewriter<'_> {
         let bounds = self.state.read().index.page_range(begin, end);
         HeapRewriter::new(self, session, bounds)
     }
@@ -794,12 +788,8 @@ mod tests {
         let heap = Arc::new(TableHeap::new(dev, HeapConfig::default()));
         let session = SessionHandle::fresh(clock);
         // Even keys 0,2,4,... like the paper (odd keys free for inserts).
-        heap.bulk_load(
-            &session,
-            (0..n).map(|i| Record::synthetic(i * 2, 92)),
-            1.0,
-        )
-        .unwrap();
+        heap.bulk_load(&session, (0..n).map(|i| Record::synthetic(i * 2, 92)), 1.0)
+            .unwrap();
         (heap, session)
     }
 
@@ -824,7 +814,10 @@ mod tests {
     fn small_range_scan_is_exact() {
         let (heap, s) = heap_with(1000);
         let got: Vec<Key> = heap.scan_range(s, 100, 120).map(|r| r.key).collect();
-        assert_eq!(got, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]);
+        assert_eq!(
+            got,
+            vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120]
+        );
     }
 
     #[test]
@@ -901,10 +894,7 @@ mod tests {
         assert!(spans >= 2);
         assert_eq!(heap.num_pages(), pages_before + spans - 1);
         // All records still readable, in order.
-        let got: Vec<Key> = heap
-            .scan_range(s, 0, u64::MAX)
-            .map(|r| r.key)
-            .collect();
+        let got: Vec<Key> = heap.scan_range(s, 0, u64::MAX).map(|r| r.key).collect();
         assert_eq!(got.len() as u64, 100 - page.record_count() as u64 + count);
         assert!(got.windows(2).all(|w| w[0] < w[1]));
     }
@@ -921,10 +911,7 @@ mod tests {
             rw.commit_chunk(pages).unwrap();
         }
         rw.finish();
-        let after: Vec<Key> = heap
-            .scan_range(s, 0, u64::MAX)
-            .map(|r| r.key)
-            .collect();
+        let after: Vec<Key> = heap.scan_range(s, 0, u64::MAX).map(|r| r.key).collect();
         assert_eq!(before, after);
         assert_eq!(heap.record_count(), 5000);
     }
@@ -960,10 +947,7 @@ mod tests {
             rw.commit_chunk(new_pages).unwrap();
         }
         rw.finish();
-        let got: Vec<Key> = heap
-            .scan_range(s, 0, u64::MAX)
-            .map(|r| r.key)
-            .collect();
+        let got: Vec<Key> = heap.scan_range(s, 0, u64::MAX).map(|r| r.key).collect();
         assert!(got.iter().all(|k| k % 4 != 0));
         assert!(got.windows(2).all(|w| w[0] < w[1]));
         // 2000 evens: 1000 survive (k%4==2); odds inserted between lo..hi
@@ -982,8 +966,7 @@ mod tests {
         rw.finish();
         let bytes_after = heap.alloc.lock().next;
         // Identity rewrite must not grow the file by more than ~2 chunks.
-        let chunk_bytes =
-            (heap.config().rewrite_chunk_pages * heap.config().page_size) as u64;
+        let chunk_bytes = (heap.config().rewrite_chunk_pages * heap.config().page_size) as u64;
         assert!(
             bytes_after <= bytes_before + 2 * chunk_bytes,
             "before={bytes_before} after={bytes_after}"

@@ -97,7 +97,7 @@ impl DeviceProfile {
             // 8.5 ms average seek + 4.17 ms average rotational delay.
             rand_read_setup: 12_670_000,
             rand_write_setup: 12_670_000,
-            seq_setup: 50_000, // 50 µs command overhead
+            seq_setup: 50_000,     // 50 µs command overhead
             rand_extra_latency: 0, // the seek model is already latency
             // min 0.8 ms, full stroke ~15.3 ms, rotation 4.17 ms:
             // averages to the 12.67 ms flat model over random distances.

@@ -90,7 +90,12 @@ impl IoSession {
     }
 
     /// Asynchronous write: issued at the cursor, which does **not** advance.
-    pub fn write_async(&self, dev: &SimDevice, offset: u64, data: &[u8]) -> StorageResult<IoTicket> {
+    pub fn write_async(
+        &self,
+        dev: &SimDevice,
+        offset: u64,
+        data: &[u8],
+    ) -> StorageResult<IoTicket> {
         let end = dev.write_at(self.now, offset, data)?;
         Ok(IoTicket {
             data: None,
@@ -239,11 +244,8 @@ mod tests {
         );
 
         // Serial on one device would be strictly larger than either alone.
-        let ssd_only = DeviceProfile::ssd_x25e().duration(
-            crate::device::AccessKind::Read,
-            4 * MIB,
-            false,
-        );
+        let ssd_only =
+            DeviceProfile::ssd_x25e().duration(crate::device::AccessKind::Read, 4 * MIB, false);
         assert!(overlapped < hdd_only + ssd_only);
     }
 

@@ -1,6 +1,8 @@
-//! Per-device I/O statistics and SSD wear accounting.
+//! Per-device I/O statistics, SSD wear accounting, and shared cache
+//! counters.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Mutable statistics accumulated by a [`crate::sim::SimDevice`].
 #[derive(Debug, Default, Clone)]
@@ -138,6 +140,92 @@ impl IoStatsSnapshot {
     }
 }
 
+/// Shared counters for a read cache sitting above a device (e.g. the
+/// block cache of `masm-blockrun`). Lives here so benchmarks can report
+/// cache effectiveness next to the device [`IoStats`] they already
+/// collect.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Record a lookup served from the cache.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a lookup that had to go to the device.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an entry added to the cache.
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an entry evicted to make room.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copyable summary for reporting.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Copyable summary of [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that went to the device.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Difference between two snapshots (self - earlier).
+    pub fn delta(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +272,30 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.read_ops, 1);
         assert_eq!(d.bytes_read, 30);
+    }
+
+    #[test]
+    fn cache_stats_roundtrip() {
+        let s = CacheStats::default();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insertion();
+        s.record_eviction();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.insertions, 1);
+        assert_eq!(snap.evictions, 1);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let later = {
+            s.record_miss();
+            s.snapshot()
+        };
+        assert_eq!(later.delta(&snap).misses, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), CacheStatsSnapshot::default());
+        assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! randomly." Sizes here are a scale knob; normalized results are
 //! scale-free (see DESIGN.md).
 
-use masm_pagestore::{Key, Record, Schema};
 use masm_core::update::{FieldPatch, UpdateOp};
+use masm_pagestore::{Key, Record, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,7 +41,8 @@ impl SyntheticTable {
     /// Record `i` (key `2i`, so odd keys stay free for inserts).
     pub fn record(&self, i: u64) -> Record {
         let mut payload = self.schema.empty_payload();
-        self.schema.set_u32(&mut payload, 0, (i % u32::MAX as u64) as u32);
+        self.schema
+            .set_u32(&mut payload, 0, (i % u32::MAX as u64) as u32);
         Record::new(i * 2, payload)
     }
 

@@ -72,8 +72,14 @@ use Table::*;
 
 /// The 20 replayable TPC-H queries (17 and 20 excluded, as in §4.1).
 pub const TPCH_QUERIES: &[QueryProfile] = &[
-    QueryProfile { name: "q1", steps: &[step(Lineitem, 0.0, 0.95)] },
-    QueryProfile { name: "q2", steps: &[step(Part, 0.0, 0.3), step(Supplier, 0.0, 1.0)] },
+    QueryProfile {
+        name: "q1",
+        steps: &[step(Lineitem, 0.0, 0.95)],
+    },
+    QueryProfile {
+        name: "q2",
+        steps: &[step(Part, 0.0, 0.3), step(Supplier, 0.0, 1.0)],
+    },
     QueryProfile {
         name: "q3",
         steps: &[
@@ -95,7 +101,10 @@ pub const TPCH_QUERIES: &[QueryProfile] = &[
             step(Supplier, 0.0, 1.0),
         ],
     },
-    QueryProfile { name: "q6", steps: &[step(Lineitem, 0.0, 1.0)] },
+    QueryProfile {
+        name: "q6",
+        steps: &[step(Lineitem, 0.0, 1.0)],
+    },
     QueryProfile {
         name: "q7",
         steps: &[step(Lineitem, 0.2, 0.7), step(Orders, 0.3, 0.7)],
@@ -124,7 +133,10 @@ pub const TPCH_QUERIES: &[QueryProfile] = &[
             step(Lineitem, 0.3, 0.6),
         ],
     },
-    QueryProfile { name: "q11", steps: &[step(Supplier, 0.0, 1.0), step(Part, 0.4, 0.7)] },
+    QueryProfile {
+        name: "q11",
+        steps: &[step(Supplier, 0.0, 1.0), step(Part, 0.4, 0.7)],
+    },
     QueryProfile {
         name: "q12",
         steps: &[step(Orders, 0.0, 0.6), step(Lineitem, 0.2, 0.6)],
@@ -255,11 +267,7 @@ impl TpchTables {
 
     /// Replay one query directly against the heaps (the no-updates and
     /// in-place configurations); returns records scanned.
-    pub fn replay_query(
-        &self,
-        session: &SessionHandle,
-        q: &QueryProfile,
-    ) -> u64 {
+    pub fn replay_query(&self, session: &SessionHandle, q: &QueryProfile) -> u64 {
         let mut n = 0u64;
         for s in q.steps {
             let (b, e) = self.key_range(s);

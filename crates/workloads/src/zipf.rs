@@ -44,8 +44,7 @@ impl Zipf {
         } else {
             let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
             // ∫_{10000}^{n} x^-θ dx
-            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -116,7 +115,12 @@ mod tests {
     fn low_theta_is_flatter() {
         let skewed = histogram(0.99, 1000, 100_000);
         let flat = histogram(0.01, 1000, 100_000);
-        assert!(flat[1] < skewed[1] / 2, "flat {} skewed {}", flat[1], skewed[1]);
+        assert!(
+            flat[1] < skewed[1] / 2,
+            "flat {} skewed {}",
+            flat[1],
+            skewed[1]
+        );
     }
 
     #[test]

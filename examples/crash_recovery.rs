@@ -44,7 +44,11 @@ fn main() {
     // Stream updates: enough that some flush to SSD runs...
     for i in 0..3_000u64 {
         engine
-            .apply_update(&session, i * 2 + 1, UpdateOp::Insert(schema.empty_payload()))
+            .apply_update(
+                &session,
+                i * 2 + 1,
+                UpdateOp::Insert(schema.empty_payload()),
+            )
             .unwrap();
     }
     let _warm: usize = engine
@@ -55,7 +59,11 @@ fn main() {
     // crash hits (these are what the redo log recovers).
     for i in 3_000..3_040u64 {
         engine
-            .apply_update(&session, i * 2 + 1, UpdateOp::Insert(schema.empty_payload()))
+            .apply_update(
+                &session,
+                i * 2 + 1,
+                UpdateOp::Insert(schema.empty_payload()),
+            )
             .unwrap();
     }
     let expected: Vec<u64> = engine

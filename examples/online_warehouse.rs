@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release -p masm-bench --example online_warehouse`
 
-use masm_bench::{
-    scale_mb, time_scan_with_inplace_updates, SyntheticEnv,
-};
+use masm_bench::{scale_mb, time_scan_with_inplace_updates, SyntheticEnv};
 
 fn main() {
     let mb = scale_mb().min(32);
@@ -45,7 +43,10 @@ fn main() {
 
     println!("\nquery: SELECT SUM(measure) over keys [{begin}, {end}] -> {sum}");
     println!("\n                      virtual time    vs ideal");
-    println!("  no updates          {:>9.1} ms       1.00x", t_ideal as f64 / 1e6);
+    println!(
+        "  no updates          {:>9.1} ms       1.00x",
+        t_ideal as f64 / 1e6
+    );
     println!(
         "  in-place updates    {:>9.1} ms       {:.2}x",
         t_inplace as f64 / 1e6,

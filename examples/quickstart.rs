@@ -24,8 +24,14 @@ fn main() {
     // A 100-byte-record table: u32 "measure" + filler, clustered by key.
     let schema = Schema::synthetic_100b();
     let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-    let engine = MasmEngine::new(heap, ssd, wal, schema.clone(), MasmConfig::small_for_tests())
-        .expect("valid config");
+    let engine = MasmEngine::new(
+        heap,
+        ssd,
+        wal,
+        schema.clone(),
+        MasmConfig::small_for_tests(),
+    )
+    .expect("valid config");
 
     // Load even keys 0..20_000 (odd keys are free for inserts).
     let session = SessionHandle::fresh(clock.clone());
@@ -44,8 +50,12 @@ fn main() {
     // Online well-formed updates: insert, delete, modify.
     let mut new_row = schema.empty_payload();
     schema.set_u32(&mut new_row, 0, 4242);
-    engine.apply_update(&session, 4241, UpdateOp::Insert(new_row)).unwrap();
-    engine.apply_update(&session, 4244, UpdateOp::Delete).unwrap();
+    engine
+        .apply_update(&session, 4241, UpdateOp::Insert(new_row))
+        .unwrap();
+    engine
+        .apply_update(&session, 4244, UpdateOp::Delete)
+        .unwrap();
     engine
         .apply_update(
             &session,
@@ -83,8 +93,5 @@ fn main() {
         .map(|r| r.key)
         .collect();
     println!("post-migration keys in [4240, 4250]: {keys:?}");
-    println!(
-        "virtual time elapsed: {:.3} ms",
-        clock.now() as f64 / 1e6
-    );
+    println!("virtual time elapsed: {:.3} ms", clock.now() as f64 / 1e6);
 }

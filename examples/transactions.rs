@@ -21,8 +21,14 @@ fn main() {
     let session = SessionHandle::fresh(clock.clone());
 
     let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-    let engine =
-        MasmEngine::new(heap, ssd, wal, schema.clone(), MasmConfig::small_for_tests()).unwrap();
+    let engine = MasmEngine::new(
+        heap,
+        ssd,
+        wal,
+        schema.clone(),
+        MasmConfig::small_for_tests(),
+    )
+    .unwrap();
     engine
         .load_table(
             &session,

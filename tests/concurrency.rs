@@ -21,8 +21,7 @@ fn engine_with(records: u64) -> (Arc<MasmEngine>, SessionHandle, SimClock) {
     let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
     let wal = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
     let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-    let engine = MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests())
-        .unwrap();
+    let engine = MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests()).unwrap();
     let session = SessionHandle::fresh(clock.clone());
     engine
         .load_table(

@@ -242,9 +242,9 @@ fn update_cache_capacity_is_enforced() {
     let rig = Rig::new();
     let mut cfg = MasmConfig::small_for_tests();
     cfg.ssd_capacity = 64 * 4096; // tiny: 256 KiB (M = 8, α = 1 still valid)
-    // The buffer is S·P = 64 KiB — a quarter of the cache — so the
-    // cache can fill up while still below a 0.9 threshold; use 0.7 so
-    // "full" implies "needs migration".
+                                  // The buffer is S·P = 64 KiB — a quarter of the cache — so the
+                                  // cache can fill up while still below a 0.9 threshold; use 0.7 so
+                                  // "full" implies "needs migration".
     cfg.migration_threshold = 0.7;
     let masm = MasmEngine::new(
         rig.heap(1_000, 1.0),
@@ -274,7 +274,7 @@ fn update_cache_capacity_is_enforced() {
     // Migration drains the cache and ingestion resumes.
     masm.migrate(&s).unwrap();
     assert_eq!(masm.cached_bytes(), 0);
-    let (k, op) = UpdateStreamGen::uniform(SyntheticTable::new(1_000), UpdateMix::default(), 2)
-        .next_update();
+    let (k, op) =
+        UpdateStreamGen::uniform(SyntheticTable::new(1_000), UpdateMix::default(), 2).next_update();
     masm.apply_update(&s, k, op).unwrap();
 }

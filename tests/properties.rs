@@ -118,7 +118,9 @@ fn run_scenario(slots: u64, actions: Vec<Action>) {
             Action::Delete { slot } => {
                 let key = slot * 2;
                 oracle.apply(key, &UpdateOp::Delete);
-                engine.apply_update(&session, key, UpdateOp::Delete).unwrap();
+                engine
+                    .apply_update(&session, key, UpdateOp::Delete)
+                    .unwrap();
             }
             Action::Modify { slot, measure } => {
                 let key = slot * 2;
@@ -196,13 +198,25 @@ fn regression_delete_insert_delete_same_key() {
         4,
         vec![
             Action::Delete { slot: 1 },
-            Action::Insert { slot: 1, measure: 5 },
-            Action::Scan { begin_slot: 0, end_slot: 3 },
+            Action::Insert {
+                slot: 1,
+                measure: 5,
+            },
+            Action::Scan {
+                begin_slot: 0,
+                end_slot: 3,
+            },
             Action::Delete { slot: 1 },
             Action::Migrate,
-            Action::Scan { begin_slot: 0, end_slot: 3 },
+            Action::Scan {
+                begin_slot: 0,
+                end_slot: 3,
+            },
             Action::CrashRecover,
-            Action::Scan { begin_slot: 0, end_slot: 3 },
+            Action::Scan {
+                begin_slot: 0,
+                end_slot: 3,
+            },
         ],
     );
 }
@@ -213,10 +227,16 @@ fn regression_migrate_on_empty_then_insert() {
         4,
         vec![
             Action::Migrate,
-            Action::Insert { slot: 0, measure: 1 },
+            Action::Insert {
+                slot: 0,
+                measure: 1,
+            },
             Action::Migrate,
             Action::CrashRecover,
-            Action::Scan { begin_slot: 0, end_slot: 3 },
+            Action::Scan {
+                begin_slot: 0,
+                end_slot: 3,
+            },
         ],
     );
 }

@@ -141,9 +141,7 @@ fn recovery_resumes_timestamps_monotonically() {
     }
     drop(engine);
     let engine = d.recover();
-    let next = engine
-        .apply_update(&s, 1, UpdateOp::Delete)
-        .unwrap();
+    let next = engine.apply_update(&s, 1, UpdateOp::Delete).unwrap();
     assert!(
         next > last_ts,
         "post-recovery timestamps ({next}) must exceed pre-crash ones ({last_ts})"
@@ -160,9 +158,7 @@ fn torn_wal_tail_is_detected() {
     // Corrupt the log tail: shrink the last record by appending a
     // half-written record (length prefix promises more than exists).
     let len = d.wal.len();
-    d.wal
-        .write_at(0, len, &[200, 0, 0, 0, 0])
-        .unwrap();
+    d.wal.write_at(0, len, &[200, 0, 0, 0, 0]).unwrap();
     let heap = Arc::new(TableHeap::new(d.disk.clone(), HeapConfig::default()));
     let err = MasmEngine::recover(
         heap,

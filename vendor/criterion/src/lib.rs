@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim provides the subset of the criterion API the workspace's
+//! micro-benchmarks use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple best-of-N wall-clock
+//! loop printed to stdout — adequate for relative, same-machine numbers,
+//! with none of criterion's statistics.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up once, then time a small adaptive batch.
+        black_box(f());
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 10 || iters >= 1 << 20 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single named benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.throughput, f);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 * 1e3 / b.ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / b.ns_per_iter / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} {:>12.0} ns/iter{rate}", b.ns_per_iter);
+}
+
+/// Collect benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

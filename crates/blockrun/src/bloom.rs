@@ -41,10 +41,16 @@ impl BloomFilter {
     }
 
     /// Build a filter over `keys` with `bits_per_key` bits per key.
+    ///
+    /// The bit count rounds up to a power of two so that filters of
+    /// different sizes stay *foldable* into one another
+    /// ([`BloomFilter::fold_to`]) — compaction unions input filters of
+    /// unequal runs without re-reading any key.
     pub fn build(keys: impl IntoIterator<Item = u64>, bits_per_key: u32) -> Self {
         let keys: Vec<u64> = keys.into_iter().collect();
-        let n_bits = (keys.len() as u64 * bits_per_key as u64).max(64);
-        let n_bits = n_bits.next_multiple_of(64);
+        let n_bits = (keys.len() as u64 * bits_per_key as u64)
+            .max(64)
+            .next_power_of_two();
         let mut filter = BloomFilter {
             bits: vec![0u64; (n_bits / 64) as usize],
             n_bits,
@@ -78,6 +84,69 @@ impl BloomFilter {
     /// Size of the bit array in bytes.
     pub fn bit_bytes(&self) -> usize {
         self.bits.len() * 8
+    }
+
+    /// Number of bits in the filter.
+    pub fn n_bits(&self) -> u64 {
+        self.n_bits
+    }
+
+    /// Fraction of bits set (1.0 ⇒ saturated, every probe answers
+    /// "maybe").
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.n_bits as f64
+    }
+
+    /// Shrink to `n_bits` by OR-folding the upper halves onto the lower
+    /// ones. Because probe positions are `h mod n_bits` and both sizes
+    /// are powers of two, `h mod n/2 == (h mod n) mod n/2` — so every
+    /// key the original accepts, the folded filter accepts too (no
+    /// false negatives; the false-positive rate rises with the tighter
+    /// packing). `None` when either size is not a power of two or
+    /// `n_bits` exceeds the current size.
+    pub fn fold_to(&self, n_bits: u64) -> Option<BloomFilter> {
+        if !self.n_bits.is_power_of_two()
+            || !n_bits.is_power_of_two()
+            || n_bits > self.n_bits
+            || n_bits < 64
+        {
+            return None;
+        }
+        let mut bits = self.bits.clone();
+        let mut cur = bits.len();
+        while (cur as u64) * 64 > n_bits {
+            cur /= 2;
+            for i in 0..cur {
+                bits[i] |= bits[i + cur];
+            }
+        }
+        bits.truncate(cur);
+        Some(BloomFilter {
+            bits,
+            n_bits,
+            k: self.k,
+        })
+    }
+
+    /// Union: a filter accepting every key either input accepts, used
+    /// by compaction to rebuild an output run's filter from its inputs'
+    /// without re-reading any key (the output's key set is a subset of
+    /// the inputs' union). Mismatched power-of-two sizes fold down to
+    /// the smaller one first; `None` when the probe counts differ or
+    /// either size resists folding.
+    pub fn union(&self, other: &BloomFilter) -> Option<BloomFilter> {
+        if self.k != other.k {
+            return None;
+        }
+        let target = self.n_bits.min(other.n_bits);
+        let a = self.fold_to(target)?;
+        let b = other.fold_to(target)?;
+        Some(BloomFilter {
+            bits: a.bits.iter().zip(&b.bits).map(|(x, y)| x | y).collect(),
+            n_bits: target,
+            k: a.k,
+        })
     }
 
     /// Serialize (without checksum; the enclosing region adds one).
@@ -159,6 +228,40 @@ mod tests {
         let enc = f.encode();
         assert!(BloomFilter::decode(&enc[..enc.len() - 1]).is_none());
         assert!(BloomFilter::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn union_accepts_both_key_sets() {
+        // Same key count ⇒ same geometry ⇒ plain bitwise union.
+        let a = BloomFilter::build(0..1000, 10);
+        let b = BloomFilter::build(5000..6000, 10);
+        let u = a.union(&b).expect("same geometry");
+        for k in (0..1000).chain(5000..6000) {
+            assert!(u.contains(k), "no false negatives for {k}");
+        }
+        // Different sizes fold to the smaller geometry and still union.
+        let c = BloomFilter::build(9000..9010, 10);
+        assert!(c.n_bits() < a.n_bits());
+        let u = a.union(&c).expect("folds to the smaller size");
+        for k in (0..1000).chain(9000..9010) {
+            assert!(u.contains(k), "no false negatives for {k}");
+        }
+        // Mismatched probe counts cannot union.
+        let d = BloomFilter::build(0..1000, 4);
+        assert!(a.union(&d).is_none());
+    }
+
+    #[test]
+    fn fold_preserves_membership() {
+        let keys: Vec<u64> = (0..4000).map(|i| i * 11 + 3).collect();
+        let f = BloomFilter::build(keys.iter().copied(), 10);
+        let folded = f.fold_to(f.n_bits() / 4).expect("power-of-two fold");
+        for &k in &keys {
+            assert!(folded.contains(k), "no false negatives for {k}");
+        }
+        assert!(folded.fill_ratio() > f.fill_ratio());
+        assert!(f.fold_to(f.n_bits() * 2).is_none(), "cannot grow");
+        assert!(f.fold_to(32).is_none(), "below the 64-bit floor");
     }
 
     #[test]

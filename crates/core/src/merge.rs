@@ -20,12 +20,26 @@
 //! folded result again is still correct because every folded form is a
 //! state-setter (replace/delete/modify-to-value), i.e. idempotent — the
 //! paper relies on the same property for crash-redo of migrations.
+//!
+//! Run-to-run merges (2-pass materialization, §3.5 compaction) no
+//! longer flow through these operators unconditionally: they are
+//! planned first. [`compact_block_runs`] asks the
+//! [`masm_blockrun::plan::MergePlanner`] which whole blocks overlap no
+//! other input and relinks those verbatim — CRC-checked, never decoded
+//! — falling back to the k-way fold only for genuinely overlapping key
+//! ranges.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use masm_blockrun::{BlockRunMeta, BloomFilter, MergePlanner, RunBuilder, Segment};
 use masm_pagestore::{Key, Record, Schema};
+use masm_storage::{MergeReport, SessionHandle, SimDevice};
 
+use crate::config::MasmConfig;
+use crate::error::MasmResult;
+use crate::run::{to_entry, RunScan, SortedRun};
 use crate::ts::Timestamp;
 use crate::update::UpdateRecord;
 
@@ -175,6 +189,150 @@ pub fn fold_duplicates(
         }
     }
     out
+}
+
+/// Union of the input runs' bloom filters, when every input has one. A
+/// valid (over-approximating) filter for the compacted output: its key
+/// set is a subset of the inputs' union. Unequal filter sizes fold to
+/// the smallest input's power-of-two geometry. Packing k runs' keys
+/// into one input's bits raises the false-positive rate — at fill 0.75
+/// and 7 probes the FPR is ≈13%, still rejecting ~87% of absent-key
+/// probes for a few KB — so the union is kept until it approaches
+/// saturation (fill ≥ 0.95, FPR ≈ 0.7), past which it answers "maybe"
+/// for nearly every probe while still costing resident memory.
+fn union_input_blooms(inputs: &[Arc<SortedRun>]) -> Option<BloomFilter> {
+    let mut blooms = inputs.iter().map(|r| r.meta.bloom.as_ref());
+    let first = blooms.next()??.clone();
+    let union = blooms.try_fold(first, |acc, b| acc.union(b?))?;
+    (union.fill_ratio() < 0.95).then_some(union)
+}
+
+/// Zero-decode compaction of block runs: the plan → execute pipeline.
+///
+/// The [`MergePlanner`] partitions the inputs' key space from their
+/// zone maps alone. *Move* segments — blocks whose key range overlaps
+/// no other input — are copied as raw verified bytes (CRC checked,
+/// never delta-decoded) via [`RunBuilder::append_raw_block`]. *Merge*
+/// segments are decoded through [`RunScan`]s (with the prefetch depth
+/// driven by the plan's fan-in, so a k-way merge keeps ≈k reads in
+/// flight) and folded through [`KWayUpdates`], optionally collapsing
+/// duplicate updates under `fold_guard` (§3.5 "Handling Skews": a pair
+/// folds only when no concurrent query timestamp separates it).
+///
+/// Returns the built (un-rebased, un-written) output run metadata and
+/// bytes plus the [`MergeReport`]; the caller allocates SSD space,
+/// rebases, and writes — exactly like `build_run`. On fully disjoint
+/// inputs `report.bytes_decoded == 0`: compaction cost is proportional
+/// to overlap, not input size.
+pub fn compact_block_runs(
+    session: &SessionHandle,
+    ssd: &SimDevice,
+    cfg: &MasmConfig,
+    schema: &Schema,
+    inputs: &[Arc<SortedRun>],
+    fold_guard: Option<&dyn Fn(Timestamp, Timestamp) -> bool>,
+) -> MasmResult<(BlockRunMeta, Vec<u8>, MergeReport)> {
+    let metas: Vec<&BlockRunMeta> = inputs.iter().map(|r| r.meta.as_ref()).collect();
+    let plan = MergePlanner::new(&metas).plan();
+    let depth = cfg.merge_prefetch_depth(plan.fan_in);
+    let mut builder = RunBuilder::new(cfg.blockrun_config());
+    let mut report = MergeReport {
+        inputs: inputs.len(),
+        fan_in: plan.fan_in,
+        ..MergeReport::default()
+    };
+
+    for seg in &plan.segments {
+        match seg {
+            Segment::Move { run, blocks } => {
+                // Blocks of one run are laid out back to back, so a
+                // move segment is one contiguous byte range: read it in
+                // wide chunks (block-aligned, ≤ MOVE_READ_BYTES) rather
+                // than one small I/O per block, then stitch each block
+                // in verbatim (per-block CRC still verified).
+                const MOVE_READ_BYTES: u64 = 1 << 20;
+                let meta = &inputs[*run].meta;
+                let mut idx = blocks.start;
+                while idx < blocks.end {
+                    let first = meta.zones[idx];
+                    let mut end = idx + 1;
+                    while end < blocks.end {
+                        let z = meta.zones[end];
+                        debug_assert_eq!(
+                            z.offset,
+                            meta.zones[end - 1].offset + meta.zones[end - 1].len as u64,
+                            "blocks of one run are contiguous"
+                        );
+                        if z.offset + z.len as u64 - first.offset > MOVE_READ_BYTES {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let last = meta.zones[end - 1];
+                    let span = last.offset + last.len as u64 - first.offset;
+                    let raw = session.read(ssd, meta.base + first.offset, span)?;
+                    for zone in &meta.zones[idx..end] {
+                        let lo = (zone.offset - first.offset) as usize;
+                        builder.append_raw_block(&raw[lo..lo + zone.len as usize], zone)?;
+                        report.blocks_moved += 1;
+                        report.bytes_moved += zone.len as u64;
+                    }
+                    idx = end;
+                }
+            }
+            Segment::Merge {
+                min_key,
+                max_key,
+                parts,
+            } => {
+                // Merge inputs bypass the block cache: each block is
+                // read exactly once and the input runs are deleted
+                // right after, so caching them would only evict
+                // genuinely hot query blocks.
+                let streams: Vec<UpdateStream> = parts
+                    .iter()
+                    .map(|(run_idx, _)| {
+                        Box::new(
+                            RunScan::new(
+                                ssd.clone(),
+                                session.clone(),
+                                Arc::clone(&inputs[*run_idx]),
+                                *min_key,
+                                *max_key,
+                            )
+                            .with_prefetch_depth(depth),
+                        ) as UpdateStream
+                    })
+                    .collect();
+                let merged: Vec<UpdateRecord> = KWayUpdates::new(streams).collect();
+                let merged = match fold_guard {
+                    Some(guard) => fold_duplicates(merged, schema, guard),
+                    None => merged,
+                };
+                for (run_idx, range) in parts {
+                    for z in &inputs[*run_idx].meta.zones[range.clone()] {
+                        report.blocks_merged += 1;
+                        report.bytes_decoded += z.len as u64;
+                    }
+                }
+                for u in &merged {
+                    builder.append_entry(to_entry(u));
+                }
+            }
+        }
+    }
+
+    report.entries_out = builder.entry_count();
+    let (meta, bytes) = if builder.raw_blocks() == 0 {
+        // Every key passed through the builder: an exact bloom filter.
+        builder.finish()
+    } else {
+        // Moved keys were never observed; the union of the input
+        // filters (when geometries align) covers them.
+        let bloom = union_input_blooms(inputs);
+        builder.finish_with_bloom(bloom)
+    };
+    Ok((meta, bytes, report))
 }
 
 /// `Merge_data_updates`: the outer join of the table range scan and the

@@ -89,7 +89,7 @@ impl SortedRun {
     }
 }
 
-fn to_entry(u: &UpdateRecord) -> Entry {
+pub(crate) fn to_entry(u: &UpdateRecord) -> Entry {
     Entry::new(u.key, u.ts, u.encode_value())
 }
 
@@ -212,6 +212,14 @@ impl RunScan {
             end,
         );
         RunScan { inner, run }
+    }
+
+    /// Keep up to `depth` async reads in flight (default 1). Merges and
+    /// migrations set this to their fan-in so a k-way merge keeps ≈k
+    /// reads queued on the device (§3.7 overlap at scale).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.inner = self.inner.with_prefetch_depth(depth);
+        self
     }
 
     /// Bytes this scan has read off the SSD (cache hits cost nothing).

@@ -180,6 +180,8 @@ impl CacheStats {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            data_bytes: 0,
+            meta_bytes: 0,
         }
     }
 
@@ -203,6 +205,12 @@ pub struct CacheStatsSnapshot {
     pub insertions: u64,
     /// Entries evicted.
     pub evictions: u64,
+    /// Resident bytes of evictable data entries (decoded blocks).
+    pub data_bytes: u64,
+    /// Pinned metadata bytes (zone maps, bloom filters) accounted to
+    /// the cache but never evicted; kept separate so a one-shot sweep's
+    /// pressure on the data population is visible on its own.
+    pub meta_bytes: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -215,14 +223,69 @@ impl CacheStatsSnapshot {
         self.hits as f64 / total as f64
     }
 
-    /// Difference between two snapshots (self - earlier).
+    /// Difference between two snapshots (self - earlier). The resident
+    /// byte gauges are carried over from `self` — they are levels, not
+    /// counters.
     pub fn delta(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
+            data_bytes: self.data_bytes,
+            meta_bytes: self.meta_bytes,
         }
+    }
+}
+
+/// Outcome of one planned run merge (compaction or 2-pass merge): how
+/// much of the work was *moved* (whole blocks relinked verbatim, CRC
+/// checked but never decoded) versus *merged* (decoded and folded
+/// through the k-way merge). Lives here, next to [`IoStats`], so
+/// benchmarks report merge efficiency alongside device I/O.
+///
+/// The headline property: on fully disjoint inputs `bytes_decoded == 0`
+/// — compaction cost is proportional to overlap, not input size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Input runs consumed by the merge.
+    pub inputs: usize,
+    /// Merge fan-in actually observed (inputs contributing blocks);
+    /// also the prefetch depth the executor keeps in flight.
+    pub fan_in: usize,
+    /// Data blocks relinked verbatim, without decoding.
+    pub blocks_moved: u64,
+    /// Data blocks decoded and fed through the k-way merge.
+    pub blocks_merged: u64,
+    /// Encoded bytes of the moved blocks.
+    pub bytes_moved: u64,
+    /// Encoded bytes that had to be decoded (the overlap cost).
+    pub bytes_decoded: u64,
+    /// Entries written to the output run.
+    pub entries_out: u64,
+}
+
+impl MergeReport {
+    /// Fold another report into this one (for cumulative engine
+    /// statistics across many merges).
+    pub fn absorb(&mut self, other: &MergeReport) {
+        self.inputs += other.inputs;
+        self.fan_in = self.fan_in.max(other.fan_in);
+        self.blocks_moved += other.blocks_moved;
+        self.blocks_merged += other.blocks_merged;
+        self.bytes_moved += other.bytes_moved;
+        self.bytes_decoded += other.bytes_decoded;
+        self.entries_out += other.entries_out;
+    }
+
+    /// Fraction of processed bytes that avoided decoding (1.0 = pure
+    /// move, 0.0 = full decode; 0.0 when nothing was processed).
+    pub fn move_ratio(&self) -> f64 {
+        let total = self.bytes_moved + self.bytes_decoded;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_moved as f64 / total as f64
     }
 }
 
@@ -296,6 +359,35 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), CacheStatsSnapshot::default());
         assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_report_absorb_and_ratio() {
+        let mut total = MergeReport::default();
+        assert_eq!(total.move_ratio(), 0.0);
+        total.absorb(&MergeReport {
+            inputs: 2,
+            fan_in: 2,
+            blocks_moved: 3,
+            blocks_merged: 1,
+            bytes_moved: 300,
+            bytes_decoded: 100,
+            entries_out: 40,
+        });
+        total.absorb(&MergeReport {
+            inputs: 3,
+            fan_in: 3,
+            blocks_moved: 1,
+            blocks_merged: 0,
+            bytes_moved: 100,
+            bytes_decoded: 0,
+            entries_out: 10,
+        });
+        assert_eq!(total.inputs, 5);
+        assert_eq!(total.fan_in, 3);
+        assert_eq!(total.blocks_moved, 4);
+        assert_eq!(total.entries_out, 50);
+        assert!((total.move_ratio() - 0.8).abs() < 1e-9);
     }
 
     #[test]

@@ -11,15 +11,25 @@
 //! * **block cache** — repeated lookups of hot keys are served from
 //!   decoded blocks, zero device reads when warm.
 //!
-//! Emits one JSON object (line prefixed `JSON:`) plus a readable table.
+//! A second, engine-level section compares `MasmEngine::get` (buffer →
+//! bloom-guarded runs → heap) against the IU baseline, whose positional
+//! index on the cached updates is kept **entirely in memory** — the
+//! memory-vs-I/O trade §2.3 calls out. MaSM rows run with the codec off
+//! (identity) and on (lz) to show compression does not change lookup
+//! I/O (blocks decode after the same single read).
+//!
+//! Emits one JSON object (line prefixed `JSON:`) plus readable tables.
 
 use std::sync::Arc;
 
+use masm_baselines::IuEngine;
 use masm_bench::{print_table, scale_mb};
 use masm_blockrun::{
     point_lookup, write_run as write_block_run, BlockCache, BlockRunConfig, Entry,
 };
 use masm_core::update::{UpdateOp, UpdateRecord};
+use masm_core::{CodecChoice, MasmConfig, MasmEngine};
+use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
 use masm_storage::{DeviceProfile, Ns, SessionHandle, SimClock, SimDevice};
 
 /// The legacy run format this PR replaced: a flat byte stream of update
@@ -166,6 +176,7 @@ fn main() {
         let cfg = BlockRunConfig {
             block_bytes: 1024,
             bloom_bits_per_key: bloom_bits,
+            ..BlockRunConfig::default()
         };
         let meta = write_block_run(&session, &dev, 0, &cfg, &entries).expect("write run");
         let cache = use_cache.then(|| Arc::new(BlockCache::new(64 << 20)));
@@ -208,6 +219,128 @@ fn main() {
         }
     }
 
+    // --- Engine level: MasmEngine::get vs the IU in-memory index -----
+    struct EngineRow {
+        scheme: &'static str,
+        codec: &'static str,
+        found: u64,
+        ssd_reads: u64,
+        bytes_read: u64,
+        avg_ns: f64,
+        /// MaSM: pinned run metadata (zone maps + blooms). IU: the
+        /// in-memory positional index over every cached update.
+        mem_bytes: u64,
+    }
+
+    let schema = Schema::synthetic_100b();
+    let payload = |v: u32| {
+        let mut p = schema.empty_payload();
+        schema.set_u32(&mut p, 0, v);
+        p
+    };
+    // Base table of even keys; updates insert every other odd key, so
+    // `slot*4+1` is a cached hit and `slot*4+3` is definitely absent.
+    let n_base = 10_000u64;
+    let n_updates = 20_000u64;
+    let eng_lookups = 400u64;
+    let eng_probes: Vec<u64> = (0..eng_lookups)
+        .map(|i| {
+            let slot = (i * 2_654_435_761) % n_updates;
+            if i % 2 == 0 {
+                slot * 4 + 1
+            } else {
+                slot * 4 + 3
+            }
+        })
+        .collect();
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+
+    for codec in [CodecChoice::Identity, CodecChoice::Lz] {
+        let clock = SimClock::new();
+        let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let wal = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+        let mut cfg = MasmConfig::small_for_tests();
+        cfg.codec = codec;
+        let engine = MasmEngine::new(heap, ssd.clone(), wal, schema.clone(), cfg).expect("engine");
+        let session = SessionHandle::fresh(clock);
+        engine
+            .load_table(
+                &session,
+                (0..n_base).map(|i| Record::new(i * 2, payload(i as u32))),
+                1.0,
+            )
+            .expect("load");
+        for i in 0..n_updates {
+            engine
+                .apply_update(&session, i * 4 + 1, UpdateOp::Insert(payload(i as u32)))
+                .expect("update");
+        }
+        engine.flush_buffer(&session).expect("flush");
+
+        ssd.reset_stats();
+        let start = session.now();
+        let mut found = 0u64;
+        for &k in &eng_probes {
+            found += engine.get(&session, k).expect("get").is_some() as u64;
+        }
+        let stats = ssd.stats();
+        engine_rows.push(EngineRow {
+            scheme: "engine_masm_get",
+            codec: codec.name(),
+            found,
+            ssd_reads: stats.read_ops,
+            bytes_read: stats.bytes_read,
+            avg_ns: (session.now() - start) as f64 / eng_probes.len() as f64,
+            mem_bytes: engine.cache_stats().meta_bytes,
+        });
+    }
+
+    {
+        let clock = SimClock::new();
+        let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+        let session = SessionHandle::fresh(clock);
+        heap.bulk_load(
+            &session,
+            (0..n_base).map(|i| Record::new(i * 2, payload(i as u32))),
+            1.0,
+        )
+        .expect("load");
+        let iu = IuEngine::new(heap, ssd.clone(), schema.clone());
+        for i in 0..n_updates {
+            iu.apply_update(
+                &session,
+                i * 4 + 1,
+                UpdateOp::Insert(payload(i as u32)),
+                i + 1,
+            )
+            .expect("update");
+        }
+        ssd.reset_stats();
+        let start = session.now();
+        let mut found = 0u64;
+        for &k in &eng_probes {
+            let hit = iu
+                .begin_scan(session.clone(), k, k, u64::MAX)
+                .expect("scan")
+                .next();
+            found += hit.is_some() as u64;
+        }
+        let stats = ssd.stats();
+        engine_rows.push(EngineRow {
+            scheme: "engine_iu_scan",
+            codec: "none",
+            found,
+            ssd_reads: stats.read_ops,
+            bytes_read: stats.bytes_read,
+            avg_ns: (session.now() - start) as f64 / eng_probes.len() as f64,
+            mem_bytes: iu.index_memory_bytes(),
+        });
+    }
+
     // --- Report ------------------------------------------------------
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -242,7 +375,38 @@ fn main() {
         &table,
     );
 
-    let json_rows: Vec<String> = rows
+    let engine_table: Vec<Vec<String>> = engine_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.codec.to_string(),
+                r.found.to_string(),
+                r.ssd_reads.to_string(),
+                r.bytes_read.to_string(),
+                format!("{:.0}", r.avg_ns),
+                r.mem_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Figure 9b (engine) — MasmEngine::get vs IU in-memory index \
+             ({n_base} base records, {n_updates} cached updates, {eng_lookups} lookups, half absent)"
+        ),
+        &[
+            "scheme",
+            "codec",
+            "found",
+            "ssd_reads",
+            "bytes_read",
+            "ns/lookup",
+            "mem_bytes",
+        ],
+        &engine_table,
+    );
+
+    let mut json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
@@ -260,6 +424,13 @@ fn main() {
             )
         })
         .collect();
+    json_rows.extend(engine_rows.iter().map(|r| {
+        format!(
+            "{{\"scheme\":\"{}\",\"codec\":\"{}\",\"found\":{},\"ssd_reads\":{},\
+             \"bytes_read\":{},\"avg_ns_per_lookup\":{:.1},\"mem_bytes\":{}}}",
+            r.scheme, r.codec, r.found, r.ssd_reads, r.bytes_read, r.avg_ns, r.mem_bytes
+        )
+    }));
     println!(
         "\nJSON:{{\"figure\":\"fig09b_point_lookup\",\"entries\":{entries_n},\
          \"lookups\":{lookups},\"results\":[{}]}}",

@@ -1,26 +1,31 @@
-//! Data-block encoding: delta/prefix-compressed entries.
+//! Data-block encoding: the *flat* entry layout compression codecs
+//! operate on.
 //!
-//! A block holds a key-ordered slice of a run's entries. Keys are stored
-//! as varint deltas against the previous key in the block (the first
-//! entry's delta is against 0), which is the integer-key analogue of the
-//! byte-prefix compression used by SST data blocks: sorted keys share
-//! their high bits, so consecutive deltas are small and a delete entry
-//! shrinks from 17 bytes (flat encoding) to typically 3–5 bytes.
+//! A block holds a key-ordered slice of a run's entries. Since the
+//! `masm-codec` stage landed, this module encodes the **raw** (flat)
+//! representation only; compression — including the delta+varint entry
+//! encoding that used to live here — is a separate byte-level codec
+//! applied by the run builder, recorded per block in its zone-map entry
+//! (see [`crate::format::ZoneMap::codec_id`]).
 //!
-//! Layout:
+//! Layout (also documented in `masm_codec`'s crate docs, since the
+//! [`masm_codec::Delta`] codec parses it):
 //!
 //! ```text
-//! ┌────────────┬──────────────────────────────────────────────┐
-//! │ count: u32 │ entry × count                                │
-//! ├────────────┴──────────────────────────────────────────────┤
-//! │ entry := varint(key − prev_key) varint(ts)                │
-//! │          varint(len(value)) value…                        │
-//! └───────────────────────────────────────────────────────────┘
+//! ┌────────────┬───────────────────────────────────────────────┐
+//! │ count: u32 │ entry × count                                 │
+//! ├────────────┴───────────────────────────────────────────────┤
+//! │ entry := key: u64 LE │ ts: u64 LE │ len: u32 LE │ value…   │
+//! └─────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! The block's CRC lives in its zone-map entry (see
-//! [`crate::format::ZoneMap`]), not in the block itself, so integrity
-//! can be checked before any decoding starts.
+//! The on-disk block's CRC lives in its zone-map entry and covers the
+//! *stored* (post-codec) bytes, so integrity is checked before any
+//! codec or entry decoding starts.
+
+// Varints moved to `masm-codec` with the delta encoding; re-exported
+// because the bloom filter header still uses them.
+pub use masm_codec::varint::{get_varint, put_varint};
 
 /// One run entry: an opaque value filed under `(key, ts)`.
 ///
@@ -49,68 +54,31 @@ impl Entry {
     }
 }
 
-/// Append `v` as a LEB128 varint.
-pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    while v >= 0x80 {
-        out.push((v as u8 & 0x7F) | 0x80);
-        v >>= 7;
-    }
-    out.push(v as u8);
+/// Flat-encoded size of one entry: the 20-byte header plus its value.
+pub fn flat_entry_len(entry: &Entry) -> usize {
+    8 + 8 + 4 + entry.value.len()
 }
 
-/// Decode a LEB128 varint from the front of `buf`; returns the value and
-/// bytes consumed.
-pub fn get_varint(buf: &[u8]) -> Option<(u64, usize)> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    for (i, &b) in buf.iter().enumerate() {
-        if shift >= 64 {
-            return None;
-        }
-        let low = (b & 0x7F) as u64;
-        if shift == 63 && low > 1 {
-            return None; // overflow past 64 bits
-        }
-        v |= low << shift;
-        if b & 0x80 == 0 {
-            return Some((v, i + 1));
-        }
-        shift += 7;
-    }
-    None
-}
-
-fn varint_len(v: u64) -> usize {
-    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
-}
-
-/// Encoded size of `entry` when it follows a key of `prev_key`.
-pub fn encoded_entry_len(prev_key: u64, entry: &Entry) -> usize {
-    varint_len(entry.key - prev_key)
-        + varint_len(entry.ts)
-        + varint_len(entry.value.len() as u64)
-        + entry.value.len()
-}
-
-/// Encode `entries` (key-ordered) into one data block.
+/// Encode `entries` (key-ordered) into one flat data block.
 pub fn encode_block(entries: &[Entry]) -> Vec<u8> {
     debug_assert!(entries.windows(2).all(|w| w[0].key <= w[1].key));
-    let mut out = Vec::with_capacity(16 + entries.len() * 8);
+    let mut out = Vec::with_capacity(4 + entries.iter().map(flat_entry_len).sum::<usize>());
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-    let mut prev_key = 0u64;
     for e in entries {
-        put_varint(&mut out, e.key - prev_key);
-        put_varint(&mut out, e.ts);
-        put_varint(&mut out, e.value.len() as u64);
+        debug_assert!(e.value.len() <= u32::MAX as usize);
+        out.extend_from_slice(&e.key.to_le_bytes());
+        out.extend_from_slice(&e.ts.to_le_bytes());
+        out.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
         out.extend_from_slice(&e.value);
-        prev_key = e.key;
     }
     out
 }
 
-/// Decode a data block produced by [`encode_block`]. Returns `None` on
-/// any structural inconsistency (callers verify the CRC first, so a
-/// `None` here means a logic error or deliberate corruption).
+/// Decode a flat data block produced by [`encode_block`]. Returns
+/// `None` on any structural inconsistency — truncation, trailing bytes,
+/// or out-of-order keys. (Callers verify the CRC and run the codec
+/// first, so a `None` here means a logic error or deliberate
+/// corruption.)
 pub fn decode_block(buf: &[u8]) -> Option<Vec<Entry>> {
     if buf.len() < 4 {
         return None;
@@ -120,17 +88,19 @@ pub fn decode_block(buf: &[u8]) -> Option<Vec<Entry>> {
     let mut out = Vec::with_capacity(count);
     let mut prev_key = 0u64;
     for _ in 0..count {
-        let (delta, used) = get_varint(&buf[pos..])?;
-        pos += used;
-        let (ts, used) = get_varint(&buf[pos..])?;
-        pos += used;
-        let (len, used) = get_varint(&buf[pos..])?;
-        pos += used;
-        let len = len as usize;
+        if buf.len() < pos + 20 {
+            return None;
+        }
+        let key = u64::from_le_bytes(buf[pos..pos + 8].try_into().ok()?);
+        let ts = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().ok()?);
+        let len = u32::from_le_bytes(buf[pos + 16..pos + 20].try_into().ok()?) as usize;
+        pos += 20;
         if buf.len() < pos + len {
             return None;
         }
-        let key = prev_key.checked_add(delta)?;
+        if key < prev_key {
+            return None; // blocks are key-ordered by construction
+        }
         out.push(Entry {
             key,
             ts,
@@ -153,23 +123,6 @@ mod tests {
     }
 
     #[test]
-    fn varint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = Vec::new();
-            put_varint(&mut buf, v);
-            assert_eq!(buf.len(), varint_len(v), "len of {v}");
-            let (back, used) = get_varint(&buf).unwrap();
-            assert_eq!(back, v);
-            assert_eq!(used, buf.len());
-        }
-        assert!(get_varint(&[0x80]).is_none(), "truncated varint");
-        assert!(
-            get_varint(&[0xFF; 11]).is_none(),
-            "varint longer than 64 bits"
-        );
-    }
-
-    #[test]
     fn block_roundtrip() {
         let entries = sample(200);
         let block = encode_block(&entries);
@@ -180,21 +133,6 @@ mod tests {
     fn empty_block_roundtrip() {
         let block = encode_block(&[]);
         assert_eq!(decode_block(&block).unwrap(), Vec::<Entry>::new());
-    }
-
-    #[test]
-    fn delta_compression_beats_flat_encoding() {
-        // 17+ bytes per entry flat; deltas of 2 with small ts fit in ~4.
-        let entries: Vec<Entry> = (0..1000)
-            .map(|i| Entry::new(i * 2, i + 1, vec![]))
-            .collect();
-        let block = encode_block(&entries);
-        assert!(
-            block.len() < entries.len() * 8,
-            "{} bytes for {} entries",
-            block.len(),
-            entries.len()
-        );
     }
 
     #[test]
@@ -213,14 +151,42 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_keys_rejected() {
+        let mut block = encode_block(&sample(2));
+        // Swap the two keys in place (offsets 4 and 4+20+value).
+        let second = 4 + 20; // first entry has an empty value
+        let k0: [u8; 8] = block[4..12].try_into().unwrap();
+        let k1: [u8; 8] = block[second..second + 8].try_into().unwrap();
+        block[4..12].copy_from_slice(&k1);
+        block[second..second + 8].copy_from_slice(&k0);
+        assert!(decode_block(&block).is_none());
+    }
+
+    #[test]
     fn entry_len_matches_encoding() {
         let entries = sample(50);
-        let mut prev = 0u64;
-        let mut total = 4usize;
-        for e in &entries {
-            total += encoded_entry_len(prev, e);
-            prev = e.key;
-        }
+        let total: usize = 4 + entries.iter().map(flat_entry_len).sum::<usize>();
         assert_eq!(total, encode_block(&entries).len());
+    }
+
+    #[test]
+    fn delta_codec_still_beats_flat_encoding() {
+        // The compression the old in-block delta format provided now
+        // comes from the codec stage: same win, now optional and
+        // per-block.
+        let entries: Vec<Entry> = (0..1000)
+            .map(|i| Entry::new(i * 2, i + 1, vec![]))
+            .collect();
+        let flat = encode_block(&entries);
+        let delta = masm_codec::Delta;
+        use masm_codec::Codec as _;
+        let enc = delta.encode(&flat).unwrap();
+        assert!(
+            enc.len() * 4 < flat.len(),
+            "{} bytes vs {} flat",
+            enc.len(),
+            flat.len()
+        );
+        assert_eq!(delta.decode(&enc, flat.len()).unwrap(), flat);
     }
 }

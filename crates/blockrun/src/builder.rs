@@ -16,7 +16,9 @@
 //! * [`RunBuilder::append_raw_block`] — a verbatim encoded block plus
 //!   its original [`ZoneMap`]; the bytes are CRC-verified against the
 //!   zone's checksum (a corrupted move fails loudly) and stitched in
-//!   with only the zone's offset rewritten.
+//!   with only the zone's offset rewritten — codec id, raw length, and
+//!   CRC travel verbatim, so zero-decode compaction composes with
+//!   per-block compression for free.
 //!
 //! [`RunBuilder::finish`] rebuilds the index block, bloom region, and
 //! footer from the accumulated zone entries. The bloom filter comes
@@ -26,7 +28,7 @@
 //! filters, which is a valid over-approximation because the output's
 //! keys are a subset of the inputs' keys.
 
-use crate::block::{encode_block, encoded_entry_len, Entry};
+use crate::block::{encode_block, flat_entry_len, Entry};
 use crate::bloom::BloomFilter;
 use crate::checksum::crc32;
 use crate::format::{
@@ -74,40 +76,43 @@ impl RunBuilder {
         if self.block.is_empty() {
             return;
         }
-        let encoded = encode_block(&self.block);
+        // Encode the flat (raw) block, then run the configured codec;
+        // the zone entry records both sizes and the id of the codec
+        // that actually produced the stored bytes.
+        let flat = encode_block(&self.block);
+        let (codec_id, stored) = masm_codec::encode_with(self.cfg.codec, &flat);
         self.zones.push(ZoneMap {
             offset: self.bytes.len() as u64,
-            len: encoded.len() as u32,
+            len: stored.len() as u32,
             count: self.block.len() as u32,
             min_key: self.block.first().expect("non-empty").key,
             max_key: self.block.last().expect("non-empty").key,
             min_ts: self.block.iter().map(|e| e.ts).min().expect("non-empty"),
             max_ts: self.block.iter().map(|e| e.ts).max().expect("non-empty"),
-            crc: crc32(&encoded),
+            crc: crc32(&stored),
+            raw_len: flat.len() as u32,
+            codec_id,
         });
-        self.bytes.extend_from_slice(&encoded);
+        self.bytes.extend_from_slice(&stored);
         self.block.clear();
         self.block_encoded = 4;
     }
 
     /// Append one decoded entry; entries must arrive in `(key, ts)`
     /// order relative to everything appended before.
+    ///
+    /// The block budget applies to the **raw** (flat) encoding, so the
+    /// zone count of a run — and with it the pinned metadata footprint
+    /// — is identical whatever codec compresses the stored bytes.
     pub fn append_entry(&mut self, e: Entry) {
         debug_assert!(
             self.last_key().is_none_or(|k| k <= e.key),
             "entries must be appended in key order"
         );
-        let prev_key = self.block.last().map_or(0, |p| p.key);
-        let add = encoded_entry_len(prev_key, &e);
+        let add = flat_entry_len(&e);
         if !self.block.is_empty() && self.block_encoded + add > self.cfg.block_bytes {
             self.flush_block();
         }
-        // Recompute against a fresh block's base key of 0.
-        let add = if self.block.is_empty() {
-            encoded_entry_len(0, &e)
-        } else {
-            add
-        };
         self.block_encoded += add;
         self.keys.push(e.key);
         self.block.push(e);
@@ -223,6 +228,7 @@ impl RunBuilder {
         footer.extend_from_slice(&max_key.to_le_bytes());
         footer.extend_from_slice(&min_ts.to_le_bytes());
         footer.extend_from_slice(&max_ts.to_le_bytes());
+        footer.extend_from_slice(&(self.cfg.codec.as_id() as u32).to_le_bytes());
         let crc = crc32(&footer);
         footer.extend_from_slice(&crc.to_le_bytes());
         debug_assert_eq!(footer.len() as u64, FOOTER_LEN);
@@ -239,6 +245,7 @@ impl RunBuilder {
             max_ts,
             zones: self.zones,
             bloom,
+            default_codec: self.cfg.codec,
         };
         (meta, self.bytes)
     }
@@ -255,7 +262,12 @@ mod tests {
         BlockRunConfig {
             block_bytes: 128,
             bloom_bits_per_key: 10,
+            codec: masm_codec::CodecChoice::Delta,
         }
+    }
+
+    fn cfg_with(codec: masm_codec::CodecChoice) -> BlockRunConfig {
+        BlockRunConfig { codec, ..cfg() }
     }
 
     fn entries(keys: std::ops::Range<u64>) -> Vec<Entry> {
@@ -335,6 +347,51 @@ mod tests {
             .map(|e| e.key)
             .collect();
         let want: Vec<u64> = (0..100).chain(1000..1300).chain(2000..2100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mixed_codec_raw_blocks_relink_verbatim() {
+        use masm_codec::CodecChoice;
+        // Three source runs, one per codec, in disjoint key bands; every
+        // block moves through the raw path into one output run.
+        let sources: Vec<(BlockRunMeta, Vec<u8>)> = [
+            (CodecChoice::Identity, 0u64),
+            (CodecChoice::Delta, 1000),
+            (CodecChoice::Lz, 2000),
+        ]
+        .into_iter()
+        .map(|(codec, base)| build_run(&cfg_with(codec), &entries(base..base + 200)))
+        .collect();
+
+        let mut b = RunBuilder::new(cfg());
+        for (meta, bytes) in &sources {
+            for z in &meta.zones {
+                let raw = &bytes[z.offset as usize..(z.offset + z.len as u64) as usize];
+                b.append_raw_block(raw, z).unwrap();
+            }
+        }
+        let (out, out_bytes) = b.finish();
+        let src_zones: Vec<&ZoneMap> = sources.iter().flat_map(|(m, _)| m.zones.iter()).collect();
+        assert_eq!(out.zones.len(), src_zones.len());
+        for (z, src) in out.zones.iter().zip(src_zones) {
+            assert_eq!(
+                (z.codec_id, z.crc, z.len, z.raw_len),
+                (src.codec_id, src.crc, src.len, src.raw_len),
+                "codec id and sizes preserved verbatim"
+            );
+        }
+        // The stitched run still decodes every band in key order.
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let s = SessionHandle::fresh(clock);
+        let mut meta = out;
+        meta.base = 0;
+        write_built(&s, &dev, &meta, &out_bytes).unwrap();
+        let got: Vec<u64> = BlockRunScan::new(dev, s, Arc::new(meta), None, 1, 0, u64::MAX)
+            .map(|e| e.key)
+            .collect();
+        let want: Vec<u64> = (0..200).chain(1000..1200).chain(2000..2200).collect();
         assert_eq!(got, want);
     }
 

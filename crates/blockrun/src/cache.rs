@@ -34,6 +34,10 @@ pub type CachedBlock = Arc<Vec<Entry>>;
 struct ShardEntry {
     block: CachedBlock,
     weight: usize,
+    /// On-disk (post-codec) bytes of the block — what reading it off
+    /// the device would cost. Purely informational: capacity and
+    /// eviction charge the decoded `weight`.
+    disk_len: u32,
     last_used: u64,
 }
 
@@ -45,6 +49,7 @@ struct Shard {
     map: HashMap<BlockKey, ShardEntry>,
     by_recency: BTreeMap<u64, BlockKey>,
     bytes: usize,
+    disk_bytes: u64,
 }
 
 impl Shard {
@@ -52,6 +57,7 @@ impl Shard {
         let entry = self.map.remove(&key)?;
         self.by_recency.remove(&entry.last_used);
         self.bytes -= entry.weight;
+        self.disk_bytes -= entry.disk_len as u64;
         Some(entry)
     }
 
@@ -154,7 +160,13 @@ impl BlockCache {
     /// Insert a decoded block, evicting least-recently-used entries from
     /// the shard until it fits (each eviction pops the recency index's
     /// first entry — no shard scan).
-    pub fn insert(&self, key: BlockKey, block: CachedBlock) {
+    ///
+    /// Capacity is charged by the block's **decoded** in-memory weight —
+    /// a cache of decoded blocks occupies decoded bytes regardless of
+    /// how small the codec made them on the SSD. `disk_len` (the stored,
+    /// post-codec size) is tracked alongside so reports can show both
+    /// sides of the compression trade.
+    pub fn insert(&self, key: BlockKey, block: CachedBlock, disk_len: u32) {
         let weight: usize = block.iter().map(Entry::weight).sum::<usize>() + 64;
         let tick = self.next_tick();
         let mut shard = self.shard_of(key).lock();
@@ -169,12 +181,14 @@ impl BlockCache {
             self.stats.record_eviction();
         }
         shard.bytes += weight;
+        shard.disk_bytes += disk_len as u64;
         shard.by_recency.insert(tick, key);
         shard.map.insert(
             key,
             ShardEntry {
                 block,
                 weight,
+                disk_len,
                 last_used: tick,
             },
         );
@@ -185,6 +199,14 @@ impl BlockCache {
     /// evictable population; pinned metadata is tracked separately).
     pub fn resident_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// On-disk (compressed) bytes of the resident data blocks — what
+    /// the same population costs on the SSD. The gap between this and
+    /// [`BlockCache::resident_bytes`] is the codec's memory
+    /// amplification.
+    pub fn resident_disk_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().disk_bytes).sum()
     }
 
     /// Account `bytes` of pinned run metadata (zone maps + bloom
@@ -214,11 +236,13 @@ impl BlockCache {
         self.meta_bytes.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Counter snapshot, including the data/metadata byte split.
+    /// Counter snapshot, including the data/metadata byte split and the
+    /// on-disk (compressed) size of the resident data blocks.
     pub fn stats(&self) -> CacheStatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.data_bytes = self.resident_bytes() as u64;
         snap.meta_bytes = self.meta_bytes() as u64;
+        snap.disk_bytes = self.resident_disk_bytes();
         snap
     }
 
@@ -234,6 +258,7 @@ impl BlockCache {
             s.map.clear();
             s.by_recency.clear();
             s.bytes = 0;
+            s.disk_bytes = 0;
         }
     }
 }
@@ -254,7 +279,7 @@ mod tests {
     fn hit_and_miss_counting() {
         let c = BlockCache::new(1 << 20);
         assert!(c.get((1, 0)).is_none());
-        c.insert((1, 0), block(4));
+        c.insert((1, 0), block(4), 32);
         assert!(c.get((1, 0)).is_some());
         let s = c.stats();
         assert_eq!(s.hits, 1);
@@ -266,7 +291,7 @@ mod tests {
     #[test]
     fn contains_does_not_touch_stats() {
         let c = BlockCache::new(1 << 20);
-        c.insert((7, 3), block(1));
+        c.insert((7, 3), block(1), 16);
         assert!(c.contains((7, 3)));
         assert!(!c.contains((7, 4)));
         let s = c.stats();
@@ -278,12 +303,12 @@ mod tests {
         // Single shard so recency ordering is observable.
         let per_block = block(10).iter().map(Entry::weight).sum::<usize>() + 64;
         let c = BlockCache::with_shards(per_block * 3, 1);
-        c.insert((1, 0), block(10));
-        c.insert((1, 1), block(10));
-        c.insert((1, 2), block(10));
+        c.insert((1, 0), block(10), 64);
+        c.insert((1, 1), block(10), 64);
+        c.insert((1, 2), block(10), 64);
         // Touch block 0 so block 1 is now coldest.
         assert!(c.get((1, 0)).is_some());
-        c.insert((1, 3), block(10));
+        c.insert((1, 3), block(10), 64);
         assert!(c.contains((1, 0)), "recently used survives");
         assert!(!c.contains((1, 1)), "coldest evicted");
         assert!(c.stats().evictions >= 1);
@@ -292,9 +317,9 @@ mod tests {
     #[test]
     fn reinsert_replaces_weight() {
         let c = BlockCache::with_shards(1 << 20, 1);
-        c.insert((1, 0), block(10));
+        c.insert((1, 0), block(10), 64);
         let before = c.resident_bytes();
-        c.insert((1, 0), block(10));
+        c.insert((1, 0), block(10), 64);
         assert_eq!(c.resident_bytes(), before, "no double counting");
     }
 
@@ -303,13 +328,13 @@ mod tests {
         let c = BlockCache::with_shards(4096, 1);
         c.retain_meta_bytes(1000);
         c.retain_meta_bytes(500);
-        c.insert((1, 0), block(8));
+        c.insert((1, 0), block(8), 40);
         let s = c.stats();
         assert_eq!(s.meta_bytes, 1500);
         assert!(s.data_bytes > 0);
         // A sweep that evicts every data block leaves metadata pinned.
         for i in 1..100u32 {
-            c.insert((1, i), block(8));
+            c.insert((1, i), block(8), 40);
         }
         assert_eq!(c.meta_bytes(), 1500, "eviction never touches metadata");
         c.release_meta_bytes(1500);
@@ -319,10 +344,26 @@ mod tests {
     }
 
     #[test]
+    fn disk_bytes_track_compressed_size_of_residents() {
+        let c = BlockCache::with_shards(1 << 20, 1);
+        c.insert((1, 0), block(10), 100);
+        c.insert((1, 1), block(10), 40);
+        assert_eq!(c.resident_disk_bytes(), 140);
+        assert_eq!(c.stats().disk_bytes, 140);
+        // Capacity still charges decoded weight, not disk bytes.
+        assert!(c.resident_bytes() > 140);
+        // Re-insert replaces, eviction and clear release.
+        c.insert((1, 0), block(10), 60);
+        assert_eq!(c.resident_disk_bytes(), 100);
+        c.clear();
+        assert_eq!(c.resident_disk_bytes(), 0);
+    }
+
+    #[test]
     fn capacity_is_respected() {
         let c = BlockCache::with_shards(4096, 4);
         for i in 0..200u32 {
-            c.insert((1, i), block(8));
+            c.insert((1, i), block(8), 40);
         }
         assert!(
             c.resident_bytes() <= 4096 + 4 * 1024,

@@ -11,21 +11,27 @@
 //! │ block 0 │ block 1 │ … │ block n │ index block │ bloom block │ footer │
 //! └─────────┴─────────┴───┴─────────┴─────────────┴─────────────┴────────┘
 //!   data blocks (≤ block_bytes     zone maps +     optional,     fixed
-//!   of delta-compressed entries    CRC             k + bits +    92 B
-//!   each; CRC in the zone map)                     CRC
+//!   of raw entries each, then      CRC             k + bits +    96 B
+//!   codec-compressed; CRC in                       CRC
+//!   the zone map)
 //! ```
 //!
-//! * **Data blocks** — [`crate::block::encode_block`] output, the I/O
-//!   unit of every read (64 KB by default, the paper's §4.1 SSD page).
+//! * **Data blocks** — [`crate::block::encode_block`] output compressed
+//!   through the run's codec ([`masm_codec`]), the I/O unit of every
+//!   read (64 KB of *raw* entry bytes by default, the paper's §4.1 SSD
+//!   page; the stored block is whatever the codec left of it).
 //! * **Index block** — one [`ZoneMap`] per data block: byte offset,
-//!   length, entry count, min/max key, min/max timestamp, and the CRC-32
-//!   of the block bytes. The `(min_key → offset)` mapping doubles as the
-//!   first-key index; the min/max columns prune blocks from scans.
+//!   stored length, entry count, min/max key, min/max timestamp, the
+//!   CRC-32 of the stored block bytes, the raw (uncompressed) length,
+//!   and the id of the codec that produced the stored bytes. The
+//!   `(min_key → offset)` mapping doubles as the first-key index; the
+//!   min/max columns prune blocks from scans.
 //! * **Bloom block** — optional per-run filter over all keys for point
 //!   lookups ([`crate::bloom::BloomFilter`]).
 //! * **Footer** — magic, version, region geometry, run-wide key/ts
-//!   bounds, and its own CRC; always the trailing [`FOOTER_LEN`] bytes,
-//!   so a reader needs only `(base, total_bytes)` to bootstrap.
+//!   bounds, the writer's default codec choice, and its own CRC; always
+//!   the trailing [`FOOTER_LEN`] bytes, so a reader needs only
+//!   `(base, total_bytes)` to bootstrap.
 //!
 //! Everything is written front to back in one pass — the writer never
 //! seeks backwards, preserving MaSM's `random_writes == 0` invariant on
@@ -34,7 +40,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use masm_storage::{IoTicket, SessionHandle, SimDevice, StorageError};
+use masm_codec::CodecChoice;
+use masm_storage::{CompressionReport, IoTicket, SessionHandle, SimDevice, StorageError};
 
 use crate::block::{decode_block, Entry};
 use crate::bloom::BloomFilter;
@@ -43,12 +50,13 @@ use crate::checksum::crc32;
 
 /// `b"MASMBRUN"` as a little-endian u64.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"MASMBRUN");
-/// Format version written into footers.
-pub const VERSION: u32 = 1;
+/// Format version written into footers. Version 2 added the codec stage
+/// (per-zone codec id + raw length, footer default-codec field).
+pub const VERSION: u32 = 2;
 /// Fixed footer size in bytes.
-pub const FOOTER_LEN: u64 = 92;
+pub const FOOTER_LEN: u64 = 96;
 /// Encoded size of one [`ZoneMap`] in the index block.
-pub const ZONE_MAP_LEN: usize = 52;
+pub const ZONE_MAP_LEN: usize = 57;
 
 /// Errors from reading or writing block runs.
 #[derive(Debug)]
@@ -64,6 +72,14 @@ pub enum BlockRunError {
         /// Block index for data blocks, 0 otherwise.
         index: u32,
     },
+    /// A footer or zone-map entry names a codec this build does not
+    /// know — a run written by a newer build (or corruption that kept
+    /// its CRCs intact). The run fails open with this typed error; it
+    /// is never decoded on a guess.
+    UnknownCodec {
+        /// The unrecognized codec id.
+        id: u32,
+    },
 }
 
 impl fmt::Display for BlockRunError {
@@ -73,6 +89,9 @@ impl fmt::Display for BlockRunError {
             BlockRunError::Corrupt(what) => write!(f, "corrupt block run: {what}"),
             BlockRunError::ChecksumMismatch { region, index } => {
                 write!(f, "checksum mismatch in {region} {index}")
+            }
+            BlockRunError::UnknownCodec { id } => {
+                write!(f, "unknown codec id {id}")
             }
         }
     }
@@ -99,11 +118,19 @@ pub type BlockRunResult<T> = Result<T, BlockRunError>;
 /// Writer/reader knobs.
 #[derive(Debug, Clone)]
 pub struct BlockRunConfig {
-    /// Target encoded size of one data block — the read I/O unit
-    /// (64 KB by default, matching the paper's §4.1 SSD page).
+    /// Target **raw** (flat, pre-codec) size of one data block — the
+    /// decode unit of every read (64 KB by default, matching the
+    /// paper's §4.1 SSD page). Budgeting the raw size keeps the zone
+    /// count — and thus the pinned metadata footprint — identical
+    /// across codecs; the stored block is whatever the codec leaves.
     pub block_bytes: usize,
     /// Bloom-filter budget in bits per key; 0 disables the filter.
     pub bloom_bits_per_key: u32,
+    /// Per-block compression policy. Fixed choices always use that
+    /// codec; [`CodecChoice::Adaptive`] trial-encodes each block and
+    /// keeps the smallest output, recording the winner's id in the
+    /// block's zone-map entry.
+    pub codec: CodecChoice,
 }
 
 impl Default for BlockRunConfig {
@@ -111,6 +138,7 @@ impl Default for BlockRunConfig {
         BlockRunConfig {
             block_bytes: 64 * 1024,
             bloom_bits_per_key: 10,
+            codec: CodecChoice::Delta,
         }
     }
 }
@@ -124,7 +152,7 @@ impl Default for BlockRunConfig {
 pub struct ZoneMap {
     /// Byte offset of the block, relative to the run base.
     pub offset: u64,
-    /// Encoded length in bytes.
+    /// Stored (on-disk, post-codec) length in bytes — the read I/O size.
     pub len: u32,
     /// Number of entries.
     pub count: u32,
@@ -136,8 +164,18 @@ pub struct ZoneMap {
     pub min_ts: u64,
     /// Largest timestamp in the block.
     pub max_ts: u64,
-    /// CRC-32 of the encoded block bytes.
+    /// CRC-32 of the stored block bytes (checked before the codec runs).
     pub crc: u32,
+    /// Raw (flat, pre-codec) length in bytes — what the codec's decode
+    /// must produce; also feeds the [`BlockRunMeta::compression`]
+    /// accounting. (The cache charges decoded *entry* weight for
+    /// capacity and tracks `len` as `disk_bytes` — see
+    /// [`crate::cache::BlockCache::insert`].)
+    pub raw_len: u32,
+    /// Id of the codec that produced the stored bytes
+    /// ([`masm_codec::codec_for`]). Moved blocks carry this verbatim
+    /// through compaction.
+    pub codec_id: u8,
 }
 
 impl ZoneMap {
@@ -150,6 +188,8 @@ impl ZoneMap {
         out.extend_from_slice(&self.min_ts.to_le_bytes());
         out.extend_from_slice(&self.max_ts.to_le_bytes());
         out.extend_from_slice(&self.crc.to_le_bytes());
+        out.extend_from_slice(&self.raw_len.to_le_bytes());
+        out.push(self.codec_id);
     }
 
     fn decode(buf: &[u8]) -> Option<ZoneMap> {
@@ -167,6 +207,8 @@ impl ZoneMap {
             min_ts: u64_at(32),
             max_ts: u64_at(40),
             crc: u32_at(48),
+            raw_len: u32_at(52),
+            codec_id: buf[56],
         })
     }
 }
@@ -195,6 +237,10 @@ pub struct BlockRunMeta {
     pub zones: Vec<ZoneMap>,
     /// Optional per-run bloom filter over all keys.
     pub bloom: Option<BloomFilter>,
+    /// The codec policy the run was written with. Informational — each
+    /// block records the codec actually used in its zone entry (an
+    /// `Adaptive` writer mixes ids block by block).
+    pub default_codec: CodecChoice,
 }
 
 impl BlockRunMeta {
@@ -227,6 +273,28 @@ impl BlockRunMeta {
             + self.bloom.as_ref().map_or(0, |b| b.bit_bytes())
     }
 
+    /// Per-run compression accounting from the zone maps alone: raw
+    /// (decoded) versus stored (on-disk) data-block bytes, and how many
+    /// blocks each codec won.
+    pub fn compression(&self) -> CompressionReport {
+        let mut report = CompressionReport {
+            runs: 1,
+            ..CompressionReport::default()
+        };
+        for z in &self.zones {
+            report.blocks += 1;
+            report.raw_bytes += z.raw_len as u64;
+            report.stored_bytes += z.len as u64;
+            match z.codec_id {
+                masm_codec::IDENTITY => report.blocks_identity += 1,
+                masm_codec::DELTA => report.blocks_delta += 1,
+                masm_codec::LZ => report.blocks_lz += 1,
+                _ => {}
+            }
+        }
+        report
+    }
+
     /// A metadata-only stand-in for unit tests that never touch the
     /// device (no zones, no bloom).
     pub fn synthetic(min_key: u64, max_key: u64, min_ts: u64, max_ts: u64, count: u64) -> Self {
@@ -241,6 +309,7 @@ impl BlockRunMeta {
             max_ts,
             zones: Vec::new(),
             bloom: None,
+            default_codec: CodecChoice::Identity,
         }
     }
 }
@@ -346,6 +415,11 @@ pub fn read_meta(
     let bloom_len = u64_at(48);
     let (min_key, max_key) = (u64_at(56), u64_at(64));
     let (min_ts, max_ts) = (u64_at(72), u64_at(80));
+    let codec_raw = u32_at(88);
+    let default_codec = u8::try_from(codec_raw)
+        .ok()
+        .and_then(CodecChoice::from_id)
+        .ok_or(BlockRunError::UnknownCodec { id: codec_raw })?;
 
     if index_off + index_len > total_bytes || bloom_off + bloom_len > total_bytes {
         return Err(BlockRunError::Corrupt("region out of bounds"));
@@ -362,10 +436,16 @@ pub fn read_meta(
     let mut zones = Vec::with_capacity(n);
     for i in 0..n {
         let off = 4 + i * ZONE_MAP_LEN;
-        zones.push(
-            ZoneMap::decode(&index[off..off + ZONE_MAP_LEN])
-                .ok_or(BlockRunError::Corrupt("zone map"))?,
-        );
+        let zone = ZoneMap::decode(&index[off..off + ZONE_MAP_LEN])
+            .ok_or(BlockRunError::Corrupt("zone map"))?;
+        // Validate codec ids up front: a run naming a codec this build
+        // lacks fails open here, typed, before any block is fetched.
+        if masm_codec::codec_for(zone.codec_id).is_none() {
+            return Err(BlockRunError::UnknownCodec {
+                id: zone.codec_id as u32,
+            });
+        }
+        zones.push(zone);
     }
 
     let bloom = if bloom_len > 0 {
@@ -390,17 +470,34 @@ pub fn read_meta(
         max_ts,
         zones,
         bloom,
+        default_codec,
     })
 }
 
-fn decode_verified_block(raw: &[u8], zone: &ZoneMap, idx: usize) -> BlockRunResult<Vec<Entry>> {
-    if crc32(raw) != zone.crc {
+/// CRC-verify stored block bytes, run them back through the zone's
+/// codec, and decode the flat entries. The CRC covers the *stored*
+/// bytes, so truncation or bit rot fails the checksum before any codec
+/// decode work (or its allocations) happens.
+fn decode_verified_block(stored: &[u8], zone: &ZoneMap, idx: usize) -> BlockRunResult<Vec<Entry>> {
+    if crc32(stored) != zone.crc {
         return Err(BlockRunError::ChecksumMismatch {
             region: "block",
             index: idx as u32,
         });
     }
-    decode_block(raw).ok_or(BlockRunError::Corrupt("block entries"))
+    let decompressed;
+    let flat: &[u8] = if zone.codec_id == masm_codec::IDENTITY {
+        stored
+    } else {
+        let codec = masm_codec::codec_for(zone.codec_id).ok_or(BlockRunError::UnknownCodec {
+            id: zone.codec_id as u32,
+        })?;
+        decompressed = codec
+            .decode(stored, zone.raw_len as usize)
+            .map_err(|_| BlockRunError::Corrupt("block codec payload"))?;
+        &decompressed
+    };
+    decode_block(flat).ok_or(BlockRunError::Corrupt("block entries"))
 }
 
 /// Read data block `idx`, serving from `cache` when possible; a device
@@ -426,7 +523,7 @@ pub fn read_block(
     let raw = session.read(dev, meta.base + zone.offset, zone.len as u64)?;
     let entries = Arc::new(decode_verified_block(&raw, zone, idx)?);
     if let Some((cache, run_key)) = cache {
-        cache.insert((run_key, idx as u32), Arc::clone(&entries));
+        cache.insert((run_key, idx as u32), Arc::clone(&entries), zone.len);
     }
     Ok(entries)
 }
@@ -575,11 +672,12 @@ impl BlockRunScan {
     /// Decode `raw` for block `idx`, populate the cache, and record the
     /// result (or the error).
     fn decode_and_cache(&mut self, raw: &[u8], idx: usize) -> Option<CachedBlock> {
-        match decode_verified_block(raw, &self.meta.zones[idx], idx) {
+        let zone = self.meta.zones[idx];
+        match decode_verified_block(raw, &zone, idx) {
             Ok(entries) => {
                 let entries = Arc::new(entries);
                 if let Some(cache) = &self.cache {
-                    cache.insert((self.run_key, idx as u32), Arc::clone(&entries));
+                    cache.insert((self.run_key, idx as u32), Arc::clone(&entries), zone.len);
                 }
                 Some(entries)
             }
@@ -695,6 +793,7 @@ mod tests {
         BlockRunConfig {
             block_bytes: 128,
             bloom_bits_per_key: 10,
+            codec: CodecChoice::Delta,
         }
     }
 
@@ -969,6 +1068,141 @@ mod tests {
     }
 
     #[test]
+    fn every_codec_roundtrips_through_device() {
+        let keys: Vec<u64> = (0..600).map(|i| i * 2).collect();
+        for choice in CodecChoice::ALL {
+            let (dev, s) = setup();
+            let cfg = BlockRunConfig {
+                codec: choice,
+                ..small_cfg()
+            };
+            let meta = write_run(&s, &dev, 0, &cfg, &entries(&keys)).unwrap();
+            assert_eq!(meta.default_codec, choice);
+            let back = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+            assert_eq!(back.zones, meta.zones);
+            assert_eq!(back.default_codec, choice);
+            let got: Vec<u64> = BlockRunScan::new(dev, s, Arc::new(back), None, 1, 0, u64::MAX)
+                .map(|e| e.key)
+                .collect();
+            assert_eq!(got, keys, "{choice:?}");
+            // Accounting: every block's raw size is known, and the
+            // stored ids match the policy.
+            let comp = meta.compression();
+            assert_eq!(comp.blocks, meta.zones.len() as u64);
+            assert!(comp.raw_bytes > 0);
+            match choice {
+                CodecChoice::Identity => {
+                    assert_eq!(comp.blocks_identity, comp.blocks);
+                    assert_eq!(comp.raw_bytes, comp.stored_bytes);
+                }
+                CodecChoice::Delta => assert_eq!(comp.blocks_delta, comp.blocks),
+                CodecChoice::Lz => assert_eq!(comp.blocks_lz, comp.blocks),
+                CodecChoice::Adaptive => {
+                    assert!(comp.stored_bytes <= comp.raw_bytes, "never grows")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_codecs_shrink_stored_bytes() {
+        let keys: Vec<u64> = (0..2000).collect();
+        for choice in [CodecChoice::Delta, CodecChoice::Lz, CodecChoice::Adaptive] {
+            let (dev, s) = setup();
+            let cfg = BlockRunConfig {
+                codec: choice,
+                ..small_cfg()
+            };
+            let meta = write_run(&s, &dev, 0, &cfg, &entries(&keys)).unwrap();
+            let comp = meta.compression();
+            assert!(
+                comp.stored_bytes < comp.raw_bytes,
+                "{choice:?}: stored {} !< raw {}",
+                comp.stored_bytes,
+                comp.raw_bytes
+            );
+            assert!(comp.ratio() < 1.0);
+        }
+    }
+
+    #[test]
+    fn unknown_codec_in_footer_fails_open_with_typed_error() {
+        let (dev, s) = setup();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&[1, 2, 3])).unwrap();
+        // Rewrite the footer with a bogus default-codec id and a *valid*
+        // CRC: the reader must reject the codec id itself, typed, not
+        // trip over a checksum.
+        let footer_off = meta.total_bytes - FOOTER_LEN;
+        let (mut footer, _) = dev.read_at(0, footer_off, FOOTER_LEN).unwrap();
+        footer[88..92].copy_from_slice(&0xAAu32.to_le_bytes());
+        let body = footer.len() - 4;
+        let crc = crc32(&footer[..body]);
+        footer[body..].copy_from_slice(&crc.to_le_bytes());
+        dev.write_at(0, footer_off, &footer).unwrap();
+
+        let err = read_meta(&s, &dev, 0, meta.total_bytes).unwrap_err();
+        assert!(
+            matches!(err, BlockRunError::UnknownCodec { id: 0xAA }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_codec_in_zone_map_fails_open_with_typed_error() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..200).collect();
+        let meta = write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap();
+        // Patch zone 1's codec id inside the index block and re-seal the
+        // index CRC.
+        let index_off = meta.data_bytes;
+        let index_len = 4 + meta.zones.len() * ZONE_MAP_LEN + 4;
+        let (mut index, _) = dev.read_at(0, index_off, index_len as u64).unwrap();
+        index[4 + ZONE_MAP_LEN + 56] = 0x77;
+        let body = index.len() - 4;
+        let crc = crc32(&index[..body]);
+        index[body..].copy_from_slice(&crc.to_le_bytes());
+        dev.write_at(0, index_off, &index).unwrap();
+
+        let err = read_meta(&s, &dev, 0, meta.total_bytes).unwrap_err();
+        assert!(
+            matches!(err, BlockRunError::UnknownCodec { id: 0x77 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_compressed_block_fails_crc_before_decode() {
+        let (dev, s) = setup();
+        let cfg = BlockRunConfig {
+            codec: CodecChoice::Lz,
+            ..small_cfg()
+        };
+        let keys: Vec<u64> = (0..500).collect();
+        let meta = write_run(&s, &dev, 0, &cfg, &entries(&keys)).unwrap();
+        // Simulate a torn write: the tail of block 0's *compressed*
+        // bytes is zeroed. The stored-byte CRC must reject it — the LZ
+        // decoder never sees the bytes (ChecksumMismatch, not a codec
+        // "Corrupt" error, proves the ordering).
+        let zone = meta.zones[0];
+        let tail = (zone.len / 3).max(1) as u64;
+        let tail_off = zone.offset + zone.len as u64 - tail;
+        let (bytes, _) = dev.read_at(0, tail_off, tail).unwrap();
+        let flipped: Vec<u8> = bytes.iter().map(|b| !b).collect();
+        dev.write_at(0, tail_off, &flipped).unwrap();
+        let err = read_block(&s, &dev, &meta, 0, None).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BlockRunError::ChecksumMismatch {
+                    region: "block",
+                    index: 0
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn blocks_overlapping_bounds() {
         let mut meta = BlockRunMeta::synthetic(0, 100, 1, 1, 4);
         for (i, (lo, hi)) in [(0u64, 24u64), (25, 49), (50, 74), (75, 100)]
@@ -984,6 +1218,8 @@ mod tests {
                 min_ts: 1,
                 max_ts: 1,
                 crc: 0,
+                raw_len: 100,
+                codec_id: masm_codec::IDENTITY,
             });
         }
         assert_eq!(meta.blocks_overlapping(0, 100), 0..4);

@@ -6,18 +6,26 @@
 //! format modern SST-based engines use, while preserving the paper's
 //! core invariant that runs are written strictly sequentially:
 //!
-//! * [`block`] — fixed-budget data blocks of delta/prefix-compressed
-//!   entries; the block is the read I/O unit (64 KB by default, the
-//!   paper's §4.1 SSD page).
+//! * [`block`] — fixed-budget data blocks of flat-encoded entries; the
+//!   block is the read I/O unit (64 KB of raw entry bytes by default,
+//!   the paper's §4.1 SSD page).
+//! * **codec stage** — every block is compressed through a pluggable
+//!   [`masm_codec::Codec`] (identity, the delta+varint encoding, an
+//!   LZ-style byte codec, or per-block adaptive selection); the winning
+//!   codec id and raw length live in the block's zone-map entry, so
+//!   moved blocks carry their codec verbatim through compaction.
 //! * [`checksum`] — CRC-32 on every block, the index, the bloom filter,
 //!   and the footer, so a corrupted SSD read fails loudly
-//!   ([`BlockRunError::ChecksumMismatch`]) instead of decoding garbage.
+//!   ([`BlockRunError::ChecksumMismatch`]) instead of decoding garbage;
+//!   block CRCs cover the *stored* (post-codec) bytes, so a truncated
+//!   compressed block is rejected before any codec decode runs.
 //! * [`format`](mod@format) — the run layout: data blocks, an index block of
 //!   [`ZoneMap`]s (first-key → offset plus min/max key and timestamp per
-//!   block, for pruning), an optional per-run bloom filter, and a
-//!   self-describing footer. Includes the sequential writer, the
-//!   verifying reader, a zone-map-pruned range scan with async prefetch,
-//!   and a bloom-guarded point lookup.
+//!   block, for pruning, plus `{codec_id, len, raw_len}` for the codec
+//!   stage), an optional per-run bloom filter, and a self-describing
+//!   footer carrying the writer's default codec. Includes the
+//!   sequential writer, the verifying reader, a zone-map-pruned range
+//!   scan with async prefetch, and a bloom-guarded point lookup.
 //! * [`bloom`] — the per-run bloom filter (point lookups skip runs that
 //!   definitely lack the key, with zero I/O).
 //! * [`plan`] — merge planning over zone maps: partitions a k-way merge
@@ -52,4 +60,5 @@ pub use format::{
     build_run, point_lookup, read_block, read_meta, write_built, write_run, BlockRunConfig,
     BlockRunError, BlockRunMeta, BlockRunResult, BlockRunScan, ZoneMap, FOOTER_LEN, MAGIC, VERSION,
 };
+pub use masm_codec::CodecChoice;
 pub use plan::{MergePlan, MergePlanner, Segment};

@@ -221,6 +221,8 @@ mod tests {
                 min_ts: 1,
                 max_ts: 1,
                 crc: 0,
+                raw_len: 100,
+                codec_id: masm_codec::IDENTITY,
             });
         }
         meta

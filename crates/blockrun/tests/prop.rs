@@ -7,8 +7,9 @@ use proptest::prelude::*;
 
 use masm_blockrun::block::{decode_block, encode_block};
 use masm_blockrun::{
-    read_meta, write_run, BlockCache, BlockRunConfig, BlockRunScan, BloomFilter, Entry,
+    read_meta, write_run, BlockCache, BlockRunConfig, BlockRunScan, BloomFilter, CodecChoice, Entry,
 };
+use masm_codec::{codec_for, Codec, Delta, Identity, Lz};
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
 
 fn device() -> (SimDevice, SessionHandle) {
@@ -41,6 +42,7 @@ fn small_cfg() -> BlockRunConfig {
     BlockRunConfig {
         block_bytes: 128,
         bloom_bits_per_key: 10,
+        codec: CodecChoice::Delta,
     }
 }
 
@@ -51,6 +53,51 @@ proptest! {
         let entries = to_sorted_entries(raw);
         let encoded = encode_block(&entries);
         prop_assert_eq!(decode_block(&encoded).unwrap(), entries);
+    }
+
+    /// `decode ∘ encode == id` for **every** codec over random entry
+    /// batches — the compression stage never changes what a block says.
+    #[test]
+    fn every_codec_roundtrips_random_entry_batches(raw in raw_entries()) {
+        let entries = to_sorted_entries(raw);
+        let flat = encode_block(&entries);
+        for codec in [&Identity as &dyn Codec, &Delta, &Lz] {
+            let enc = codec.encode(&flat).unwrap();
+            prop_assert!(
+                enc.len() <= codec.max_compressed_len(flat.len()),
+                "{}: {} > bound {}",
+                codec.name(), enc.len(), codec.max_compressed_len(flat.len())
+            );
+            let back = codec.decode(&enc, flat.len()).unwrap();
+            prop_assert_eq!(&back, &flat, "{} broke the bytes", codec.name());
+            prop_assert_eq!(decode_block(&back).unwrap(), entries.clone());
+        }
+        // The adaptive selection also round-trips under its recorded id.
+        let (id, enc) = masm_codec::encode_with(CodecChoice::Adaptive, &flat);
+        prop_assert!(enc.len() <= flat.len(), "adaptive never grows a block");
+        let back = codec_for(id).unwrap().decode(&enc, flat.len()).unwrap();
+        prop_assert_eq!(back, flat);
+    }
+
+    /// Whole runs round-trip through the device under every codec
+    /// choice, and the zone maps agree on codec ids and raw sizes.
+    #[test]
+    fn run_roundtrip_under_every_codec(raw in raw_entries(), codec_idx in 0usize..4) {
+        let choice = CodecChoice::ALL[codec_idx];
+        let entries = to_sorted_entries(raw);
+        let (dev, s) = device();
+        let cfg = BlockRunConfig { codec: choice, ..small_cfg() };
+        let meta = write_run(&s, &dev, 0, &cfg, &entries).unwrap();
+        for z in &meta.zones {
+            prop_assert!(codec_for(z.codec_id).is_some());
+            prop_assert!(z.raw_len >= 4, "raw length recorded");
+        }
+        let reopened = read_meta(&s, &dev, 0, meta.total_bytes).unwrap();
+        prop_assert_eq!(&reopened.zones, &meta.zones);
+        prop_assert_eq!(reopened.default_codec, choice);
+        let got: Vec<Entry> =
+            BlockRunScan::new(dev, s, Arc::new(reopened), None, 1, 0, u64::MAX).collect();
+        prop_assert_eq!(got, entries);
     }
 
     /// Arbitrary records → whole run on a device → scan is the

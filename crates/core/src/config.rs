@@ -16,6 +16,8 @@
 
 use crate::error::{MasmError, MasmResult};
 
+pub use masm_codec::CodecChoice;
+
 /// Granularity of the run's read-only index (§3.5 "Granularity of Run
 /// Index").
 ///
@@ -78,6 +80,13 @@ pub struct MasmConfig {
     /// Bloom-filter budget per materialized run, in bits per key
     /// (10 ⇒ ≈0.8% false positives); 0 disables run bloom filters.
     pub bloom_bits_per_key: u32,
+    /// Per-block compression codec for materialized runs. Fixed choices
+    /// always use that codec; [`CodecChoice::Adaptive`] trial-encodes
+    /// each block and keeps the smallest output. Compression multiplies
+    /// the effective SSD update cache and cuts merge-read bandwidth at
+    /// the price of encode/decode CPU — the fig13-style trade the
+    /// `fig13_cpu_cost` benchmark measures per codec.
+    pub codec: CodecChoice,
     /// Capacity of the shared block cache holding decoded run blocks,
     /// in bytes.
     pub block_cache_bytes: usize,
@@ -101,6 +110,7 @@ impl Default for MasmConfig {
             ssd_region_base: 0,
             block_bytes: 64 * 1024,
             bloom_bits_per_key: 10,
+            codec: CodecChoice::Delta,
             block_cache_bytes: 8 * 1024 * 1024,
             merge_prefetch_cap: 16,
         }
@@ -120,6 +130,7 @@ impl MasmConfig {
             ssd_region_base: 0,
             block_bytes: 4096,
             bloom_bits_per_key: 10,
+            codec: CodecChoice::Delta,
             block_cache_bytes: 2 * 1024 * 1024,
             merge_prefetch_cap: 8,
         }
@@ -203,6 +214,7 @@ impl MasmConfig {
         masm_blockrun::BlockRunConfig {
             block_bytes: self.effective_block_bytes(),
             bloom_bits_per_key: self.bloom_bits_per_key,
+            codec: self.codec,
         }
     }
 
@@ -303,6 +315,9 @@ mod tests {
         c.index_granularity = IndexGranularity::Bytes(16);
         assert_eq!(c.effective_block_bytes(), 64, "floor applies");
         assert_eq!(c.blockrun_config().bloom_bits_per_key, 10);
+        assert_eq!(c.blockrun_config().codec, CodecChoice::Delta);
+        c.codec = CodecChoice::Adaptive;
+        assert_eq!(c.blockrun_config().codec, CodecChoice::Adaptive);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use parking_lot::{Condvar, Mutex};
 
 use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
-use masm_storage::{CacheStatsSnapshot, MergeReport, SessionHandle, SimDevice};
+use masm_storage::{CacheStatsSnapshot, CompressionReport, MergeReport, SessionHandle, SimDevice};
 
 use crate::algo::RunSet;
 use crate::config::MasmConfig;
@@ -100,6 +100,9 @@ pub struct MasmEngine {
     last_merge: Mutex<Option<MergeReport>>,
     /// Cumulative totals across every planned merge this engine ran.
     merge_totals: Mutex<MergeReport>,
+    /// Cumulative codec accounting across every run this engine built
+    /// (or recovered): raw vs stored data-block bytes, blocks per codec.
+    compression_totals: Mutex<CompressionReport>,
 }
 
 impl std::fmt::Debug for MasmEngine {
@@ -155,6 +158,7 @@ impl MasmEngine {
             commit_index: Mutex::new(std::collections::HashMap::new()),
             last_merge: Mutex::new(None),
             merge_totals: Mutex::new(MergeReport::default()),
+            compression_totals: Mutex::new(CompressionReport::default()),
         }))
     }
 
@@ -224,9 +228,25 @@ impl MasmEngine {
         *self.merge_totals.lock()
     }
 
+    /// Cumulative codec accounting over every run this engine built or
+    /// recovered: raw vs stored data-block bytes and per-codec block
+    /// counts ([`CompressionReport::ratio`] is the on-disk compression
+    /// ratio the configured [`crate::config::CodecChoice`] achieved).
+    pub fn compression_stats(&self) -> CompressionReport {
+        *self.compression_totals.lock()
+    }
+
     fn record_merge(&self, report: MergeReport) {
         *self.last_merge.lock() = Some(report);
         self.merge_totals.lock().absorb(&report);
+    }
+
+    /// Fold a newly built (or recovered) run's codec accounting into
+    /// the engine totals.
+    fn record_compression(&self, run: &SortedRun) {
+        self.compression_totals
+            .lock()
+            .absorb(&run.meta.compression());
     }
 
     /// Pin a run's metadata footprint (zone maps + bloom) in the cache
@@ -404,6 +424,7 @@ impl MasmEngine {
             },
         )?;
         self.account_run_added(&run);
+        self.record_compression(&run);
         st.runs.add(Arc::new(run));
         Ok(())
     }
@@ -501,6 +522,7 @@ impl MasmEngine {
             wal.append(session, &WalRecord::RunsDeleted(old_ids.clone()))?;
         }
         self.account_run_added(&run);
+        self.record_compression(&run);
         st.runs.add(Arc::new(run));
         self.account_runs_removed(st, &old_ids);
         st.runs.remove_ids(&old_ids);
@@ -1072,10 +1094,13 @@ impl MasmEngine {
         }
 
         // Re-pin the recovered runs' metadata footprint in the cache
-        // accounting (zone maps + blooms live as long as the runs do).
+        // accounting (zone maps + blooms live as long as the runs do),
+        // and rebuild the codec accounting from their zone maps.
         let cache = Arc::new(BlockCache::new(cfg.block_cache_bytes));
+        let mut compression = CompressionReport::default();
         for r in runs.runs() {
             cache.retain_meta_bytes(r.memory_bytes());
+            compression.absorb(&r.meta.compression());
         }
 
         let engine = Arc::new(MasmEngine {
@@ -1100,6 +1125,7 @@ impl MasmEngine {
             commit_index: Mutex::new(std::collections::HashMap::new()),
             last_merge: Mutex::new(None),
             merge_totals: Mutex::new(MergeReport::default()),
+            compression_totals: Mutex::new(compression),
         });
 
         let mut report = RecoveryReport {

@@ -11,9 +11,10 @@
 //! 1. **Low query overhead with a small memory footprint** — updates are
 //!    external-sorted: [`run`] materializes sorted runs of updates on the
 //!    SSD in the block-run format of `masm-blockrun` (checksummed,
-//!    delta-compressed blocks with per-block zone maps and a per-run
-//!    bloom filter), so a range scan reads only the blocks overlapping
-//!    its key range ([`run::RunScan`]), hot blocks are served from a
+//!    codec-compressed blocks — [`config::CodecChoice`] — with per-block
+//!    zone maps and a per-run bloom filter), so a range scan reads only
+//!    the blocks overlapping its key range ([`run::RunScan`]), hot
+//!    blocks are served from a
 //!    shared block cache with zero SSD reads, and [`merge`] combines
 //!    them with the scan in one pass.
 //! 2. **No random SSD writes** — runs are written strictly sequentially
@@ -47,7 +48,7 @@ pub mod update;
 pub mod view;
 pub mod wal;
 
-pub use config::{IndexGranularity, MasmConfig};
+pub use config::{CodecChoice, IndexGranularity, MasmConfig};
 pub use engine::{MasmEngine, MergeScan};
 pub use error::{MasmError, MasmResult};
 pub use ts::TimestampOracle;

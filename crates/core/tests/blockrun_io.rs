@@ -1,12 +1,13 @@
 //! Storage-level acceptance tests of the block-run subsystem as used by
 //! the engine: the paper's `random_writes == 0` invariant, loud
-//! checksum failures on corruption, and zero-SSD-read warm-cache scans.
+//! checksum failures on corruption, zero-SSD-read warm-cache scans, and
+//! the codec stage's on-disk savings on the synthetic update workload.
 
 use std::sync::Arc;
 
-use masm_core::config::MasmConfig;
+use masm_core::config::{CodecChoice, MasmConfig};
 use masm_core::run::{lookup_in_run, write_run, RunScan};
-use masm_core::update::{UpdateOp, UpdateRecord};
+use masm_core::update::{FieldPatch, UpdateOp, UpdateRecord};
 use masm_core::{MasmEngine, MasmError};
 use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
@@ -28,12 +29,16 @@ struct Fixture {
 }
 
 fn fixture(n_records: u64) -> Fixture {
+    fixture_with(n_records, MasmConfig::small_for_tests())
+}
+
+fn fixture_with(n_records: u64, cfg: MasmConfig) -> Fixture {
     let clock = SimClock::new();
     let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
     let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
     let wal = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
     let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
-    let engine = MasmEngine::new(heap, ssd, wal, schema(), MasmConfig::small_for_tests()).unwrap();
+    let engine = MasmEngine::new(heap, ssd, wal, schema(), cfg).unwrap();
     let session = SessionHandle::fresh(clock);
     engine
         .load_table(
@@ -43,6 +48,41 @@ fn fixture(n_records: u64) -> Fixture {
         )
         .unwrap();
     Fixture { engine, session }
+}
+
+/// §4.1-style synthetic update stream over a 100-byte-record table
+/// (uniform keys; insert/delete/modify mix), sorted for run
+/// materialization. Deterministic (SplitMix64), no dependency on the
+/// workloads crate (which sits above this one).
+fn synthetic_updates(n: u64) -> Vec<UpdateRecord> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rnd = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n_slots = 50_000u64;
+    let mut updates: Vec<UpdateRecord> = (1..=n)
+        .map(|ts| {
+            let slot = rnd() % n_slots;
+            match rnd() % 3 {
+                0 => UpdateRecord::new(ts, slot * 2 + 1, UpdateOp::Insert(payload(rnd() as u32))),
+                1 => UpdateRecord::new(ts, slot * 2, UpdateOp::Delete),
+                _ => UpdateRecord::new(
+                    ts,
+                    slot * 2,
+                    UpdateOp::Modify(vec![FieldPatch {
+                        field: 0,
+                        value: (rnd() as u32).to_le_bytes().to_vec(),
+                    }]),
+                ),
+            }
+        })
+        .collect();
+    updates.sort_by_key(|u| (u.key, u.ts));
+    updates
 }
 
 /// Design goal 2, strictly: writing block runs and migrating them back
@@ -105,6 +145,98 @@ fn corrupted_block_read_fails_with_checksum_error() {
         result.is_err(),
         "scan across corrupted block must not succeed"
     );
+}
+
+/// Acceptance: with `CodecChoice::Lz` the on-disk bytes of a run built
+/// from the synthetic update workload shrink by at least 20% versus
+/// identity — and both runs scan back identically.
+#[test]
+fn lz_codec_shrinks_synthetic_runs_at_least_20_percent() {
+    let updates = synthetic_updates(20_000);
+    let build = |codec: CodecChoice| {
+        let clock = SimClock::new();
+        let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let mut cfg = MasmConfig::small_for_tests();
+        cfg.codec = codec;
+        let run = write_run(&session, &ssd, &cfg, 1, 0, 1, &updates).unwrap();
+        let got: Vec<UpdateRecord> =
+            RunScan::new(ssd, session, Arc::new(run.clone()), 0, u64::MAX).collect();
+        assert_eq!(got, updates, "{codec:?} run must scan back identically");
+        run
+    };
+    let identity = build(CodecChoice::Identity);
+    let lz = build(CodecChoice::Lz);
+
+    assert_eq!(identity.count, lz.count);
+    assert!(
+        lz.bytes * 10 <= identity.bytes * 8,
+        "lz run {} bytes !≤ 80% of identity {} bytes",
+        lz.bytes,
+        identity.bytes
+    );
+    let comp = lz.meta.compression();
+    assert!(
+        comp.ratio() <= 0.8,
+        "data-block compression ratio {:.3} above 0.8",
+        comp.ratio()
+    );
+    assert_eq!(comp.blocks_lz, comp.blocks, "every block lz-coded");
+    // Same raw content, same zone count: the block budget applies to
+    // raw bytes, so metadata cost is codec-independent.
+    assert_eq!(identity.meta.zones.len(), lz.meta.zones.len());
+    assert_eq!(identity.memory_bytes(), lz.memory_bytes());
+}
+
+/// Disjoint-run compaction under `CodecChoice::Adaptive` (mixed
+/// per-block codec ids) still moves every block verbatim: zero bytes
+/// decoded, zero random SSD writes — the acceptance pairing of the
+/// codec subsystem with PR 2's zero-decode pipeline, at engine level.
+#[test]
+fn adaptive_codec_disjoint_compaction_stays_zero_decode_and_sequential() {
+    let mut cfg = MasmConfig::small_for_tests();
+    cfg.codec = CodecChoice::Adaptive;
+    let f = fixture_with(100, cfg);
+    for band in 0..4u64 {
+        for i in 0..400u64 {
+            f.engine
+                .apply_update(
+                    &f.session,
+                    band * 100_000 + i * 2 + 1,
+                    UpdateOp::Insert(payload((band * 1000 + i) as u32)),
+                )
+                .unwrap();
+        }
+        f.engine.flush_buffer(&f.session).unwrap();
+    }
+    assert!(f.engine.run_count() >= 4);
+    let comp_before = f.engine.compression_stats();
+    assert!(
+        comp_before.stored_bytes < comp_before.raw_bytes,
+        "adaptive saves on compressible inserts: {comp_before:?}"
+    );
+    let expect: Vec<u64> = f
+        .engine
+        .begin_scan(f.session.clone(), 0, u64::MAX)
+        .unwrap()
+        .map(|r| r.key)
+        .collect();
+
+    let before = f.engine.ssd().stats();
+    let report = f.engine.compact_runs(&f.session).unwrap();
+    let delta = f.engine.ssd().stats().delta(&before);
+    assert_eq!(report.bytes_decoded, 0, "zero-decode: {report:?}");
+    assert_eq!(report.blocks_merged, 0);
+    assert!(report.blocks_moved > 0);
+    assert_eq!(delta.random_writes, 0, "{delta:?}");
+    assert_eq!(f.engine.run_count(), 1);
+    let got: Vec<u64> = f
+        .engine
+        .begin_scan(f.session.clone(), 0, u64::MAX)
+        .unwrap()
+        .map(|r| r.key)
+        .collect();
+    assert_eq!(expect, got, "results unchanged after mixed-codec move");
 }
 
 /// Reading the same key ranges twice: the second pass is served entirely

@@ -2,13 +2,18 @@
 //! overlapping and disjoint run sets, the planned (move/merge) output
 //! must be record-for-record identical to the full-decode k-way merge,
 //! and every moved block's CRC must survive verbatim.
+//!
+//! Input runs are written under **mixed codecs** (each run cycles
+//! through identity / delta / lz / adaptive), so every property here
+//! also exercises the codec stage: moved blocks must carry their codec
+//! id, raw length, and CRC through compaction untouched.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use masm_core::config::{IndexGranularity, MasmConfig};
+use masm_core::config::{CodecChoice, IndexGranularity, MasmConfig};
 use masm_core::merge::{compact_block_runs, fold_duplicates};
 use masm_core::run::{write_built, write_run, RunScan, SortedRun};
 use masm_core::update::{UpdateOp, UpdateRecord};
@@ -35,20 +40,22 @@ struct Built {
     next_base: u64,
 }
 
-/// Materialize one run per key set. `disjoint` shifts each run into its
-/// own key band so no two runs overlap; otherwise all runs share the
-/// same key space (same key in several runs, unique timestamps).
+/// Materialize one run per key set, cycling the codec per run so run
+/// sets mix per-block codecs. `disjoint` shifts each run into its own
+/// key band so no two runs overlap; otherwise all runs share the same
+/// key space (same key in several runs, unique timestamps).
 fn build_runs(run_keys: &[std::collections::BTreeSet<u64>], disjoint: bool) -> Built {
     let clock = SimClock::new();
     let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
     ssd.prime_head_position(0);
     let session = SessionHandle::fresh(clock);
-    let cfg = test_cfg();
     let mut ts = 1u64;
     let mut all: Vec<UpdateRecord> = Vec::new();
     let mut runs = Vec::new();
     let mut next_base = 0u64;
     for (i, keys) in run_keys.iter().enumerate() {
+        let mut cfg = test_cfg();
+        cfg.codec = CodecChoice::ALL[i % CodecChoice::ALL.len()];
         let offset = if disjoint { i as u64 * 100_000 } else { 0 };
         let updates: Vec<UpdateRecord> = keys
             .iter()
@@ -181,6 +188,49 @@ proptest! {
             prop_assert_eq!(preserved, out.meta.zones.len() as u64, "all CRCs verbatim");
             prop_assert_eq!(b.ssd.stats().random_writes, 0, "{:?}", b.ssd.stats());
         }
+    }
+
+    /// Zero-decode compaction of **mixed-codec** disjoint inputs moves
+    /// every block verbatim: per-block codec ids, raw lengths, stored
+    /// lengths, and CRCs survive as an exact multiset, no byte is
+    /// decoded, and the output write stream stays sequential.
+    #[test]
+    fn mixed_codec_disjoint_compaction_preserves_codec_ids_and_crcs(
+        run_keys in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..1500, 1..120),
+            3..5
+        ),
+    ) {
+        let b = build_runs(&run_keys, true);
+        // The codec cycle must actually mix ids across the input runs.
+        let input_ids: HashSet<u8> = b
+            .runs
+            .iter()
+            .flat_map(|r| r.meta.zones.iter().map(|z| z.codec_id))
+            .collect();
+        prop_assert!(input_ids.len() >= 2, "inputs carry mixed codecs: {input_ids:?}");
+
+        let (out, got, report) = compact_and_scan(&b, false);
+        prop_assert_eq!(&got, &b.all, "record-for-record identical");
+        prop_assert_eq!(report.bytes_decoded, 0, "disjoint ⇒ zero decode");
+        prop_assert_eq!(report.blocks_merged, 0);
+        prop_assert_eq!(b.ssd.stats().random_writes, 0, "{:?}", b.ssd.stats());
+
+        let mut want: Vec<(u8, u32, u32, u32)> = b
+            .runs
+            .iter()
+            .flat_map(|r| r.meta.zones.iter())
+            .map(|z| (z.codec_id, z.crc, z.len, z.raw_len))
+            .collect();
+        let mut have: Vec<(u8, u32, u32, u32)> = out
+            .meta
+            .zones
+            .iter()
+            .map(|z| (z.codec_id, z.crc, z.len, z.raw_len))
+            .collect();
+        want.sort_unstable();
+        have.sort_unstable();
+        prop_assert_eq!(have, want, "codec ids and CRCs preserved verbatim");
     }
 
     /// Folded planned compaction agrees with folding the full-decode

@@ -43,7 +43,9 @@ pub use device::{AccessKind, DeviceProfile};
 pub use error::{StorageError, StorageResult};
 pub use sched::{IoSession, IoTicket, SessionHandle};
 pub use sim::SimDevice;
-pub use stats::{CacheStats, CacheStatsSnapshot, IoStats, IoStatsSnapshot, MergeReport};
+pub use stats::{
+    CacheStats, CacheStatsSnapshot, CompressionReport, IoStats, IoStatsSnapshot, MergeReport,
+};
 
 /// Number of bytes in one kibibyte.
 pub const KIB: u64 = 1024;

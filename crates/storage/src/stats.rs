@@ -182,6 +182,7 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             data_bytes: 0,
             meta_bytes: 0,
+            disk_bytes: 0,
         }
     }
 
@@ -211,6 +212,11 @@ pub struct CacheStatsSnapshot {
     /// the cache but never evicted; kept separate so a one-shot sweep's
     /// pressure on the data population is visible on its own.
     pub meta_bytes: u64,
+    /// On-disk (post-codec, compressed) bytes of the resident data
+    /// blocks. `data_bytes` is what the cache *spends* in memory;
+    /// `disk_bytes` is what the same blocks cost on the SSD — the gap
+    /// is the codec's memory amplification.
+    pub disk_bytes: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -234,7 +240,63 @@ impl CacheStatsSnapshot {
             evictions: self.evictions - earlier.evictions,
             data_bytes: self.data_bytes,
             meta_bytes: self.meta_bytes,
+            disk_bytes: self.disk_bytes,
         }
+    }
+}
+
+/// Per-run (and cumulative) compression accounting for codec-bearing
+/// block runs: raw (decoded, flat) versus stored (on-disk, post-codec)
+/// data-block bytes, plus how many blocks each codec won. Lives here,
+/// next to [`IoStats`] and [`CacheStatsSnapshot`], so benchmarks report
+/// the CPU-vs-I/O compression trade alongside device statistics. The
+/// codec-count fields name the stable codec ids of `masm-codec`
+/// (0 = identity, 1 = delta, 2 = lz); this crate stays below the codec
+/// crate in the dependency order, so the mapping is by convention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionReport {
+    /// Runs accounted.
+    pub runs: u64,
+    /// Data blocks accounted.
+    pub blocks: u64,
+    /// Raw (flat, pre-codec) bytes of those blocks.
+    pub raw_bytes: u64,
+    /// Stored (on-disk, post-codec) bytes of those blocks.
+    pub stored_bytes: u64,
+    /// Blocks stored uncompressed (codec id 0).
+    pub blocks_identity: u64,
+    /// Blocks stored delta+varint-coded (codec id 1).
+    pub blocks_delta: u64,
+    /// Blocks stored LZ-coded (codec id 2).
+    pub blocks_lz: u64,
+}
+
+impl CompressionReport {
+    /// Fold another report into this one (cumulative engine statistics
+    /// across every run built).
+    pub fn absorb(&mut self, other: &CompressionReport) {
+        self.runs += other.runs;
+        self.blocks += other.blocks;
+        self.raw_bytes += other.raw_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.blocks_identity += other.blocks_identity;
+        self.blocks_delta += other.blocks_delta;
+        self.blocks_lz += other.blocks_lz;
+    }
+
+    /// Stored/raw byte ratio (1.0 = no compression, smaller is better;
+    /// 1.0 when nothing was accounted).
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 1.0;
+        }
+        self.stored_bytes as f64 / self.raw_bytes as f64
+    }
+
+    /// Fraction of raw bytes the codecs saved (`1 − ratio`, floored at
+    /// zero for pathological growth).
+    pub fn savings(&self) -> f64 {
+        (1.0 - self.ratio()).max(0.0)
     }
 }
 
@@ -359,6 +421,41 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), CacheStatsSnapshot::default());
         assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn compression_report_absorb_ratio_and_savings() {
+        let mut total = CompressionReport::default();
+        assert_eq!(total.ratio(), 1.0, "idle report is neutral");
+        assert_eq!(total.savings(), 0.0);
+        total.absorb(&CompressionReport {
+            runs: 1,
+            blocks: 4,
+            raw_bytes: 1000,
+            stored_bytes: 600,
+            blocks_identity: 1,
+            blocks_delta: 2,
+            blocks_lz: 1,
+        });
+        total.absorb(&CompressionReport {
+            runs: 1,
+            blocks: 2,
+            raw_bytes: 1000,
+            stored_bytes: 400,
+            blocks_lz: 2,
+            ..CompressionReport::default()
+        });
+        assert_eq!(total.runs, 2);
+        assert_eq!(total.blocks, 6);
+        assert_eq!(total.blocks_lz, 3);
+        assert!((total.ratio() - 0.5).abs() < 1e-9);
+        assert!((total.savings() - 0.5).abs() < 1e-9);
+        let grown = CompressionReport {
+            raw_bytes: 100,
+            stored_bytes: 120,
+            ..CompressionReport::default()
+        };
+        assert_eq!(grown.savings(), 0.0, "growth floors at zero savings");
     }
 
     #[test]

@@ -93,6 +93,15 @@ fn main() {
         let merge_bytes = report.bytes_moved + report.bytes_decoded;
         let merge_mbps = merge_bytes as f64 / 1e6 / secs(t_merge);
 
+        // Selector CPU: fraction of the 2-trials-per-block adaptive
+        // baseline the sample-based selector avoided (0 for fixed
+        // codecs, which run no trials at all).
+        let trial_baseline = comp.codec_trials + comp.codec_trials_saved;
+        let trials_saved_frac = if trial_baseline > 0 {
+            comp.codec_trials_saved as f64 / trial_baseline as f64
+        } else {
+            0.0
+        };
         codec_rows.push(vec![
             choice.name().to_string(),
             format!("{:.3}", comp.ratio()),
@@ -101,11 +110,14 @@ fn main() {
             format!("{merge_mbps:.1}"),
             report.inputs.to_string(),
             report.bytes_decoded.to_string(),
+            format!("{:.0}%", trials_saved_frac * 100.0),
         ]);
         codec_json.push(format!(
             "{{\"codec\":\"{}\",\"compression_ratio\":{:.4},\"raw_bytes\":{},\
              \"stored_bytes\":{},\"updates_cached\":{},\"scan_mb_per_s\":{:.2},\
-             \"merge_mb_per_s\":{:.2},\"merge_inputs\":{},\"merge_bytes_decoded\":{}}}",
+             \"merge_mb_per_s\":{:.2},\"merge_inputs\":{},\"merge_bytes_decoded\":{},\
+             \"codec_trials\":{},\"codec_trials_saved\":{},\"lz_probes_skipped\":{},\
+             \"trials_saved_frac\":{:.4}}}",
             choice.name(),
             comp.ratio(),
             comp.raw_bytes,
@@ -114,8 +126,18 @@ fn main() {
             scan_mbps,
             merge_mbps,
             report.inputs,
-            report.bytes_decoded
+            report.bytes_decoded,
+            comp.codec_trials,
+            comp.codec_trials_saved,
+            comp.lz_probes_skipped,
+            trials_saved_frac
         ));
+        if choice == CodecChoice::Adaptive {
+            assert!(
+                comp.codec_trials_saved > 0,
+                "sample-based selection must save trial encodes"
+            );
+        }
     }
     print_table(
         &format!("Figure 13b — per-codec scan/merge throughput ({mb} MiB table, cache 50% full)"),
@@ -127,6 +149,7 @@ fn main() {
             "merge MB/s",
             "merge_in",
             "dec_bytes",
+            "trials_saved",
         ],
         &codec_rows,
     );

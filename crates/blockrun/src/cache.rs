@@ -1,19 +1,56 @@
-//! Sharded LRU cache of decoded data blocks.
+//! Scan-resistant, two-tier sharded cache of run data blocks.
 //!
-//! Sits between run scans and the SSD: a block read off the device is
+//! Sits between run scans and the SSD. A block read off the device is
 //! CRC-verified, decoded once, and kept here so later queries touching
 //! the same hot run pages skip the SSD entirely (warm point lookups
 //! issue *zero* device reads — asserted by tests and reported by the
-//! `fig09b_point_lookup` benchmark). Sharding by key hash keeps lock
-//! hold times short under concurrent scans, the buffer-pool shape used
-//! by databases rather than one global LRU lock.
+//! `fig09b_point_lookup` and `fig_cache_scan_resistance` benchmarks).
+//! Sharding by key hash keeps lock hold times short under concurrent
+//! scans, the buffer-pool shape used by databases rather than one
+//! global LRU lock.
 //!
-//! Keys are `(run_key, block_idx)`. Run keys are engine-assigned run ids
-//! and are never reused (the id sequence is monotonic, including across
-//! recovery), so entries of a deleted run can never be wrongly served;
-//! they simply age out.
+//! ## Tier 1 — decoded blocks, segmented (SLRU)
 //!
-//! Hit/miss/insertion/eviction counters live in
+//! Under the default [`CachePolicy::Slru`] each shard's decoded-block
+//! population is split into two LRU segments:
+//!
+//! ```text
+//!            insert (miss)                  re-reference
+//! device ───────────────► ┌───────────┐ ───────────────► ┌───────────┐
+//!                         │ probation │                  │ protected │
+//!                         └─────┬─────┘ ◄─────────────── └─────┬─────┘
+//!                               │          overflow demotes    │
+//!                        evict  ▼                              ▼  evict
+//!                         ┌──────────────────────────────────────┐
+//!                         │ tier 2: stored (compressed) bytes    │
+//!                         └──────────────────────────────────────┘
+//! ```
+//!
+//! New blocks enter *probation*; only a second reference promotes them
+//! to *protected* (capped at [`BlockCacheConfig::protected_frac`] of
+//! tier-1 capacity). A one-shot sequential sweep larger than the cache
+//! therefore churns through probation and never displaces the protected
+//! hot set — the scan-resistance the plain LRU lacked.
+//! [`CachePolicy::Lru`] keeps the old single-list behavior as a
+//! config-selectable baseline for benchmarks.
+//!
+//! ## Tier 2 — compressed victim tier
+//!
+//! When enabled ([`BlockCacheConfig::tier2_bytes`] > 0), a tier-1
+//! victim's **stored** (post-codec) bytes — already known from the read
+//! path via [`StoredBlock`] — are demoted into a second LRU charged by
+//! *compressed* size. A re-reference of a demoted block costs one codec
+//! decode instead of a device read, so the victim tier multiplies
+//! effective capacity by the codec's compression ratio for the warm-ish
+//! band. Tier-2 bytes were CRC-verified at admission, so promotion
+//! decodes without re-checking.
+//!
+//! Keys are `(run_key, block_idx)`. Run keys are engine-assigned run
+//! ids and are never reused (the id sequence is monotonic, including
+//! across recovery), so entries of a deleted run can never be wrongly
+//! served; they simply age out.
+//!
+//! Hit/miss/promotion/demotion/tier-2 counters live in
 //! [`masm_storage::stats::CacheStats`] so benchmarks report cache
 //! effectiveness alongside device I/O statistics.
 
@@ -31,49 +68,225 @@ pub type BlockKey = (u64, u32);
 /// A decoded, CRC-verified data block.
 pub type CachedBlock = Arc<Vec<Entry>>;
 
-struct ShardEntry {
+/// The stored (on-device, post-codec) form of a data block, as the read
+/// path saw it: CRC-verified bytes plus everything needed to decode
+/// them again. Carried into the cache on insert so tier-1 victims can
+/// be demoted to the compressed victim tier without re-reading the
+/// device.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// The verified stored bytes (shared, not copied, between tiers).
+    pub bytes: Arc<Vec<u8>>,
+    /// Id of the codec that produced the bytes ([`masm_codec::codec_for`]).
+    pub codec_id: u8,
+    /// Raw (flat, pre-codec) length the codec's decode must produce.
+    pub raw_len: u32,
+}
+
+impl StoredBlock {
+    /// Stored length in bytes — the tier-2 capacity charge and the
+    /// device-read cost of the block.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the stored bytes are empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Decode back to entries, via the same codec-stage-then-flat-decode
+    /// path device reads use ([`crate::format`]'s shared helper).
+    /// `None` only if the bytes do not decode — impossible for bytes
+    /// that were CRC-verified against their zone entry, so callers
+    /// treat it as a plain miss.
+    fn decode(&self) -> Option<Vec<Entry>> {
+        crate::format::decode_stored_bytes(&self.bytes, self.codec_id, self.raw_len as usize).ok()
+    }
+}
+
+/// Tier-1 replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Single LRU list — the pre-segmentation behavior, kept as a
+    /// benchmark baseline. Thrashes on sequential sweeps > capacity.
+    Lru,
+    /// Segmented LRU: probation + protected, promotion on
+    /// re-reference. Scan-resistant (the default).
+    #[default]
+    Slru,
+}
+
+impl CachePolicy {
+    /// Benchmark/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::Slru => "slru",
+        }
+    }
+}
+
+/// Construction parameters of a [`BlockCache`].
+#[derive(Debug, Clone)]
+pub struct BlockCacheConfig {
+    /// Tier-1 capacity in **decoded** bytes, across all shards.
+    pub capacity_bytes: usize,
+    /// Shard count (power of two recommended).
+    pub shards: usize,
+    /// Tier-1 replacement policy.
+    pub policy: CachePolicy,
+    /// Fraction of tier-1 capacity reserved for the protected segment
+    /// under [`CachePolicy::Slru`] (clamped to `[0, 1]`; 0.8 by
+    /// default). The probation segment uses whatever the protected
+    /// population does not.
+    pub protected_frac: f64,
+    /// Capacity of the compressed victim tier in **stored** bytes,
+    /// across all shards (divided evenly per shard); 0 disables tier 2.
+    /// A block whose stored bytes exceed the per-shard share is never
+    /// retained or demoted — size the budget to at least
+    /// `shards × stored block size` for the tier to do anything.
+    pub tier2_bytes: usize,
+}
+
+const DEFAULT_SHARDS: usize = 16;
+
+impl BlockCacheConfig {
+    /// Defaults for a tier-1 budget of `capacity_bytes`: SLRU with an
+    /// 80% protected segment, victim tier disabled.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BlockCacheConfig {
+            capacity_bytes,
+            shards: DEFAULT_SHARDS,
+            policy: CachePolicy::Slru,
+            protected_frac: 0.8,
+            tier2_bytes: 0,
+        }
+    }
+}
+
+/// Which tier-1 segment an entry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+struct T1Entry {
     block: CachedBlock,
+    /// Stored bytes kept for demotion into tier 2; `None` when the
+    /// victim tier is disabled (no point carrying them).
+    stored: Option<StoredBlock>,
+    /// The tier-1 capacity charge: decoded in-memory weight plus the
+    /// retained stored copy when the victim tier is enabled (see
+    /// [`BlockCache::charge_of`]).
     weight: usize,
-    /// On-disk (post-codec) bytes of the block — what reading it off
-    /// the device would cost. Purely informational: capacity and
-    /// eviction charge the decoded `weight`.
+    /// On-disk (post-codec) bytes of the block, for the `disk_bytes`
+    /// gauge. Purely informational in tier 1.
     disk_len: u32,
+    last_used: u64,
+    seg: Segment,
+}
+
+struct T2Entry {
+    stored: StoredBlock,
     last_used: u64,
 }
 
-/// One shard: the block map plus a recency index (`last_used` tick →
-/// key, ticks are globally unique), so the LRU victim is the index's
-/// first entry — eviction is O(log n), not a scan of the whole shard.
+/// One shard: the tier-1 block map plus one recency index per segment
+/// (`last_used` tick → key, ticks are globally unique), so each
+/// segment's LRU victim is its index's first entry — eviction is
+/// O(log n), not a scan of the whole shard — and the tier-2 victim map
+/// with its own recency index.
 #[derive(Default)]
 struct Shard {
-    map: HashMap<BlockKey, ShardEntry>,
-    by_recency: BTreeMap<u64, BlockKey>,
-    bytes: usize,
+    map: HashMap<BlockKey, T1Entry>,
+    probation_recency: BTreeMap<u64, BlockKey>,
+    protected_recency: BTreeMap<u64, BlockKey>,
+    probation_bytes: usize,
+    protected_bytes: usize,
     disk_bytes: u64,
+    tier2: HashMap<BlockKey, T2Entry>,
+    tier2_recency: BTreeMap<u64, BlockKey>,
+    tier2_bytes: usize,
 }
 
 impl Shard {
-    fn remove(&mut self, key: BlockKey) -> Option<ShardEntry> {
+    fn recency_of(&mut self, seg: Segment) -> &mut BTreeMap<u64, BlockKey> {
+        match seg {
+            Segment::Probation => &mut self.probation_recency,
+            Segment::Protected => &mut self.protected_recency,
+        }
+    }
+
+    fn seg_bytes(&mut self, seg: Segment) -> &mut usize {
+        match seg {
+            Segment::Probation => &mut self.probation_bytes,
+            Segment::Protected => &mut self.protected_bytes,
+        }
+    }
+
+    fn t1_bytes(&self) -> usize {
+        self.probation_bytes + self.protected_bytes
+    }
+
+    fn remove(&mut self, key: BlockKey) -> Option<T1Entry> {
         let entry = self.map.remove(&key)?;
-        self.by_recency.remove(&entry.last_used);
-        self.bytes -= entry.weight;
+        self.recency_of(entry.seg).remove(&entry.last_used);
+        *self.seg_bytes(entry.seg) -= entry.weight;
         self.disk_bytes -= entry.disk_len as u64;
         Some(entry)
     }
 
     fn touch(&mut self, key: BlockKey, new_tick: u64) {
         if let Some(e) = self.map.get_mut(&key) {
-            self.by_recency.remove(&e.last_used);
+            let (seg, old) = (e.seg, e.last_used);
             e.last_used = new_tick;
-            self.by_recency.insert(new_tick, key);
+            let recency = self.recency_of(seg);
+            recency.remove(&old);
+            recency.insert(new_tick, key);
         }
+    }
+
+    /// Move an entry between segments, giving it a fresh tick.
+    fn reseat(&mut self, key: BlockKey, to: Segment, new_tick: u64) {
+        let Some(e) = self.map.get_mut(&key) else {
+            return;
+        };
+        let (from, old, weight) = (e.seg, e.last_used, e.weight);
+        e.seg = to;
+        e.last_used = new_tick;
+        self.recency_of(from).remove(&old);
+        self.recency_of(to).insert(new_tick, key);
+        *self.seg_bytes(from) -= weight;
+        *self.seg_bytes(to) += weight;
+    }
+
+    /// The tier-1 eviction victim: the probation segment's LRU entry,
+    /// falling back to protected only when probation is empty.
+    fn victim(&self) -> Option<BlockKey> {
+        self.probation_recency
+            .first_key_value()
+            .or_else(|| self.protected_recency.first_key_value())
+            .map(|(_, k)| *k)
+    }
+
+    fn tier2_remove(&mut self, key: BlockKey) -> Option<T2Entry> {
+        let entry = self.tier2.remove(&key)?;
+        self.tier2_recency.remove(&entry.last_used);
+        self.tier2_bytes -= entry.stored.len();
+        Some(entry)
     }
 }
 
-/// A sharded LRU cache of decoded blocks, bounded in bytes.
+/// A sharded, scan-resistant, two-tier cache of run data blocks,
+/// bounded in bytes per tier. See the module docs for the policy.
 pub struct BlockCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    protected_per_shard: usize,
+    tier2_per_shard: usize,
+    policy: CachePolicy,
     tick: std::sync::atomic::AtomicU64,
     stats: CacheStats,
     /// Pinned run-metadata bytes (zone maps + bloom filters) accounted
@@ -87,32 +300,53 @@ impl std::fmt::Debug for BlockCache {
         f.debug_struct("BlockCache")
             .field("shards", &self.shards.len())
             .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("protected_per_shard", &self.protected_per_shard)
+            .field("tier2_per_shard", &self.tier2_per_shard)
+            .field("policy", &self.policy)
             .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
 
-const DEFAULT_SHARDS: usize = 16;
-
 impl BlockCache {
-    /// A cache bounded to ~`capacity_bytes` across the default number
-    /// of shards.
+    /// A cache bounded to ~`capacity_bytes` of decoded blocks with the
+    /// default configuration (SLRU, 80% protected, no victim tier).
     pub fn new(capacity_bytes: usize) -> Self {
-        Self::with_shards(capacity_bytes, DEFAULT_SHARDS)
+        Self::with_config(BlockCacheConfig::new(capacity_bytes))
     }
 
-    /// A cache with an explicit shard count (power of two recommended).
+    /// A cache with an explicit shard count (power of two recommended)
+    /// and otherwise default configuration.
     pub fn with_shards(capacity_bytes: usize, n_shards: usize) -> Self {
-        let n_shards = n_shards.max(1);
+        Self::with_config(BlockCacheConfig {
+            shards: n_shards,
+            ..BlockCacheConfig::new(capacity_bytes)
+        })
+    }
+
+    /// A cache with explicit policy, segment sizing, and victim-tier
+    /// capacity.
+    pub fn with_config(cfg: BlockCacheConfig) -> Self {
+        let n_shards = cfg.shards.max(1);
+        let capacity_per_shard = (cfg.capacity_bytes / n_shards).max(1);
+        let frac = cfg.protected_frac.clamp(0.0, 1.0);
         BlockCache {
             shards: (0..n_shards)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
-            capacity_per_shard: (capacity_bytes / n_shards).max(1),
+            capacity_per_shard,
+            protected_per_shard: (capacity_per_shard as f64 * frac) as usize,
+            tier2_per_shard: cfg.tier2_bytes / n_shards,
+            policy: cfg.policy,
             tick: std::sync::atomic::AtomicU64::new(0),
             stats: CacheStats::default(),
             meta_bytes: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// The tier-1 replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
     fn shard_of(&self, key: BlockKey) -> &Mutex<Shard> {
@@ -125,28 +359,63 @@ impl BlockCache {
         self.tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Look up a block, counting a hit or miss.
+    /// Look up a block, counting a hit or miss. A tier-1 probation hit
+    /// promotes the block to protected (SLRU); a tier-2 hit decodes the
+    /// stored bytes — zero device reads — and readmits the block to
+    /// tier 1.
     pub fn get(&self, key: BlockKey) -> Option<CachedBlock> {
         let tick = self.next_tick();
         let mut shard = self.shard_of(key).lock();
-        match shard.map.get(&key) {
-            Some(e) => {
-                let block = Arc::clone(&e.block);
+        if let Some(e) = shard.map.get(&key) {
+            let block = Arc::clone(&e.block);
+            if self.policy == CachePolicy::Slru && e.seg == Segment::Probation {
+                // reseat() re-ticks the entry, so no touch() is needed.
+                shard.reseat(key, Segment::Protected, tick);
+                self.stats.record_promotion();
+                self.rebalance_protected(&mut shard);
+            } else {
                 shard.touch(key, tick);
-                self.stats.record_hit();
-                Some(block)
             }
-            None => {
-                self.stats.record_miss();
-                None
-            }
+            self.stats.record_hit();
+            return Some(block);
         }
+        if let Some(victim) = shard.tier2_remove(key) {
+            if let Some(entries) = victim.stored.decode() {
+                let entries: CachedBlock = Arc::new(entries);
+                self.stats.record_tier2_hit();
+                // Readmit to *probation*, not protected: a cyclic sweep
+                // served out of tier 2 must keep churning the probation
+                // segment rather than flooding protected and displacing
+                // the hot set. A further tier-1 hit promotes as usual.
+                let weight = self.charge_of(&entries, &victim.stored);
+                self.admit(&mut shard, key, Arc::clone(&entries), victim.stored, weight);
+                // Readmission is a tier-1 insertion too — keeps the
+                // insertions/evictions pair honest for consumers
+                // estimating admission rates.
+                self.stats.record_insertion();
+                return Some(entries);
+            }
+            // Undecodable tier-2 bytes (cannot happen for bytes that
+            // were CRC-verified at admission): drop the entry, miss.
+        }
+        self.stats.record_miss();
+        None
     }
 
-    /// Whether a block is resident, without touching recency or stats
-    /// (used by prefetch decisions).
+    /// Whether a block is resident in either tier, without touching
+    /// recency or stats (used by prefetch decisions: a tier-2 resident
+    /// needs no device read either — [`BlockCache::get`] will decode
+    /// it).
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.shard_of(key).lock().map.contains_key(&key)
+        let shard = self.shard_of(key).lock();
+        shard.map.contains_key(&key) || shard.tier2.contains_key(&key)
+    }
+
+    /// Whether a block is resident in the victim tier specifically
+    /// (diagnostics; [`BlockCache::contains`] answers the usual
+    /// "do we need a device read" question across both tiers).
+    pub fn tier2_has(&self, key: BlockKey) -> bool {
+        self.shard_of(key).lock().tier2.contains_key(&key)
     }
 
     /// Record a miss for a block obtained without a [`BlockCache::get`]
@@ -157,51 +426,144 @@ impl BlockCache {
         self.stats.record_miss();
     }
 
-    /// Insert a decoded block, evicting least-recently-used entries from
-    /// the shard until it fits (each eviction pops the recency index's
-    /// first entry — no shard scan).
+    /// Whether an entry's stored copy is worth retaining for demotion:
+    /// the victim tier is enabled and the bytes fit its per-shard
+    /// budget (a block that could never be demoted would be carried —
+    /// and charged — for nothing).
+    fn retains(&self, stored: &StoredBlock) -> bool {
+        self.tier2_per_shard > 0 && stored.len() <= self.tier2_per_shard
+    }
+
+    /// The tier-1 capacity charge of one entry: the decoded in-memory
+    /// weight plus — when the stored copy is retained for free demotion
+    /// — the stored bytes too. Every byte of RAM the entry pins is
+    /// charged against the tier-1 budget; `capacity_bytes` is a real
+    /// bound either way.
+    fn charge_of(&self, block: &CachedBlock, stored: &StoredBlock) -> usize {
+        let retained = if self.retains(stored) {
+            stored.len()
+        } else {
+            0
+        };
+        block.iter().map(Entry::weight).sum::<usize>() + 64 + retained
+    }
+
+    /// Insert a freshly device-read, decoded block into the probation
+    /// segment, evicting as needed.
     ///
-    /// Capacity is charged by the block's **decoded** in-memory weight —
-    /// a cache of decoded blocks occupies decoded bytes regardless of
-    /// how small the codec made them on the SSD. `disk_len` (the stored,
-    /// post-codec size) is tracked alongside so reports can show both
-    /// sides of the compression trade.
-    pub fn insert(&self, key: BlockKey, block: CachedBlock, disk_len: u32) {
-        let weight: usize = block.iter().map(Entry::weight).sum::<usize>() + 64;
-        let tick = self.next_tick();
+    /// Tier-1 capacity is charged by the block's **decoded** in-memory
+    /// weight — a cache of decoded blocks occupies decoded bytes
+    /// regardless of how small the codec made them on the SSD. With the
+    /// victim tier enabled the stored form is retained alongside (see
+    /// [`StoredBlock`]) so eviction demotes the compressed bytes to
+    /// tier 2 without re-encoding — and the retained copy is part of
+    /// the charge, keeping the budget an honest RAM bound. A block
+    /// heavier than a whole shard is rejected outright (counted in
+    /// `rejected`) instead of blowing the byte budget.
+    pub fn insert(&self, key: BlockKey, block: CachedBlock, stored: StoredBlock) {
+        let weight = self.charge_of(&block, &stored);
         let mut shard = self.shard_of(key).lock();
-        shard.remove(key);
-        while shard.bytes + weight > self.capacity_per_shard && !shard.map.is_empty() {
-            let victim = *shard
-                .by_recency
-                .first_key_value()
-                .expect("recency index tracks the map")
-                .1;
-            shard.remove(victim);
-            self.stats.record_eviction();
+        if weight > self.capacity_per_shard {
+            // Reject before touching any resident copy under this key:
+            // a block's content never changes, so what is cached stays
+            // valid and must survive the rejection.
+            self.stats.record_rejected();
+            return;
         }
-        shard.bytes += weight;
-        shard.disk_bytes += disk_len as u64;
-        shard.by_recency.insert(tick, key);
-        shard.map.insert(
-            key,
-            ShardEntry {
-                block,
-                weight,
-                disk_len,
-                last_used: tick,
-            },
-        );
+        shard.remove(key);
+        shard.tier2_remove(key);
+        self.admit(&mut shard, key, block, stored, weight);
         self.stats.record_insertion();
     }
 
-    /// Approximate resident bytes of decoded **data** blocks (the
-    /// evictable population; pinned metadata is tracked separately).
-    pub fn resident_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().bytes).sum()
+    /// Place an entry of precomputed charge `weight` into the probation
+    /// segment, evicting (and demoting victims to tier 2) until it
+    /// fits. Caller has already removed any previous entry under `key`
+    /// and checked the weight against the shard capacity.
+    fn admit(
+        &self,
+        shard: &mut Shard,
+        key: BlockKey,
+        block: CachedBlock,
+        stored: StoredBlock,
+        weight: usize,
+    ) {
+        while shard.t1_bytes() + weight > self.capacity_per_shard {
+            let Some(victim) = shard.victim() else { break };
+            let entry = shard.remove(victim).expect("victim is resident");
+            self.stats.record_eviction();
+            self.demote_to_tier2(shard, victim, entry);
+        }
+        let tick = self.next_tick();
+        let disk_len = stored.len() as u32;
+        *shard.seg_bytes(Segment::Probation) += weight;
+        shard.disk_bytes += disk_len as u64;
+        shard.recency_of(Segment::Probation).insert(tick, key);
+        let retained = self.retains(&stored).then_some(stored);
+        shard.map.insert(
+            key,
+            T1Entry {
+                block,
+                stored: retained,
+                weight,
+                disk_len,
+                last_used: tick,
+                seg: Segment::Probation,
+            },
+        );
     }
 
-    /// On-disk (compressed) bytes of the resident data blocks — what
+    /// Demote protected LRU entries back to probation until the
+    /// protected segment fits its capacity fraction. Total tier-1 bytes
+    /// are unchanged, so no eviction can be needed here.
+    fn rebalance_protected(&self, shard: &mut Shard) {
+        while shard.protected_bytes > self.protected_per_shard {
+            let Some((_, key)) = shard.protected_recency.first_key_value() else {
+                break;
+            };
+            let key = *key;
+            shard.reseat(key, Segment::Probation, self.next_tick());
+            self.stats.record_demotion();
+        }
+    }
+
+    /// Offer a tier-1 victim's stored bytes to the victim tier. A
+    /// retained copy always fits: [`BlockCache::retains`] gated it
+    /// against the per-shard budget at admission.
+    fn demote_to_tier2(&self, shard: &mut Shard, key: BlockKey, entry: T1Entry) {
+        let Some(stored) = entry.stored else { return };
+        let len = stored.len();
+        while shard.tier2_bytes + len > self.tier2_per_shard {
+            let victim = *shard
+                .tier2_recency
+                .first_key_value()
+                .expect("tier-2 bytes imply an entry")
+                .1;
+            shard.tier2_remove(victim);
+            self.stats.record_tier2_eviction();
+        }
+        let tick = self.next_tick();
+        shard.tier2_bytes += len;
+        shard.tier2_recency.insert(tick, key);
+        shard.tier2.insert(
+            key,
+            T2Entry {
+                stored,
+                last_used: tick,
+            },
+        );
+        self.stats.record_tier2_insertion();
+    }
+
+    /// Approximate resident bytes charged to tier 1: the evictable
+    /// decoded **data** blocks, plus their retained stored copies when
+    /// the victim tier is enabled (pinned metadata is tracked
+    /// separately).
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().t1_bytes()).sum()
+    }
+
+    /// On-disk (compressed) bytes of the resident tier-1 blocks — what
     /// the same population costs on the SSD. The gap between this and
     /// [`BlockCache::resident_bytes`] is the codec's memory
     /// amplification.
@@ -209,13 +571,18 @@ impl BlockCache {
         self.shards.iter().map(|s| s.lock().disk_bytes).sum()
     }
 
+    /// Stored (compressed) bytes resident in the victim tier.
+    pub fn tier2_resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().tier2_bytes).sum()
+    }
+
     /// Account `bytes` of pinned run metadata (zone maps + bloom
     /// filters) against this cache. Metadata never competes with data
     /// blocks for the LRU capacity — it is pinned for a run's lifetime
     /// — but reporting it separately makes the memory pressure of
-    /// one-shot sweeps visible: a sweep that evicts the whole data
-    /// population still leaves `meta_bytes` resident, which is the
-    /// observation the planned SLRU/2Q policy builds on.
+    /// one-shot sweeps visible: a sweep that churns the whole probation
+    /// segment still leaves `meta_bytes` (and the protected segment)
+    /// resident.
     pub fn retain_meta_bytes(&self, bytes: usize) {
         self.meta_bytes
             .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
@@ -236,13 +603,25 @@ impl BlockCache {
         self.meta_bytes.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Counter snapshot, including the data/metadata byte split and the
-    /// on-disk (compressed) size of the resident data blocks.
+    /// Counter snapshot, including per-segment and per-tier residency
+    /// gauges, the data/metadata byte split, and the on-disk
+    /// (compressed) size of the resident tier-1 blocks.
     pub fn stats(&self) -> CacheStatsSnapshot {
         let mut snap = self.stats.snapshot();
-        snap.data_bytes = self.resident_bytes() as u64;
+        let (mut prob, mut prot, mut disk, mut t2) = (0usize, 0usize, 0u64, 0usize);
+        for shard in &self.shards {
+            let s = shard.lock();
+            prob += s.probation_bytes;
+            prot += s.protected_bytes;
+            disk += s.disk_bytes;
+            t2 += s.tier2_bytes;
+        }
+        snap.probation_bytes = prob as u64;
+        snap.protected_bytes = prot as u64;
+        snap.data_bytes = (prob + prot) as u64;
         snap.meta_bytes = self.meta_bytes() as u64;
-        snap.disk_bytes = self.resident_disk_bytes();
+        snap.disk_bytes = disk;
+        snap.tier2_bytes = t2 as u64;
         snap
     }
 
@@ -251,14 +630,11 @@ impl BlockCache {
         self.stats.reset();
     }
 
-    /// Drop every cached block (counters are kept).
+    /// Drop every cached block in both tiers (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut s = shard.lock();
-            s.map.clear();
-            s.by_recency.clear();
-            s.bytes = 0;
-            s.disk_bytes = 0;
+            *s = Shard::default();
         }
     }
 }
@@ -266,6 +642,7 @@ impl BlockCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::encode_block;
 
     fn block(n: usize) -> CachedBlock {
         Arc::new(
@@ -275,11 +652,36 @@ mod tests {
         )
     }
 
+    /// A stand-in stored form of `len` filler bytes: fine whenever the
+    /// victim tier is disabled (nothing ever decodes it).
+    fn filler(len: usize) -> StoredBlock {
+        StoredBlock {
+            bytes: Arc::new(vec![0u8; len]),
+            codec_id: masm_codec::IDENTITY,
+            raw_len: len as u32,
+        }
+    }
+
+    /// A *decodable* stored form: the identity-coded flat encoding of
+    /// the block — what the read path would hand the cache.
+    fn stored_of(block: &CachedBlock) -> StoredBlock {
+        let flat = encode_block(block);
+        StoredBlock {
+            raw_len: flat.len() as u32,
+            bytes: Arc::new(flat),
+            codec_id: masm_codec::IDENTITY,
+        }
+    }
+
+    fn block_weight(n: usize) -> usize {
+        block(n).iter().map(Entry::weight).sum::<usize>() + 64
+    }
+
     #[test]
     fn hit_and_miss_counting() {
         let c = BlockCache::new(1 << 20);
         assert!(c.get((1, 0)).is_none());
-        c.insert((1, 0), block(4), 32);
+        c.insert((1, 0), block(4), filler(32));
         assert!(c.get((1, 0)).is_some());
         let s = c.stats();
         assert_eq!(s.hits, 1);
@@ -291,7 +693,7 @@ mod tests {
     #[test]
     fn contains_does_not_touch_stats() {
         let c = BlockCache::new(1 << 20);
-        c.insert((7, 3), block(1), 16);
+        c.insert((7, 3), block(1), filler(16));
         assert!(c.contains((7, 3)));
         assert!(!c.contains((7, 4)));
         let s = c.stats();
@@ -299,27 +701,167 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_coldest() {
+    fn lru_policy_evicts_coldest() {
         // Single shard so recency ordering is observable.
-        let per_block = block(10).iter().map(Entry::weight).sum::<usize>() + 64;
-        let c = BlockCache::with_shards(per_block * 3, 1);
-        c.insert((1, 0), block(10), 64);
-        c.insert((1, 1), block(10), 64);
-        c.insert((1, 2), block(10), 64);
+        let per_block = block_weight(10);
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 1,
+            policy: CachePolicy::Lru,
+            ..BlockCacheConfig::new(per_block * 3)
+        });
+        c.insert((1, 0), block(10), filler(64));
+        c.insert((1, 1), block(10), filler(64));
+        c.insert((1, 2), block(10), filler(64));
         // Touch block 0 so block 1 is now coldest.
         assert!(c.get((1, 0)).is_some());
-        c.insert((1, 3), block(10), 64);
+        c.insert((1, 3), block(10), filler(64));
         assert!(c.contains((1, 0)), "recently used survives");
         assert!(!c.contains((1, 1)), "coldest evicted");
-        assert!(c.stats().evictions >= 1);
+        let s = c.stats();
+        assert!(s.evictions >= 1);
+        assert_eq!(s.promotions, 0, "plain LRU never promotes");
+        assert_eq!(s.protected_bytes, 0, "plain LRU has no protected set");
+    }
+
+    #[test]
+    fn slru_promotes_on_rereference_and_survives_sweep() {
+        let per_block = block_weight(10);
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 1,
+            protected_frac: 0.5,
+            ..BlockCacheConfig::new(per_block * 4)
+        });
+        // Admit two hot blocks and re-reference them: both promoted.
+        c.insert((1, 0), block(10), filler(64));
+        c.insert((1, 1), block(10), filler(64));
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 1)).is_some());
+        let s = c.stats();
+        assert_eq!(s.promotions, 2);
+        assert_eq!(s.protected_bytes as usize, 2 * per_block);
+        // A one-shot sweep of 4x capacity churns probation only.
+        for i in 10..26u32 {
+            c.insert((1, i), block(10), filler(64));
+        }
+        assert!(c.contains((1, 0)), "hot set survives the sweep");
+        assert!(c.contains((1, 1)), "hot set survives the sweep");
+        // Same sweep under plain LRU would have evicted them (asserted
+        // in lru_policy_evicts_coldest / the scan-resistance test).
+    }
+
+    #[test]
+    fn protected_overflow_demotes_lru_back_to_probation() {
+        let per_block = block_weight(10);
+        // Protected fits exactly two blocks.
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 1,
+            protected_frac: 2.0 * per_block as f64 / (4 * per_block) as f64,
+            ..BlockCacheConfig::new(per_block * 4)
+        });
+        for i in 0..3u32 {
+            c.insert((1, i), block(10), filler(64));
+            assert!(c.get((1, i)).is_some(), "promote {i}");
+        }
+        let s = c.stats();
+        assert_eq!(s.promotions, 3);
+        assert_eq!(s.demotions, 1, "third promotion displaces the LRU");
+        assert_eq!(s.protected_bytes as usize, 2 * per_block);
+        assert_eq!(s.data_bytes, s.probation_bytes + s.protected_bytes);
+        // All three remain resident: demotion is not eviction.
+        for i in 0..3u32 {
+            assert!(c.contains((1, i)));
+        }
+    }
+
+    #[test]
+    fn oversized_block_is_rejected_not_admitted() {
+        let c = BlockCache::with_shards(block_weight(4), 1);
+        c.insert((1, 0), block(1), filler(16));
+        let resident = c.resident_bytes();
+        // A block heavier than the whole shard must not evict the world
+        // and then blow the budget.
+        c.insert((9, 9), block(100), filler(4096));
+        assert!(!c.contains((9, 9)));
+        assert_eq!(c.resident_bytes(), resident, "population untouched");
+        let s = c.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.evictions, 0, "rejection evicts nothing");
+        assert!(c.contains((1, 0)), "prior resident survives");
+        // An oversized re-insert under the *same key* must not drop the
+        // resident (still valid) copy either.
+        c.insert((1, 0), block(100), filler(4096));
+        assert!(c.contains((1, 0)), "resident copy survives rejection");
+        assert_eq!(c.stats().rejected, 2);
+    }
+
+    #[test]
+    fn tier2_holds_victims_and_serves_them_with_a_decode() {
+        // With the victim tier enabled the charge includes the retained
+        // stored copy; size tier 1 to fit exactly two such entries.
+        let per_entry = block_weight(10) + stored_of(&block(10)).len();
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 1,
+            tier2_bytes: 1 << 16,
+            ..BlockCacheConfig::new(per_entry * 2)
+        });
+        let b0 = block(10);
+        let stored0 = stored_of(&b0);
+        c.insert((1, 0), Arc::clone(&b0), stored0.clone());
+        c.insert((1, 1), block(10), stored_of(&block(10)));
+        // Displace block 0: the victim's stored bytes land in tier 2.
+        c.insert((1, 2), block(10), stored_of(&block(10)));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.tier2_insertions, 1);
+        assert_eq!(s.tier2_bytes as usize, stored0.len(), "charged stored size");
+        assert!(c.contains((1, 0)), "tier-2 resident counts as contained");
+        // The tier-2 hit decodes and readmits to tier 1 (probation —
+        // sweeps served from tier 2 must not flood protected).
+        let back = c.get((1, 0)).expect("served from tier 2");
+        assert_eq!(*back, *b0, "decode reproduces the block");
+        let s = c.stats();
+        assert_eq!(s.tier2_hits, 1);
+        assert_eq!(s.hits, 0, "not a tier-1 hit");
+        assert!(s.probation_bytes > 0, "readmitted into probation");
+        assert!(!c.tier2_has((1, 0)), "promoted out of tier 2");
+        // A second get is a plain tier-1 hit and earns protected status.
+        assert!(c.get((1, 0)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert!(s.promotions >= 1, "the tier-1 re-reference promotes");
+    }
+
+    #[test]
+    fn tier2_capacity_charges_stored_size_and_evicts_lru() {
+        let stored_len = stored_of(&block(10)).len();
+        // Tier 1 fits one entry (decoded + retained stored copy);
+        // tier 2 fits exactly two stored blocks.
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 1,
+            tier2_bytes: 2 * stored_len,
+            ..BlockCacheConfig::new(block_weight(10) + stored_len)
+        });
+        for i in 0..4u32 {
+            let b = block(10);
+            let st = stored_of(&b);
+            c.insert((1, i), b, st);
+        }
+        // Three victims offered, capacity two: the oldest aged out.
+        let s = c.stats();
+        assert_eq!(s.tier2_insertions, 3);
+        assert_eq!(s.tier2_evictions, 1);
+        assert_eq!(s.tier2_bytes as usize, 2 * stored_len);
+        assert!(!c.contains((1, 0)), "oldest victim aged out of tier 2");
+        assert!(c.contains((1, 1)));
+        assert!(c.contains((1, 2)));
     }
 
     #[test]
     fn reinsert_replaces_weight() {
         let c = BlockCache::with_shards(1 << 20, 1);
-        c.insert((1, 0), block(10), 64);
+        c.insert((1, 0), block(10), filler(64));
         let before = c.resident_bytes();
-        c.insert((1, 0), block(10), 64);
+        c.insert((1, 0), block(10), filler(64));
         assert_eq!(c.resident_bytes(), before, "no double counting");
     }
 
@@ -328,13 +870,13 @@ mod tests {
         let c = BlockCache::with_shards(4096, 1);
         c.retain_meta_bytes(1000);
         c.retain_meta_bytes(500);
-        c.insert((1, 0), block(8), 40);
+        c.insert((1, 0), block(8), filler(40));
         let s = c.stats();
         assert_eq!(s.meta_bytes, 1500);
         assert!(s.data_bytes > 0);
         // A sweep that evicts every data block leaves metadata pinned.
         for i in 1..100u32 {
-            c.insert((1, i), block(8), 40);
+            c.insert((1, i), block(8), filler(40));
         }
         assert_eq!(c.meta_bytes(), 1500, "eviction never touches metadata");
         c.release_meta_bytes(1500);
@@ -346,14 +888,14 @@ mod tests {
     #[test]
     fn disk_bytes_track_compressed_size_of_residents() {
         let c = BlockCache::with_shards(1 << 20, 1);
-        c.insert((1, 0), block(10), 100);
-        c.insert((1, 1), block(10), 40);
+        c.insert((1, 0), block(10), filler(100));
+        c.insert((1, 1), block(10), filler(40));
         assert_eq!(c.resident_disk_bytes(), 140);
         assert_eq!(c.stats().disk_bytes, 140);
         // Capacity still charges decoded weight, not disk bytes.
         assert!(c.resident_bytes() > 140);
         // Re-insert replaces, eviction and clear release.
-        c.insert((1, 0), block(10), 60);
+        c.insert((1, 0), block(10), filler(60));
         assert_eq!(c.resident_disk_bytes(), 100);
         c.clear();
         assert_eq!(c.resident_disk_bytes(), 0);
@@ -363,7 +905,7 @@ mod tests {
     fn capacity_is_respected() {
         let c = BlockCache::with_shards(4096, 4);
         for i in 0..200u32 {
-            c.insert((1, i), block(8), 40);
+            c.insert((1, i), block(8), filler(40));
         }
         assert!(
             c.resident_bytes() <= 4096 + 4 * 1024,
@@ -372,5 +914,35 @@ mod tests {
         );
         c.clear();
         assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_invariants_hold_under_churn() {
+        let per_block = block_weight(6);
+        let c = BlockCache::with_config(BlockCacheConfig {
+            shards: 2,
+            tier2_bytes: 4096,
+            ..BlockCacheConfig::new(per_block * 6)
+        });
+        for round in 0..4u32 {
+            for i in 0..40u32 {
+                let b = block(6);
+                let st = stored_of(&b);
+                c.insert((1, i), b, st);
+                if i % 3 == 0 {
+                    c.get((1, i.saturating_sub(2)));
+                }
+            }
+            let s = c.stats();
+            assert_eq!(
+                s.data_bytes,
+                s.probation_bytes + s.protected_bytes,
+                "round {round}: tier-1 split accounts every byte"
+            );
+            assert_eq!(s.data_bytes as usize, c.resident_bytes());
+            assert_eq!(s.tier2_bytes as usize, c.tier2_resident_bytes());
+            assert!(s.data_bytes as usize <= per_block * 6 + 2 * per_block);
+            assert!(s.tier2_bytes <= 4096);
+        }
     }
 }

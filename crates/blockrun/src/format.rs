@@ -45,7 +45,7 @@ use masm_storage::{CompressionReport, IoTicket, SessionHandle, SimDevice, Storag
 
 use crate::block::{decode_block, Entry};
 use crate::bloom::BloomFilter;
-use crate::cache::{BlockCache, CachedBlock};
+use crate::cache::{BlockCache, CachedBlock, StoredBlock};
 use crate::checksum::crc32;
 
 /// `b"MASMBRUN"` as a little-endian u64.
@@ -241,6 +241,10 @@ pub struct BlockRunMeta {
     /// block records the codec actually used in its zone entry (an
     /// `Adaptive` writer mixes ids block by block).
     pub default_codec: CodecChoice,
+    /// Writer-side CPU accounting of the adaptive codec selector that
+    /// built this run. Not persisted — runs recovered from disk report
+    /// zeros (their writer's CPU was spent in another process).
+    pub selector: masm_codec::SelectorStats,
 }
 
 impl BlockRunMeta {
@@ -279,6 +283,9 @@ impl BlockRunMeta {
     pub fn compression(&self) -> CompressionReport {
         let mut report = CompressionReport {
             runs: 1,
+            codec_trials: self.selector.trial_encodes,
+            codec_trials_saved: self.selector.trials_saved,
+            lz_probes_skipped: self.selector.lz_skipped,
             ..CompressionReport::default()
         };
         for z in &self.zones {
@@ -310,6 +317,7 @@ impl BlockRunMeta {
             zones: Vec::new(),
             bloom: None,
             default_codec: CodecChoice::Identity,
+            selector: masm_codec::SelectorStats::default(),
         }
     }
 }
@@ -471,7 +479,41 @@ pub fn read_meta(
         zones,
         bloom,
         default_codec,
+        selector: masm_codec::SelectorStats::default(),
     })
+}
+
+/// Why stored block bytes failed to decode back to entries.
+pub(crate) enum StoredDecodeError {
+    /// The codec id is not known to this build.
+    UnknownCodec(u8),
+    /// The codec rejected the payload.
+    CodecPayload,
+    /// The flat entry layout was inconsistent.
+    Entries,
+}
+
+/// Run (already verified) stored block bytes back through their codec
+/// and decode the flat entries — shared by the device read path
+/// ([`decode_verified_block`]) and the cache's tier-2 promotion
+/// ([`crate::cache::StoredBlock`]), so the two can never diverge.
+pub(crate) fn decode_stored_bytes(
+    stored: &[u8],
+    codec_id: u8,
+    raw_len: usize,
+) -> Result<Vec<Entry>, StoredDecodeError> {
+    let decompressed;
+    let flat: &[u8] = if codec_id == masm_codec::IDENTITY {
+        stored
+    } else {
+        let codec =
+            masm_codec::codec_for(codec_id).ok_or(StoredDecodeError::UnknownCodec(codec_id))?;
+        decompressed = codec
+            .decode(stored, raw_len)
+            .map_err(|_| StoredDecodeError::CodecPayload)?;
+        &decompressed
+    };
+    decode_block(flat).ok_or(StoredDecodeError::Entries)
 }
 
 /// CRC-verify stored block bytes, run them back through the zone's
@@ -485,19 +527,11 @@ fn decode_verified_block(stored: &[u8], zone: &ZoneMap, idx: usize) -> BlockRunR
             index: idx as u32,
         });
     }
-    let decompressed;
-    let flat: &[u8] = if zone.codec_id == masm_codec::IDENTITY {
-        stored
-    } else {
-        let codec = masm_codec::codec_for(zone.codec_id).ok_or(BlockRunError::UnknownCodec {
-            id: zone.codec_id as u32,
-        })?;
-        decompressed = codec
-            .decode(stored, zone.raw_len as usize)
-            .map_err(|_| BlockRunError::Corrupt("block codec payload"))?;
-        &decompressed
-    };
-    decode_block(flat).ok_or(BlockRunError::Corrupt("block entries"))
+    decode_stored_bytes(stored, zone.codec_id, zone.raw_len as usize).map_err(|e| match e {
+        StoredDecodeError::UnknownCodec(id) => BlockRunError::UnknownCodec { id: id as u32 },
+        StoredDecodeError::CodecPayload => BlockRunError::Corrupt("block codec payload"),
+        StoredDecodeError::Entries => BlockRunError::Corrupt("block entries"),
+    })
 }
 
 /// Read data block `idx`, serving from `cache` when possible; a device
@@ -523,7 +557,17 @@ pub fn read_block(
     let raw = session.read(dev, meta.base + zone.offset, zone.len as u64)?;
     let entries = Arc::new(decode_verified_block(&raw, zone, idx)?);
     if let Some((cache, run_key)) = cache {
-        cache.insert((run_key, idx as u32), Arc::clone(&entries), zone.len);
+        // The stored bytes travel into the cache so a later tier-1
+        // eviction can demote the compressed form to the victim tier.
+        cache.insert(
+            (run_key, idx as u32),
+            Arc::clone(&entries),
+            StoredBlock {
+                bytes: Arc::new(raw),
+                codec_id: zone.codec_id,
+                raw_len: zone.raw_len,
+            },
+        );
     }
     Ok(entries)
 }
@@ -669,15 +713,24 @@ impl BlockRunScan {
         }
     }
 
-    /// Decode `raw` for block `idx`, populate the cache, and record the
+    /// Decode `raw` for block `idx`, populate the cache (decoded form
+    /// plus the stored bytes, for tier-2 demotion), and record the
     /// result (or the error).
-    fn decode_and_cache(&mut self, raw: &[u8], idx: usize) -> Option<CachedBlock> {
+    fn decode_and_cache(&mut self, raw: Vec<u8>, idx: usize) -> Option<CachedBlock> {
         let zone = self.meta.zones[idx];
-        match decode_verified_block(raw, &zone, idx) {
+        match decode_verified_block(&raw, &zone, idx) {
             Ok(entries) => {
                 let entries = Arc::new(entries);
                 if let Some(cache) = &self.cache {
-                    cache.insert((self.run_key, idx as u32), Arc::clone(&entries), zone.len);
+                    cache.insert(
+                        (self.run_key, idx as u32),
+                        Arc::clone(&entries),
+                        StoredBlock {
+                            bytes: Arc::new(raw),
+                            codec_id: zone.codec_id,
+                            raw_len: zone.raw_len,
+                        },
+                    );
                 }
                 Some(entries)
             }
@@ -706,7 +759,7 @@ impl BlockRunScan {
             let raw = self.session.wait(ticket);
             // Overlap: issue further reads before decoding this one.
             self.fill_prefetch();
-            match self.decode_and_cache(&raw, idx) {
+            match self.decode_and_cache(raw, idx) {
                 Some(entries) => entries,
                 None => return false,
             }
@@ -733,7 +786,7 @@ impl BlockRunScan {
                         Ok(raw) => {
                             self.bytes_read += zone.len as u64;
                             self.fill_prefetch();
-                            match self.decode_and_cache(&raw, idx) {
+                            match self.decode_and_cache(raw, idx) {
                                 Some(entries) => entries,
                                 None => return false,
                             }

@@ -35,10 +35,15 @@
 //! * [`builder`] — streaming run construction that accepts both decoded
 //!   entries and raw verbatim blocks ([`RunBuilder::append_raw_block`]),
 //!   the execution half of the plan.
-//! * [`cache`] — a sharded LRU [`BlockCache`] of decoded blocks shared
-//!   by all scans of an engine; hit/miss counters are surfaced through
-//!   [`masm_storage::stats::CacheStats`] so benchmarks can report cache
-//!   effectiveness. Warm lookups issue zero device reads.
+//! * [`cache`] — a sharded, scan-resistant, two-tier [`BlockCache`]
+//!   shared by all scans of an engine: tier 1 holds decoded blocks
+//!   under a segmented (probation/protected) SLRU policy, so one-shot
+//!   sweeps cannot displace the hot set; tier 2 optionally holds
+//!   tier-1 victims' *stored* (post-codec) bytes, serving re-references
+//!   with one codec decode instead of a device read. Counters are
+//!   surfaced through [`masm_storage::stats::CacheStats`] so benchmarks
+//!   can report cache effectiveness. Warm lookups issue zero device
+//!   reads.
 //!
 //! `masm-core` materializes and scans all of its runs through this
 //! crate; see `masm_core::run` for the engine-facing wrapper.
@@ -54,7 +59,7 @@ pub mod plan;
 pub use block::Entry;
 pub use bloom::BloomFilter;
 pub use builder::RunBuilder;
-pub use cache::{BlockCache, BlockKey, CachedBlock};
+pub use cache::{BlockCache, BlockCacheConfig, BlockKey, CachePolicy, CachedBlock, StoredBlock};
 pub use checksum::crc32;
 pub use format::{
     build_run, point_lookup, read_block, read_meta, write_built, write_run, BlockRunConfig,

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use masm_blockrun::block::{decode_block, encode_block};
 use masm_blockrun::{
-    read_meta, write_run, BlockCache, BlockRunConfig, BlockRunScan, BloomFilter, CodecChoice, Entry,
+    read_meta, write_run, BlockCache, BlockCacheConfig, BlockRunConfig, BlockRunScan, BloomFilter,
+    CachePolicy, CachedBlock, CodecChoice, Entry, StoredBlock,
 };
 use masm_codec::{codec_for, Codec, Delta, Identity, Lz};
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
@@ -171,6 +172,53 @@ proptest! {
         let warm: Vec<Entry> = warm_scan.by_ref().collect();
         prop_assert_eq!(&warm, &entries);
         prop_assert_eq!(warm_scan.bytes_read(), 0);
+    }
+
+    /// Two-tier cache bookkeeping stays consistent under arbitrary
+    /// insert/lookup traffic, for both policies and any victim-tier
+    /// budget: the tier-1 byte split accounts every resident byte,
+    /// capacities hold, and every lookup lands in exactly one of
+    /// hit / tier-2 hit / miss.
+    #[test]
+    fn cache_invariants_under_random_traffic(
+        ops in proptest::collection::vec((0u32..48, any::<bool>()), 1..250),
+        lru in any::<bool>(),
+        tier2_bytes in 0usize..6000,
+    ) {
+        let capacity = 2048usize;
+        let cache = BlockCache::with_config(BlockCacheConfig {
+            shards: 2,
+            policy: if lru { CachePolicy::Lru } else { CachePolicy::Slru },
+            tier2_bytes,
+            ..BlockCacheConfig::new(capacity)
+        });
+        let mut lookups = 0u64;
+        for (idx, is_insert) in ops {
+            if is_insert {
+                let block: CachedBlock = Arc::new(
+                    (0..4).map(|i| Entry::new(idx as u64 + i, 1, vec![idx as u8; 16])).collect(),
+                );
+                let flat = encode_block(&block);
+                cache.insert((1, idx), block, StoredBlock {
+                    raw_len: flat.len() as u32,
+                    bytes: Arc::new(flat),
+                    codec_id: masm_codec::IDENTITY,
+                });
+            } else {
+                lookups += 1;
+                if let Some(block) = cache.get((1, idx)) {
+                    prop_assert!(block.iter().all(|e| e.value == vec![idx as u8; 16]));
+                }
+            }
+            let s = cache.stats();
+            prop_assert_eq!(s.data_bytes, s.probation_bytes + s.protected_bytes);
+            prop_assert!(s.data_bytes as usize <= capacity, "tier-1 budget holds");
+            prop_assert!(
+                s.tier2_bytes as usize <= tier2_bytes,
+                "tier-2 budget charges stored size: {} > {}", s.tier2_bytes, tier2_bytes
+            );
+            prop_assert_eq!(s.hits + s.tier2_hits + s.misses, lookups);
+        }
     }
 
     /// The measured false-positive rate stays within 2× the configured

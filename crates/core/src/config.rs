@@ -16,6 +16,7 @@
 
 use crate::error::{MasmError, MasmResult};
 
+pub use masm_blockrun::CachePolicy;
 pub use masm_codec::CodecChoice;
 
 /// Granularity of the run's read-only index (§3.5 "Granularity of Run
@@ -88,8 +89,25 @@ pub struct MasmConfig {
     /// `fig13_cpu_cost` benchmark measures per codec.
     pub codec: CodecChoice,
     /// Capacity of the shared block cache holding decoded run blocks,
-    /// in bytes.
+    /// in bytes (tier 1).
     pub block_cache_bytes: usize,
+    /// Tier-1 replacement policy of the block cache.
+    /// [`CachePolicy::Slru`] (the default) segments each shard into
+    /// probation + protected so a one-shot table sweep larger than the
+    /// cache cannot displace the hot point-lookup set;
+    /// [`CachePolicy::Lru`] keeps the old single-list behavior as a
+    /// benchmark baseline.
+    pub cache_policy: CachePolicy,
+    /// Fraction of tier-1 capacity reserved for the protected segment
+    /// under [`CachePolicy::Slru`] (0.8 by default; ignored under
+    /// [`CachePolicy::Lru`]).
+    pub cache_protected_frac: f64,
+    /// Capacity of the cache's compressed victim tier in **stored**
+    /// (post-codec) bytes; 0 disables it. Tier-1 victims demote their
+    /// compressed bytes here, so a re-reference costs one codec decode
+    /// instead of a device read — the tier's effective block count is
+    /// multiplied by the codec's compression ratio.
+    pub cache_tier2_bytes: usize,
     /// Upper bound on the per-scan async prefetch depth of merge and
     /// migration reads. The merge planner drives the effective depth
     /// from its fan-in (k input runs ⇒ k reads in flight, §3.7 overlap
@@ -112,6 +130,9 @@ impl Default for MasmConfig {
             bloom_bits_per_key: 10,
             codec: CodecChoice::Delta,
             block_cache_bytes: 8 * 1024 * 1024,
+            cache_policy: CachePolicy::Slru,
+            cache_protected_frac: 0.8,
+            cache_tier2_bytes: 4 * 1024 * 1024,
             merge_prefetch_cap: 16,
         }
     }
@@ -132,6 +153,9 @@ impl MasmConfig {
             bloom_bits_per_key: 10,
             codec: CodecChoice::Delta,
             block_cache_bytes: 2 * 1024 * 1024,
+            cache_policy: CachePolicy::Slru,
+            cache_protected_frac: 0.8,
+            cache_tier2_bytes: 1024 * 1024,
             merge_prefetch_cap: 8,
         }
     }
@@ -218,6 +242,18 @@ impl MasmConfig {
         }
     }
 
+    /// Parameters of the engine's shared block cache: tier-1 capacity
+    /// and policy, protected-segment sizing, and the compressed victim
+    /// tier's budget.
+    pub fn cache_config(&self) -> masm_blockrun::BlockCacheConfig {
+        masm_blockrun::BlockCacheConfig {
+            policy: self.cache_policy,
+            protected_frac: self.cache_protected_frac,
+            tier2_bytes: self.cache_tier2_bytes,
+            ..masm_blockrun::BlockCacheConfig::new(self.block_cache_bytes)
+        }
+    }
+
     /// Validate invariants; call before constructing an engine.
     pub fn validate(&self) -> MasmResult<()> {
         if self.ssd_page_size < 1024 {
@@ -251,6 +287,11 @@ impl MasmConfig {
         }
         if self.merge_prefetch_cap == 0 {
             return Err(MasmError::Config("merge_prefetch_cap must be ≥ 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cache_protected_frac) {
+            return Err(MasmError::Config(
+                "cache_protected_frac must be in [0,1]".into(),
+            ));
         }
         Ok(())
     }
@@ -331,6 +372,22 @@ mod tests {
             ..MasmConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn cache_config_carries_policy_and_tiers() {
+        let mut c = MasmConfig::default();
+        let cc = c.cache_config();
+        assert_eq!(cc.policy, CachePolicy::Slru);
+        assert!((cc.protected_frac - 0.8).abs() < 1e-9);
+        assert_eq!(cc.capacity_bytes, c.block_cache_bytes);
+        assert_eq!(cc.tier2_bytes, c.cache_tier2_bytes);
+        c.cache_policy = CachePolicy::Lru;
+        c.cache_tier2_bytes = 0;
+        assert_eq!(c.cache_config().policy, CachePolicy::Lru);
+        assert_eq!(c.cache_config().tier2_bytes, 0);
+        c.cache_protected_frac = 1.5;
+        assert!(c.validate().is_err(), "protected fraction out of range");
     }
 
     #[test]

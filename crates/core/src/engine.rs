@@ -135,7 +135,7 @@ impl MasmEngine {
         // On a shared device that already has a head position this is a
         // no-op — another engine's accounting must not be rewritten.
         ssd.prime_head_position_if_unset(cfg.ssd_region_base);
-        let cache = Arc::new(BlockCache::new(cfg.block_cache_bytes));
+        let cache = Arc::new(BlockCache::with_config(cfg.cache_config()));
         Ok(Arc::new(MasmEngine {
             heap,
             ssd,
@@ -1096,7 +1096,7 @@ impl MasmEngine {
         // Re-pin the recovered runs' metadata footprint in the cache
         // accounting (zone maps + blooms live as long as the runs do),
         // and rebuild the codec accounting from their zone maps.
-        let cache = Arc::new(BlockCache::new(cfg.block_cache_bytes));
+        let cache = Arc::new(BlockCache::with_config(cfg.cache_config()));
         let mut compression = CompressionReport::default();
         for r in runs.runs() {
             cache.retain_meta_bytes(r.memory_bytes());

@@ -48,7 +48,7 @@ pub mod update;
 pub mod view;
 pub mod wal;
 
-pub use config::{CodecChoice, IndexGranularity, MasmConfig};
+pub use config::{CachePolicy, CodecChoice, IndexGranularity, MasmConfig};
 pub use engine::{MasmEngine, MergeScan};
 pub use error::{MasmError, MasmResult};
 pub use ts::TimestampOracle;

@@ -150,6 +150,12 @@ pub struct CacheStats {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
+    rejected: AtomicU64,
+    tier2_hits: AtomicU64,
+    tier2_insertions: AtomicU64,
+    tier2_evictions: AtomicU64,
 }
 
 impl CacheStats {
@@ -173,6 +179,37 @@ impl CacheStats {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a probation → protected segment promotion (SLRU).
+    pub fn record_promotion(&self) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a protected → probation segment demotion (SLRU).
+    pub fn record_demotion(&self) {
+        self.demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an oversized block refused admission.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a lookup served from the compressed victim tier (one
+    /// codec decode, zero device reads).
+    pub fn record_tier2_hit(&self) {
+        self.tier2_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a tier-1 victim demoted into the compressed victim tier.
+    pub fn record_tier2_insertion(&self) {
+        self.tier2_insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an entry aged out of the compressed victim tier.
+    pub fn record_tier2_eviction(&self) {
+        self.tier2_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copyable summary for reporting.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
@@ -180,9 +217,18 @@ impl CacheStats {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            tier2_hits: self.tier2_hits.load(Ordering::Relaxed),
+            tier2_insertions: self.tier2_insertions.load(Ordering::Relaxed),
+            tier2_evictions: self.tier2_evictions.load(Ordering::Relaxed),
             data_bytes: 0,
+            probation_bytes: 0,
+            protected_bytes: 0,
             meta_bytes: 0,
             disk_bytes: 0,
+            tier2_bytes: 0,
         }
     }
 
@@ -192,41 +238,84 @@ impl CacheStats {
         self.misses.store(0, Ordering::Relaxed);
         self.insertions.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.promotions.store(0, Ordering::Relaxed);
+        self.demotions.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.tier2_hits.store(0, Ordering::Relaxed);
+        self.tier2_insertions.store(0, Ordering::Relaxed);
+        self.tier2_evictions.store(0, Ordering::Relaxed);
     }
 }
 
 /// Copyable summary of [`CacheStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStatsSnapshot {
-    /// Lookups served from the cache.
+    /// Lookups served from tier 1 (decoded blocks).
     pub hits: u64,
     /// Lookups that went to the device.
     pub misses: u64,
-    /// Entries inserted.
+    /// Entries inserted into tier 1.
     pub insertions: u64,
-    /// Entries evicted.
+    /// Entries evicted from tier 1.
     pub evictions: u64,
-    /// Resident bytes of evictable data entries (decoded blocks).
+    /// Probation → protected promotions (a block's second reference
+    /// under the SLRU policy).
+    pub promotions: u64,
+    /// Protected → probation demotions (the protected segment ran over
+    /// its fraction of capacity).
+    pub demotions: u64,
+    /// Oversized blocks refused admission (larger than a whole shard).
+    pub rejected: u64,
+    /// Lookups served from tier 2 — the compressed victim tier — at the
+    /// cost of one codec decode and **zero** device reads. Each hit
+    /// promotes the block back into tier 1, so this doubles as the
+    /// decode-on-promote counter.
+    pub tier2_hits: u64,
+    /// Tier-1 victims whose stored (post-codec) bytes were demoted into
+    /// tier 2 instead of being dropped.
+    pub tier2_insertions: u64,
+    /// Entries aged out of tier 2.
+    pub tier2_evictions: u64,
+    /// Resident bytes charged to tier 1 — decoded data blocks plus,
+    /// when the victim tier is enabled, their retained stored copies
+    /// (always `probation_bytes + protected_bytes`).
     pub data_bytes: u64,
+    /// Bytes charged to the probation segment (decoded blocks plus any
+    /// retained stored copies, like `data_bytes`).
+    pub probation_bytes: u64,
+    /// Bytes charged to the protected segment (decoded blocks plus any
+    /// retained stored copies, like `data_bytes`).
+    pub protected_bytes: u64,
     /// Pinned metadata bytes (zone maps, bloom filters) accounted to
     /// the cache but never evicted; kept separate so a one-shot sweep's
     /// pressure on the data population is visible on its own.
     pub meta_bytes: u64,
-    /// On-disk (post-codec, compressed) bytes of the resident data
+    /// On-disk (post-codec, compressed) bytes of the resident tier-1
     /// blocks. `data_bytes` is what the cache *spends* in memory;
     /// `disk_bytes` is what the same blocks cost on the SSD — the gap
     /// is the codec's memory amplification.
     pub disk_bytes: u64,
+    /// Stored (post-codec) bytes resident in tier 2 — the victim tier
+    /// charges compressed size, which is how it multiplies effective
+    /// capacity by the codec's compression ratio.
+    pub tier2_bytes: u64,
 }
 
 impl CacheStatsSnapshot {
-    /// Fraction of lookups served from the cache (0 when idle).
+    /// Fraction of lookups served without a device read — from either
+    /// tier (0 when idle).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.tier2_hits + self.misses;
         if total == 0 {
             return 0.0;
         }
-        self.hits as f64 / total as f64
+        (self.hits + self.tier2_hits) as f64 / total as f64
+    }
+
+    /// Blocks served without touching the device: tier-1 hits plus
+    /// tier-2 (decode-only) hits.
+    pub fn no_device_hits(&self) -> u64 {
+        self.hits + self.tier2_hits
     }
 
     /// Difference between two snapshots (self - earlier). The resident
@@ -238,9 +327,18 @@ impl CacheStatsSnapshot {
             misses: self.misses - earlier.misses,
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
+            promotions: self.promotions - earlier.promotions,
+            demotions: self.demotions - earlier.demotions,
+            rejected: self.rejected - earlier.rejected,
+            tier2_hits: self.tier2_hits - earlier.tier2_hits,
+            tier2_insertions: self.tier2_insertions - earlier.tier2_insertions,
+            tier2_evictions: self.tier2_evictions - earlier.tier2_evictions,
             data_bytes: self.data_bytes,
+            probation_bytes: self.probation_bytes,
+            protected_bytes: self.protected_bytes,
             meta_bytes: self.meta_bytes,
             disk_bytes: self.disk_bytes,
+            tier2_bytes: self.tier2_bytes,
         }
     }
 }
@@ -269,6 +367,16 @@ pub struct CompressionReport {
     pub blocks_delta: u64,
     /// Blocks stored LZ-coded (codec id 2).
     pub blocks_lz: u64,
+    /// Trial encodes the adaptive selector actually ran (writer-side
+    /// CPU; zero for runs recovered from disk, whose writers are gone).
+    pub codec_trials: u64,
+    /// Trial encodes the sample-based selector *avoided* relative to
+    /// the trial-everything-per-block baseline — the selector's CPU
+    /// saving, reported by `fig13_cpu_cost`.
+    pub codec_trials_saved: u64,
+    /// LZ trials skipped because the byte-entropy probe classified the
+    /// payload as incompressible (a subset of `codec_trials_saved`).
+    pub lz_probes_skipped: u64,
 }
 
 impl CompressionReport {
@@ -282,6 +390,9 @@ impl CompressionReport {
         self.blocks_identity += other.blocks_identity;
         self.blocks_delta += other.blocks_delta;
         self.blocks_lz += other.blocks_lz;
+        self.codec_trials += other.codec_trials;
+        self.codec_trials_saved += other.codec_trials_saved;
+        self.lz_probes_skipped += other.lz_probes_skipped;
     }
 
     /// Stored/raw byte ratio (1.0 = no compression, smaller is better;
@@ -436,6 +547,9 @@ mod tests {
             blocks_identity: 1,
             blocks_delta: 2,
             blocks_lz: 1,
+            codec_trials: 4,
+            codec_trials_saved: 4,
+            lz_probes_skipped: 1,
         });
         total.absorb(&CompressionReport {
             runs: 1,
@@ -448,6 +562,9 @@ mod tests {
         assert_eq!(total.runs, 2);
         assert_eq!(total.blocks, 6);
         assert_eq!(total.blocks_lz, 3);
+        assert_eq!(total.codec_trials, 4);
+        assert_eq!(total.codec_trials_saved, 4);
+        assert_eq!(total.lz_probes_skipped, 1);
         assert!((total.ratio() - 0.5).abs() < 1e-9);
         assert!((total.savings() - 0.5).abs() < 1e-9);
         let grown = CompressionReport {

@@ -26,6 +26,8 @@ use masm_blockrun::{
     CachePolicy, CodecChoice, Entry,
 };
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice, MIB};
+use masm_telemetry::json::{parse, JsonObj};
+use masm_telemetry::NdjsonWriter;
 
 /// One measured configuration.
 struct Row {
@@ -58,6 +60,7 @@ fn run_workload(
     tier2: bool,
     codec: CodecChoice,
     raw_bytes: u64,
+    ts: &mut NdjsonWriter<Vec<u8>>,
 ) -> Row {
     let clock = SimClock::new();
     let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
@@ -125,14 +128,28 @@ fn run_workload(
     let reads_before = dev.stats().read_ops;
     let mut hot_hits = 0u64;
     let mut hot_accesses = 0u64;
-    for _ in 0..MEASURED_ROUNDS {
+    for round in 0..MEASURED_ROUNDS {
         let before = cache.stats();
+        let round_reads = dev.stats().read_ops;
         hot_pass(&cache);
         let after = cache.stats();
-        hot_hits += after.no_device_hits() - before.no_device_hits();
-        hot_accesses += (after.hits + after.tier2_hits + after.misses)
-            - (before.hits + before.tier2_hits + before.misses);
+        let round_hits = after.no_device_hits() - before.no_device_hits();
+        let round_lookups = after.lookups() - before.lookups();
+        hot_hits += round_hits;
+        hot_accesses += round_lookups;
         sweep(&cache);
+        // One NDJSON time-series row per measured round, so the CI
+        // smoke output shows whether the hot set stays resident across
+        // sweeps or degrades round over round.
+        let mut row = JsonObj::new();
+        row.str("policy", policy_label)
+            .str("codec", codec.name())
+            .u64("round", round as u64)
+            .u64("hot_hits", round_hits)
+            .u64("hot_lookups", round_lookups)
+            .u64("device_reads", dev.stats().read_ops - round_reads)
+            .u64("tier2_hits", after.tier2_hits - before.tier2_hits);
+        ts.row(&row.finish()).unwrap();
     }
     let stats = cache.stats();
     Row {
@@ -154,13 +171,16 @@ fn main() {
     let raw_bytes = mb * MIB;
 
     let mut rows = Vec::new();
+    let mut ts = NdjsonWriter::new(Vec::new());
     for codec in [CodecChoice::Identity, CodecChoice::Lz] {
         for (label, policy, tier2) in [
             ("lru", CachePolicy::Lru, false),
             ("slru", CachePolicy::Slru, false),
             ("slru_tier2", CachePolicy::Slru, true),
         ] {
-            rows.push(run_workload(label, policy, tier2, codec, raw_bytes));
+            rows.push(run_workload(
+                label, policy, tier2, codec, raw_bytes, &mut ts,
+            ));
         }
     }
 
@@ -194,6 +214,18 @@ fn main() {
         ],
         &table,
     );
+
+    // Per-round time series, one `TS:` line per measured round; each
+    // row is self-checked to parse before printing.
+    println!();
+    let ts_expected = rows.len() as u64 * MEASURED_ROUNDS as u64;
+    assert_eq!(ts.rows(), ts_expected, "one TS row per config x round");
+    let buf = String::from_utf8(ts.into_inner().unwrap()).unwrap();
+    for line in buf.lines() {
+        let row = parse(line).expect("TS row parses as JSON");
+        assert!(row.get("hot_lookups").is_some());
+        println!("TS:{line}");
+    }
 
     let json_rows: Vec<String> = rows
         .iter()

@@ -625,6 +625,10 @@ pub struct BlockRunScan {
     buffer: std::collections::VecDeque<Entry>,
     bytes_read: u64,
     error: Option<BlockRunError>,
+    /// Optional latency sink: one sample per block acquired, measuring
+    /// the session-time stall (virtual-ns) to obtain it — ≈0 for cache
+    /// hits, the device wait for misses.
+    fetch_hist: Option<Arc<masm_telemetry::Histogram>>,
 }
 
 impl BlockRunScan {
@@ -655,6 +659,7 @@ impl BlockRunScan {
             buffer: std::collections::VecDeque::new(),
             bytes_read: 0,
             error: None,
+            fetch_hist: None,
         };
         // Issue the first read immediately: a query opens all its run
         // scans at once, so their first SSD reads queue together and
@@ -668,6 +673,15 @@ impl BlockRunScan {
     pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
         self.prefetch_depth = depth.max(1);
         self.fill_prefetch();
+        self
+    }
+
+    /// Record per-block fetch stalls (virtual-ns of session time spent
+    /// obtaining each block) into `hist`. Cache hits record ≈0, misses
+    /// record the device wait — the histogram separates the two
+    /// populations by itself, no extra counters needed.
+    pub fn with_fetch_histogram(mut self, hist: Arc<masm_telemetry::Histogram>) -> Self {
+        self.fetch_hist = Some(hist);
         self
     }
 
@@ -748,6 +762,7 @@ impl BlockRunScan {
         }
         let idx = self.next_idx;
         self.next_idx += 1;
+        let fetch_start = self.fetch_hist.as_ref().map(|_| self.session.now());
 
         let entries: CachedBlock = if self.pending.front().is_some_and(|(p, _)| *p == idx) {
             // The block came from the device via prefetch, not from
@@ -799,6 +814,10 @@ impl BlockRunScan {
                 }
             }
         };
+
+        if let (Some(hist), Some(start)) = (&self.fetch_hist, fetch_start) {
+            hist.record(self.session.now().saturating_sub(start));
+        }
 
         let start = entries.partition_point(|e| e.key < self.begin);
         self.buffer.extend(
@@ -978,6 +997,42 @@ mod tests {
         let warm_keys: Vec<u64> = warm.by_ref().map(|e| e.key).collect();
         assert_eq!(warm_keys, keys);
         assert_eq!(warm.bytes_read(), 0, "warm deep scan is pure cache");
+    }
+
+    #[test]
+    fn fetch_histogram_records_one_sample_per_block() {
+        let (dev, s) = setup();
+        let keys: Vec<u64> = (0..1000).collect();
+        let meta = Arc::new(write_run(&s, &dev, 0, &small_cfg(), &entries(&keys)).unwrap());
+        let cache = Arc::new(BlockCache::new(1 << 22));
+        let cold_hist = Arc::new(masm_telemetry::Histogram::new());
+        let cold: Vec<u64> = BlockRunScan::new(
+            dev.clone(),
+            s.clone(),
+            Arc::clone(&meta),
+            Some(Arc::clone(&cache)),
+            1,
+            0,
+            u64::MAX,
+        )
+        .with_fetch_histogram(Arc::clone(&cold_hist))
+        .map(|e| e.key)
+        .collect();
+        assert_eq!(cold, keys);
+        let blocks = meta.zones.len() as u64;
+        let cold_snap = cold_hist.snapshot();
+        assert_eq!(cold_snap.count, blocks, "one sample per block");
+        assert!(cold_snap.sum > 0, "cold blocks stall on the device");
+        // Warm scan: every block is a cache hit, so the stall is zero.
+        let warm_hist = Arc::new(masm_telemetry::Histogram::new());
+        let warm: Vec<u64> = BlockRunScan::new(dev, s, meta, Some(cache), 1, 0, u64::MAX)
+            .with_fetch_histogram(Arc::clone(&warm_hist))
+            .map(|e| e.key)
+            .collect();
+        assert_eq!(warm, keys);
+        let warm_snap = warm_hist.snapshot();
+        assert_eq!(warm_snap.count, blocks);
+        assert_eq!(warm_snap.max, 0, "cache hits never touch the device");
     }
 
     #[test]

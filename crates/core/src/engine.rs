@@ -23,6 +23,9 @@ use parking_lot::{Condvar, Mutex};
 use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
 use masm_storage::{CacheStatsSnapshot, CompressionReport, MergeReport, SessionHandle, SimDevice};
+use masm_telemetry::{
+    BufferStats, EngineStats, Histogram, OpLatencies, Registry, RunSetStats, Timer, Unit,
+};
 
 use crate::algo::RunSet;
 use crate::config::MasmConfig;
@@ -37,6 +40,49 @@ use crate::run::{
 use crate::ts::{Timestamp, TimestampOracle};
 use crate::update::{UpdateOp, UpdateRecord};
 use crate::wal::{Wal, WalRecord};
+
+/// The engine's metric families: a [`Registry`] for export plus direct
+/// `Arc<Histogram>` handles for the hot paths (registry lookup never
+/// happens per operation). All six histograms record **virtual-ns**.
+struct EngineMetrics {
+    registry: Registry,
+    ingest: Arc<Histogram>,
+    get: Arc<Histogram>,
+    scan_next: Arc<Histogram>,
+    flush: Arc<Histogram>,
+    migrate: Arc<Histogram>,
+    block_fetch: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let h = |name, help| registry.histogram("op", name, Unit::VirtualNs, help);
+        EngineMetrics {
+            ingest: h(
+                "ingest",
+                "one apply_update call, including any flush it triggered",
+            ),
+            get: h("get", "one point lookup"),
+            scan_next: h("scan_next", "one record yielded by a merged range scan"),
+            flush: h("flush", "one buffer flush materializing a 1-pass run"),
+            migrate: h("migrate", "one full or partial migration"),
+            block_fetch: h("block_fetch", "one block obtained by a query run scan"),
+            registry,
+        }
+    }
+
+    fn snapshot(&self) -> OpLatencies {
+        OpLatencies {
+            ingest: self.ingest.snapshot(),
+            get: self.get.snapshot(),
+            scan_next: self.scan_next.snapshot(),
+            flush: self.flush.snapshot(),
+            migrate: self.migrate.snapshot(),
+            block_fetch: self.block_fetch.snapshot(),
+        }
+    }
+}
 
 struct EngineState {
     buffer: UpdateBuffer,
@@ -103,6 +149,9 @@ pub struct MasmEngine {
     /// Cumulative codec accounting across every run this engine built
     /// (or recovered): raw vs stored data-block bytes, blocks per codec.
     compression_totals: Mutex<CompressionReport>,
+    /// Per-operation latency histograms + the metric registry behind
+    /// [`MasmEngine::stats`].
+    metrics: EngineMetrics,
 }
 
 impl std::fmt::Debug for MasmEngine {
@@ -159,6 +208,7 @@ impl MasmEngine {
             last_merge: Mutex::new(None),
             merge_totals: Mutex::new(MergeReport::default()),
             compression_totals: Mutex::new(CompressionReport::default()),
+            metrics: EngineMetrics::new(),
         }))
     }
 
@@ -303,6 +353,55 @@ impl MasmEngine {
         )
     }
 
+    /// The unified engine snapshot: cache, merge, compression, device
+    /// I/O + wear summary, buffer and run-set occupancy, and the six
+    /// per-operation latency histograms — everything the paper's
+    /// quantitative invariants need, in one [`EngineStats`] value
+    /// (serializable via [`EngineStats::to_json`], differentiable via
+    /// [`EngineStats::delta`]).
+    ///
+    /// Cheap enough to poll from a driver loop: two short mutex holds
+    /// (engine state, WAL) plus atomic loads; the SSD wear summary is
+    /// O(1) — no per-block map is walked.
+    pub fn stats(&self) -> EngineStats {
+        let (buffer, runs) = {
+            let st = self.state.lock();
+            (
+                BufferStats {
+                    updates: st.buffer.len() as u64,
+                    bytes: st.buffer.bytes() as u64,
+                    capacity_bytes: st.buffer.capacity() as u64,
+                },
+                RunSetStats {
+                    count: st.runs.len() as u64,
+                    cached_bytes: st.runs.live_bytes(),
+                    ssd_capacity_bytes: self.cfg.ssd_capacity,
+                },
+            )
+        };
+        let wal = self.wal.lock().device().stats();
+        EngineStats {
+            at_ns: self.ssd.clock().now(),
+            ingested_updates: self.ingested_updates.load(Ordering::Relaxed),
+            ingested_bytes: self.ingested_bytes.load(Ordering::Relaxed),
+            buffer,
+            runs,
+            cache: self.cache.stats(),
+            merge: *self.merge_totals.lock(),
+            compression: *self.compression_totals.lock(),
+            ssd: self.ssd.stats(),
+            ssd_wear: self.ssd.wear_stats(),
+            wal,
+            ops: self.metrics.snapshot(),
+        }
+    }
+
+    /// The engine's metric registry (six `op.*` latency families), for
+    /// catalog-style export: walk it with [`Registry::for_each`].
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
     /// Atomically commit a transaction's private writes under
     /// first-committer-wins snapshot isolation (§3.6): if any written key
     /// was committed by another transaction after `start_ts`, the commit
@@ -350,6 +449,7 @@ impl MasmEngine {
         session: &SessionHandle,
         update: UpdateRecord,
     ) -> MasmResult<()> {
+        let _t = Timer::start(&self.metrics.ingest, || session.now());
         self.ingested_updates.fetch_add(1, Ordering::Relaxed);
         self.ingested_bytes
             .fetch_add(update.encoded_len() as u64, Ordering::Relaxed);
@@ -396,6 +496,10 @@ impl MasmEngine {
                 capacity: self.cfg.ssd_capacity,
             });
         }
+        // Time only real flushes (past both early returns): the
+        // histogram's count doubles as the number of 1-pass runs
+        // materialized.
+        let _t = Timer::start(&self.metrics.flush, || session.now());
         let updates = st.buffer.drain_sorted();
         let updates = if self.cfg.merge_duplicates {
             let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
@@ -584,14 +688,17 @@ impl MasmEngine {
             if run.max_key < begin || run.min_key > end {
                 continue;
             }
-            streams.push(Box::new(RunScan::with_cache(
-                self.ssd.clone(),
-                session.clone(),
-                Arc::clone(run),
-                Some(Arc::clone(&self.cache)),
-                begin,
-                end,
-            )));
+            streams.push(Box::new(
+                RunScan::with_cache(
+                    self.ssd.clone(),
+                    session.clone(),
+                    Arc::clone(run),
+                    Some(Arc::clone(&self.cache)),
+                    begin,
+                    end,
+                )
+                .with_fetch_histogram(Arc::clone(&self.metrics.block_fetch)),
+            ));
         }
         streams.push(Box::new(mem_snapshot.into_iter()));
         if !private.is_empty() {
@@ -626,6 +733,7 @@ impl MasmEngine {
     /// exactly what a [`MasmEngine::begin_scan`] of `[key, key]` would
     /// return, at a fraction of the setup cost.
     pub fn get(self: &Arc<Self>, session: &SessionHandle, key: Key) -> MasmResult<Option<Record>> {
+        let _t = Timer::start(&self.metrics.get, || session.now());
         let ts = self.oracle.next();
         // Register as an active query so a concurrent migration cannot
         // retire the runs (and recycle their SSD space) mid-lookup.
@@ -719,6 +827,9 @@ impl MasmEngine {
             )?;
             (mig_ts, runs)
         };
+        // Past the early returns: this is a real migration, time it
+        // end-to-end (quiesce wait + merge + run retirement).
+        let _t = Timer::start(&self.metrics.migrate, || session.now());
 
         // Wait for queries earlier than t (§3.2).
         {
@@ -775,6 +886,7 @@ impl MasmEngine {
             st.migrating = true;
             (mig_ts, st.runs.runs().to_vec())
         };
+        let _t = Timer::start(&self.metrics.migrate, || session.now());
         // Queries older than the migration timestamp must not observe
         // pages stamped with it (§3.2).
         {
@@ -1126,6 +1238,7 @@ impl MasmEngine {
             last_merge: Mutex::new(None),
             merge_totals: Mutex::new(MergeReport::default()),
             compression_totals: Mutex::new(compression),
+            metrics: EngineMetrics::new(),
         });
 
         let mut report = RecoveryReport {
@@ -1171,9 +1284,18 @@ impl Iterator for MergeScan {
     type Item = Record;
 
     fn next(&mut self) -> Option<Record> {
+        let start = self.session.now();
         let r = self.inner.next();
-        if r.is_some() && self.cpu_per_record > 0 {
-            self.session.cpu(self.cpu_per_record);
+        if r.is_some() {
+            if self.cpu_per_record > 0 {
+                self.session.cpu(self.cpu_per_record);
+            }
+            // Record only yielded records, so the histogram's count
+            // equals the number of records scans returned.
+            self.engine
+                .metrics
+                .scan_next
+                .record(self.session.now().saturating_sub(start));
         }
         r
     }

@@ -50,7 +50,10 @@ pub mod wal;
 
 pub use config::{CachePolicy, CodecChoice, IndexGranularity, MasmConfig};
 pub use engine::{MasmEngine, MergeScan};
+// Re-exported so engine users consume `MasmEngine::stats()` without a
+// direct masm-telemetry dependency.
 pub use error::{MasmError, MasmResult};
+pub use masm_telemetry::{EngineStats, StatsDelta};
 pub use ts::TimestampOracle;
 pub use txn::Transaction;
 pub use update::{FieldPatch, UpdateOp, UpdateRecord};

@@ -224,6 +224,13 @@ impl RunScan {
         self
     }
 
+    /// Record per-block fetch stalls (virtual-ns) into `hist` — the
+    /// engine wires its `op.block_fetch` histogram through here.
+    pub fn with_fetch_histogram(mut self, hist: Arc<masm_telemetry::Histogram>) -> Self {
+        self.inner = self.inner.with_fetch_histogram(hist);
+        self
+    }
+
     /// Bytes this scan has read off the SSD (cache hits cost nothing).
     pub fn bytes_read(&self) -> u64 {
         self.inner.bytes_read()

@@ -1,0 +1,180 @@
+//! Property tests for [`MasmEngine::stats`]: under arbitrary
+//! interleavings of ingest, point lookups, merged scans, flushes,
+//! compactions, and migrations, the unified snapshot stays coherent —
+//! histogram counts equal operation counts, cache byte gauges add up,
+//! deltas are monotone, and `StatsDelta` round-trips through JSON.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use masm_core::config::MasmConfig;
+use masm_core::update::{FieldPatch, UpdateOp};
+use masm_core::{EngineStats, MasmEngine, StatsDelta};
+use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
+use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
+use masm_telemetry::json::parse;
+
+fn fixture(n_records: u64) -> (Arc<MasmEngine>, SessionHandle) {
+    let schema = Schema::synthetic_100b();
+    let clock = SimClock::new();
+    let disk = SimDevice::in_memory(DeviceProfile::hdd_barracuda(), clock.clone());
+    let ssd = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    let wal_dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+    let heap = Arc::new(TableHeap::new(disk, HeapConfig::default()));
+    let engine = MasmEngine::new(
+        heap,
+        ssd,
+        wal_dev,
+        schema.clone(),
+        MasmConfig::small_for_tests(),
+    )
+    .unwrap();
+    let session = SessionHandle::fresh(clock);
+    engine
+        .load_table(
+            &session,
+            (0..n_records).map(|i| Record::new(i * 2, schema.empty_payload())),
+            1.0,
+        )
+        .unwrap();
+    (engine, session)
+}
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Step {
+    Ingest(u64, u32),
+    Delete(u64),
+    Get(u64),
+    Scan(u64, u64),
+    Flush,
+    Compact,
+    Migrate,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u64..600, any::<u32>()).prop_map(|(k, v)| Step::Ingest(k, v)),
+        2 => (0u64..600).prop_map(Step::Delete),
+        2 => (0u64..600).prop_map(Step::Get),
+        2 => (0u64..600, 0u64..100).prop_map(|(a, w)| Step::Scan(a, a + w)),
+        1 => Just(Step::Flush),
+        1 => Just(Step::Compact),
+        1 => Just(Step::Migrate),
+    ]
+}
+
+fn assert_coherent(stats: &EngineStats) {
+    let violations = stats.invariant_violations();
+    assert!(violations.is_empty(), "incoherent snapshot: {violations:?}");
+    // The paper's design goal 2: run bodies write sequentially. When
+    // compaction/migration recycles SSD space, the head may seek once
+    // per new run, so the bound is one random write per run created
+    // (flushes + merge outputs), exactly as the engine's own tests
+    // state it.
+    let runs_created = stats.ops.flush.count + stats.merge.inputs as u64;
+    assert!(
+        stats.ssd.random_writes <= runs_created,
+        "random writes {} exceed runs created {runs_created}",
+        stats.ssd.random_writes
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Execute a random interleaving and check every stats invariant.
+    #[test]
+    fn stats_are_coherent_under_interleaving(
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+        mid_point in 0usize..60,
+    ) {
+        let (engine, session) = fixture(300);
+        let baseline = engine.stats();
+        prop_assert_eq!(baseline.ops.ingest.count, 0);
+
+        let mut ingests = 0u64;
+        let mut gets = 0u64;
+        let mut scanned = 0u64;
+        let mut migrations = 0u64;
+        let mut mid: Option<EngineStats> = None;
+
+        for (i, step) in steps.iter().enumerate() {
+            match *step {
+                Step::Ingest(key, v) => {
+                    engine
+                        .apply_update(
+                            &session,
+                            key,
+                            UpdateOp::Modify(vec![FieldPatch {
+                                field: 0,
+                                value: v.to_le_bytes().to_vec(),
+                            }]),
+                        )
+                        .unwrap();
+                    ingests += 1;
+                }
+                Step::Delete(key) => {
+                    engine.apply_update(&session, key, UpdateOp::Delete).unwrap();
+                    ingests += 1;
+                }
+                Step::Get(key) => {
+                    engine.get(&session, key).unwrap();
+                    gets += 1;
+                }
+                Step::Scan(a, b) => {
+                    let scan = engine.begin_scan(session.clone(), a, b).unwrap();
+                    scanned += scan.count() as u64;
+                }
+                Step::Flush => engine.flush_buffer(&session).unwrap(),
+                Step::Compact => {
+                    engine.compact_runs(&session).unwrap();
+                }
+                Step::Migrate => {
+                    let report = engine.migrate(&session).unwrap();
+                    if report.runs_migrated > 0 {
+                        migrations += 1;
+                    }
+                }
+            }
+            if i == mid_point.min(steps.len() - 1) {
+                mid = Some(engine.stats());
+            }
+        }
+
+        let end = engine.stats();
+        assert_coherent(&end);
+
+        // Histogram counts equal operation counts.
+        prop_assert_eq!(end.ops.ingest.count, ingests);
+        prop_assert_eq!(end.ingested_updates, ingests);
+        prop_assert_eq!(end.ops.get.count, gets);
+        prop_assert_eq!(end.ops.scan_next.count, scanned);
+        prop_assert_eq!(end.ops.migrate.count, migrations);
+        // Every flush materialized a run; runs are only retired by
+        // migration, never created any other way.
+        prop_assert!(end.ops.flush.count >= end.runs.count);
+
+        // Deltas against both baselines are monotone (u64 subtraction
+        // would panic in debug on any regression) and JSON-stable.
+        let mid = mid.unwrap_or(baseline);
+        assert_coherent(&mid);
+        for earlier in [&baseline, &mid] {
+            let d = end.delta(earlier);
+            prop_assert_eq!(
+                d.ingested_updates,
+                end.ingested_updates - earlier.ingested_updates
+            );
+            let back = StatsDelta::from_json(&parse(&d.to_json()).unwrap()).unwrap();
+            prop_assert_eq!(d, back);
+        }
+        // The full snapshot serializes to parseable JSON with the
+        // headline invariant field lifted to the top level.
+        let json = parse(&end.to_json()).unwrap();
+        prop_assert_eq!(json.get_u64("random_writes"), Some(end.ssd.random_writes));
+    }
+}

@@ -45,6 +45,7 @@ pub use sched::{IoSession, IoTicket, SessionHandle};
 pub use sim::SimDevice;
 pub use stats::{
     CacheStats, CacheStatsSnapshot, CompressionReport, IoStats, IoStatsSnapshot, MergeReport,
+    WearStats,
 };
 
 /// Number of bytes in one kibibyte.

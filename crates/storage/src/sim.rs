@@ -161,6 +161,11 @@ impl SimDevice {
         self.state.lock().stats.snapshot()
     }
 
+    /// O(1) erase-block wear summary (see [`crate::WearStats`]).
+    pub fn wear_stats(&self) -> crate::stats::WearStats {
+        self.state.lock().stats.wear_stats()
+    }
+
     /// Reset statistics (busy horizon and data are preserved).
     pub fn reset_stats(&self) {
         self.state.lock().stats = IoStats::default();

@@ -7,26 +7,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Mutable statistics accumulated by a [`crate::sim::SimDevice`].
 #[derive(Debug, Default, Clone)]
 pub struct IoStats {
-    /// Number of read operations.
+    /// Number of read operations (unit: ops).
     pub read_ops: u64,
-    /// Number of write operations.
+    /// Number of write operations (unit: ops).
     pub write_ops: u64,
-    /// Bytes read.
+    /// Bytes read (unit: bytes).
     pub bytes_read: u64,
-    /// Bytes written.
+    /// Bytes written (unit: bytes).
     pub bytes_written: u64,
     /// Read/write operations that continued the previous access
-    /// (no seek / setup penalty).
+    /// (no seek / setup penalty; unit: ops).
     pub sequential_ops: u64,
-    /// Operations that paid the random-access setup cost.
+    /// Operations that paid the random-access setup cost (unit: ops).
     pub random_ops: u64,
     /// Random *write* operations specifically (MaSM design goal 2 is that
-    /// this stays zero for the update-cache SSD).
+    /// this stays zero for the update-cache SSD; unit: ops).
     pub random_writes: u64,
-    /// Total virtual nanoseconds the device was busy.
+    /// Total virtual nanoseconds the device was busy (unit: virtual-ns).
     pub busy_ns: u64,
-    /// Writes per erase block, for wear/endurance estimates.
-    pub wear: HashMap<u64, u64>,
+    /// Writes per erase block, for wear/endurance estimates. Private:
+    /// readers use the O(1) [`IoStats::wear_stats`] summary, maintained
+    /// incrementally below, instead of walking this map on every stats
+    /// read.
+    wear: HashMap<u64, u64>,
+    /// Running Σ of per-block write counts (unit: ops).
+    wear_sum: u64,
+    /// Running Σ of squared per-block write counts (for the coefficient
+    /// of variation, without touching the map at read time).
+    wear_sq_sum: u64,
+    /// Highest write count over any single erase block (unit: ops).
+    wear_max: u64,
 }
 
 impl IoStats {
@@ -51,7 +61,13 @@ impl IoStats {
                 if let Some(first) = offset.checked_div(erase_block) {
                     let last = (offset + len.max(1) - 1) / erase_block;
                     for blk in first..=last {
-                        *self.wear.entry(blk).or_insert(0) += 1;
+                        let w = self.wear.entry(blk).or_insert(0);
+                        *w += 1;
+                        // Keep the O(1) summary in lock step: one block
+                        // going w-1 → w adds 1 to Σw and (2w-1) to Σw².
+                        self.wear_sum += 1;
+                        self.wear_sq_sum += 2 * *w - 1;
+                        self.wear_max = self.wear_max.max(*w);
                     }
                 }
                 if !sequential {
@@ -67,7 +83,9 @@ impl IoStats {
         self.busy_ns += duration;
     }
 
-    /// Immutable snapshot for reporting.
+    /// Immutable snapshot for reporting. O(1): the wear fields come
+    /// from the running summary, not a map walk.
+    #[must_use]
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
             read_ops: self.read_ops,
@@ -78,10 +96,49 @@ impl IoStats {
             random_ops: self.random_ops,
             random_writes: self.random_writes,
             busy_ns: self.busy_ns,
-            max_block_wear: self.wear.values().copied().max().unwrap_or(0),
+            max_block_wear: self.wear_max,
             touched_blocks: self.wear.len() as u64,
         }
     }
+
+    /// O(1) wear/endurance summary, computed from the incrementally
+    /// maintained aggregates — the raw per-block histogram is never
+    /// cloned or iterated on the stats read path.
+    #[must_use]
+    pub fn wear_stats(&self) -> WearStats {
+        let n = self.wear.len() as u64;
+        if n == 0 {
+            return WearStats::default();
+        }
+        let mean = self.wear_sum as f64 / n as f64;
+        // Var = E[w²] − E[w]²; guard tiny negatives from f64 rounding.
+        let var = (self.wear_sq_sum as f64 / n as f64 - mean * mean).max(0.0);
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        WearStats {
+            max_writes_per_block: self.wear_max,
+            mean_writes_per_block: mean,
+            blocks_touched: n,
+            cv,
+        }
+    }
+}
+
+/// O(1) summary of SSD erase-block wear, derived from running
+/// aggregates in [`IoStats`] (never from cloning the raw per-block
+/// map). A low [`WearStats::cv`] means writes are spread evenly —
+/// MaSM's sequential materialize/migrate pattern should keep it near
+/// zero, while in-place update schemes hammer hot blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WearStats {
+    /// Highest write count over any single erase block (unit: ops).
+    pub max_writes_per_block: u64,
+    /// Mean write count over the touched blocks (unit: ops).
+    pub mean_writes_per_block: f64,
+    /// Distinct erase blocks ever written (unit: ops).
+    pub blocks_touched: u64,
+    /// Coefficient of variation (σ/µ) of per-block write counts;
+    /// dimensionless, 0 = perfectly even wear.
+    pub cv: f64,
 }
 
 /// Copyable summary of [`IoStats`].
@@ -110,12 +167,14 @@ pub struct IoStatsSnapshot {
 }
 
 impl IoStatsSnapshot {
-    /// Total operations of both kinds.
+    /// Total operations of both kinds (unit: ops).
+    #[must_use]
     pub fn total_ops(&self) -> u64 {
         self.read_ops + self.write_ops
     }
 
     /// Average write amplification relative to `logical_bytes` of intent.
+    #[must_use]
     pub fn write_amplification(&self, logical_bytes: u64) -> f64 {
         if logical_bytes == 0 {
             return 0.0;
@@ -123,7 +182,9 @@ impl IoStatsSnapshot {
         self.bytes_written as f64 / logical_bytes as f64
     }
 
-    /// Difference between two snapshots (self - earlier).
+    /// Difference between two snapshots (self - earlier). The wear
+    /// fields are carried from `self` — they are levels, not counters.
+    #[must_use]
     pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
             read_ops: self.read_ops - earlier.read_ops,
@@ -304,16 +365,25 @@ pub struct CacheStatsSnapshot {
 impl CacheStatsSnapshot {
     /// Fraction of lookups served without a device read — from either
     /// tier (0 when idle).
+    #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.tier2_hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             return 0.0;
         }
-        (self.hits + self.tier2_hits) as f64 / total as f64
+        self.no_device_hits() as f64 / total as f64
+    }
+
+    /// Total lookups against the cache, however they were served:
+    /// tier-1 hits + tier-2 hits + misses (unit: ops).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.tier2_hits + self.misses
     }
 
     /// Blocks served without touching the device: tier-1 hits plus
-    /// tier-2 (decode-only) hits.
+    /// tier-2 (decode-only) hits (unit: ops).
+    #[must_use]
     pub fn no_device_hits(&self) -> u64 {
         self.hits + self.tier2_hits
     }
@@ -321,6 +391,7 @@ impl CacheStatsSnapshot {
     /// Difference between two snapshots (self - earlier). The resident
     /// byte gauges are carried over from `self` — they are levels, not
     /// counters.
+    #[must_use]
     pub fn delta(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
             hits: self.hits - earlier.hits,
@@ -397,6 +468,7 @@ impl CompressionReport {
 
     /// Stored/raw byte ratio (1.0 = no compression, smaller is better;
     /// 1.0 when nothing was accounted).
+    #[must_use]
     pub fn ratio(&self) -> f64 {
         if self.raw_bytes == 0 {
             return 1.0;
@@ -406,8 +478,27 @@ impl CompressionReport {
 
     /// Fraction of raw bytes the codecs saved (`1 − ratio`, floored at
     /// zero for pathological growth).
+    #[must_use]
     pub fn savings(&self) -> f64 {
         (1.0 - self.ratio()).max(0.0)
+    }
+
+    /// Difference between two cumulative reports (self - earlier): what
+    /// was compressed in the interval.
+    #[must_use]
+    pub fn delta(&self, earlier: &CompressionReport) -> CompressionReport {
+        CompressionReport {
+            runs: self.runs - earlier.runs,
+            blocks: self.blocks - earlier.blocks,
+            raw_bytes: self.raw_bytes - earlier.raw_bytes,
+            stored_bytes: self.stored_bytes - earlier.stored_bytes,
+            blocks_identity: self.blocks_identity - earlier.blocks_identity,
+            blocks_delta: self.blocks_delta - earlier.blocks_delta,
+            blocks_lz: self.blocks_lz - earlier.blocks_lz,
+            codec_trials: self.codec_trials - earlier.codec_trials,
+            codec_trials_saved: self.codec_trials_saved - earlier.codec_trials_saved,
+            lz_probes_skipped: self.lz_probes_skipped - earlier.lz_probes_skipped,
+        }
     }
 }
 
@@ -453,12 +544,29 @@ impl MergeReport {
 
     /// Fraction of processed bytes that avoided decoding (1.0 = pure
     /// move, 0.0 = full decode; 0.0 when nothing was processed).
+    #[must_use]
     pub fn move_ratio(&self) -> f64 {
         let total = self.bytes_moved + self.bytes_decoded;
         if total == 0 {
             return 0.0;
         }
         self.bytes_moved as f64 / total as f64
+    }
+
+    /// Difference between two cumulative reports (self - earlier): the
+    /// merge work done in the interval. `fan_in` is carried from `self`
+    /// — it is a high-water mark, not a counter.
+    #[must_use]
+    pub fn delta(&self, earlier: &MergeReport) -> MergeReport {
+        MergeReport {
+            inputs: self.inputs - earlier.inputs,
+            fan_in: self.fan_in,
+            blocks_moved: self.blocks_moved - earlier.blocks_moved,
+            blocks_merged: self.blocks_merged - earlier.blocks_merged,
+            bytes_moved: self.bytes_moved - earlier.bytes_moved,
+            bytes_decoded: self.bytes_decoded - earlier.bytes_decoded,
+            entries_out: self.entries_out - earlier.entries_out,
+        }
     }
 }
 
@@ -496,6 +604,40 @@ mod tests {
         // block 1 only by the spanning op.
         assert_eq!(snap.touched_blocks, 2);
         assert_eq!(snap.max_block_wear, 3);
+    }
+
+    #[test]
+    fn wear_stats_match_raw_histogram() {
+        let mut s = IoStats::default();
+        assert_eq!(s.wear_stats(), WearStats::default(), "idle is all-zero");
+        let blk = 4096;
+        // Counts per block: {0: 3, 1: 1} → mean 2, σ 1, cv 0.5.
+        for _ in 0..3 {
+            s.record(AccessKind::Write, 100, true, 1, 0, blk);
+        }
+        s.record(AccessKind::Write, 100, true, 1, blk, blk);
+        let w = s.wear_stats();
+        assert_eq!(w.max_writes_per_block, 3);
+        assert_eq!(w.blocks_touched, 2);
+        assert!((w.mean_writes_per_block - 2.0).abs() < 1e-9);
+        assert!((w.cv - 0.5).abs() < 1e-9);
+        // The snapshot's wear fields come from the same aggregates.
+        let snap = s.snapshot();
+        assert_eq!(snap.max_block_wear, 3);
+        assert_eq!(snap.touched_blocks, 2);
+    }
+
+    #[test]
+    fn even_wear_has_zero_cv() {
+        let mut s = IoStats::default();
+        let blk = 4096;
+        for i in 0..8u64 {
+            s.record(AccessKind::Write, 100, true, 1, i * blk, blk);
+        }
+        let w = s.wear_stats();
+        assert_eq!(w.max_writes_per_block, 1);
+        assert_eq!(w.blocks_touched, 8);
+        assert!(w.cv.abs() < 1e-9, "perfectly even wear");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # masm-telemetry — unified observability for the MaSM engine
+//!
+//! The MaSM paper's headline claims are *quantitative invariants* —
+//! zero random SSD writes, bounded migration cost, scan slowdown within
+//! a few percent — so the reproduction's benches, tests, and (future)
+//! ops dashboards all need the same numbers. This crate provides them
+//! in three layers:
+//!
+//! 1. **Metrics core** ([`metrics`], [`registry`], [`timer`]) — lock-free
+//!    atomic [`Counter`]s and [`Gauge`]s, log₂-bucketed latency
+//!    [`Histogram`]s with p50/p95/p99/max readout and a **fixed bucket
+//!    array** (no allocation on the record path), a [`Registry`] that
+//!    namespaces metric families, and a [`Timer`] guard that records
+//!    elapsed virtual nanoseconds into a histogram on drop. This layer
+//!    has no dependencies and is usable by any crate in the workspace.
+//! 2. **Unified snapshots** ([`stats`]) — [`EngineStats`], the one
+//!    struct that composes cache, merge, compression, device I/O,
+//!    SSD-wear summary, buffer occupancy, and per-operation latency
+//!    histograms; [`StatsDelta`] (`now − prev`) makes rates
+//!    first-class.
+//! 3. **Time-series export** ([`timeseries`]) — [`TimeSeriesWriter`]
+//!    polls snapshots on a virtual-clock interval and appends NDJSON
+//!    rows (one JSON object per line), so sustained-load benches emit a
+//!    time series instead of a single summary row; [`NdjsonWriter`] is
+//!    the row-level building block for non-engine producers.
+//!
+//! JSON is hand-rolled ([`json`]) because the workspace is offline (no
+//! serde); the tiny writer/parser pair is enough for NDJSON rows and
+//! for round-trip tests.
+//!
+//! ## Units
+//!
+//! Every metric states its unit in its rustdoc. The conventions:
+//! **ops** (a count of operations or events), **bytes**, and
+//! **virtual-ns** (nanoseconds of simulated time on the shared
+//! [`masm_storage::SimClock`]; wall-clock when a driver runs against
+//! real hardware).
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod stats;
+pub mod timer;
+pub mod timeseries;
+
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, HISTOGRAM_BUCKETS};
+pub use registry::{Metric, Registry};
+pub use stats::{
+    BufferStats, EngineStats, OpCountDelta, OpCountDeltas, OpLatencies, RunSetStats, StatsDelta,
+};
+pub use timer::Timer;
+pub use timeseries::{NdjsonWriter, TimeSeriesWriter};

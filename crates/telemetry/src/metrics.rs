@@ -1,0 +1,361 @@
+//! Atomic metric primitives: counters, gauges, and log₂-bucketed
+//! histograms with a fixed bucket array (no allocation on the record
+//! path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The unit a metric is reported in. Stated explicitly so exported
+/// numbers are never ambiguous (see the crate-level Units section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// A count of operations or events.
+    Ops,
+    /// Bytes.
+    Bytes,
+    /// Virtual nanoseconds on the shared simulated clock (wall-clock
+    /// nanoseconds when driven against real hardware).
+    VirtualNs,
+}
+
+impl Unit {
+    /// Stable lowercase label used in exported metric catalogs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Unit::Ops => "ops",
+            Unit::Bytes => "bytes",
+            Unit::VirtualNs => "virtual-ns",
+        }
+    }
+}
+
+/// A monotonically increasing event count (unit: whatever its
+/// [`Registry`](crate::Registry) entry declares, typically ops or
+/// bytes). Lock-free; `&self` everywhere.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can move both ways (resident bytes, open scans, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in every [`Histogram`]: bucket 0 holds exact
+/// zeros, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last
+/// bucket absorbs everything from `2^62` up. The array is a fixed-size
+/// field of the histogram — recording never allocates.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (for the engine: latency
+/// in virtual-ns). Recording is three relaxed atomic RMWs plus one
+/// `fetch_max` into a **fixed** `[AtomicU64; 64]` bucket array — a
+/// bounded constant with no allocation, cheap enough for per-record hot
+/// paths like scan-next.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Map a sample to its bucket: 0 → 0, otherwise `⌊log₂ v⌋ + 1`, capped
+/// at the last bucket.
+#[must_use]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (used for percentile readout).
+#[must_use]
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A histogram with all buckets at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Constant-time, allocation-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far (unit: ops).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copyable snapshot for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Copyable summary of a [`Histogram`]. Sample unit is whatever the
+/// histogram recorded (virtual-ns for the engine's latency families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (unit: ops); see [`HISTOGRAM_BUCKETS`]
+    /// for the bucket boundaries.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples (unit: ops).
+    pub count: u64,
+    /// Sum of all samples (sample unit, e.g. virtual-ns). Wraps mod
+    /// 2⁶⁴ if the stream exceeds `u64::MAX` in aggregate.
+    pub sum: u64,
+    /// Largest sample observed (sample unit).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty; sample unit).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`: the inclusive upper bound of the
+    /// first bucket whose cumulative count reaches `q × count`, clamped
+    /// to the observed [`HistogramSnapshot::max`] so the top bucket
+    /// never reports an absurd bound. 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (sample unit).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (sample unit).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (sample unit).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Difference between two snapshots (`self − earlier`): bucket and
+    /// counter fields subtract (the sum wraps, matching its recording
+    /// semantics); `max` is carried from `self` (it is a high-water
+    /// mark, not a counter).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] - earlier.buckets[i]),
+            count: self.count - earlier.count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge saturates at zero");
+    }
+
+    #[test]
+    fn bucket_mapping_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for shift in 0..64 {
+            assert!(bucket_index(1u64 << shift) < HISTOGRAM_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn record_path_is_a_fixed_array_no_allocation() {
+        // The whole histogram is one inline struct: a fixed bucket
+        // array plus three scalars. If someone swaps the array for a
+        // Vec/HashMap (allocating on record), this size pin fails.
+        assert_eq!(
+            std::mem::size_of::<Histogram>(),
+            (HISTOGRAM_BUCKETS + 3) * std::mem::size_of::<u64>()
+        );
+        // Extreme values stay in-bounds rather than growing anything.
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_stats_and_percentiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1110);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 185.0).abs() < 1e-9);
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.max);
+        assert_eq!(s.quantile(1.0), 1000, "top quantile clamps to max");
+        assert_eq!(HistogramSnapshot::default().p99(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counts_keeps_max() {
+        let h = Histogram::new();
+        h.record(10);
+        let a = h.snapshot();
+        h.record(20);
+        h.record(5);
+        let b = h.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 25);
+        assert_eq!(d.max, 20);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 2);
+    }
+}

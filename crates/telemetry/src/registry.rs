@@ -1,0 +1,177 @@
+//! A registry that namespaces metric families.
+//!
+//! Components register their metrics under `family.name` keys (for the
+//! engine: `op.ingest`, `cache.hits`, …) and hold the returned `Arc` for
+//! the hot path; the registry itself is only walked at export time, so
+//! registration cost never shows up in per-operation latency.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, Unit};
+
+/// One registered metric, tagged with its kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(Arc<Counter>),
+    /// A level.
+    Gauge(Arc<Gauge>),
+    /// A latency (or size) distribution.
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    metric: Metric,
+    unit: Unit,
+    help: &'static str,
+}
+
+/// Namespaced metric families. Keys are `family.name`; re-registering
+/// an existing key returns the existing metric (so two components can
+/// share a family without coordination).
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        family: &str,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        unit: Unit,
+        help: &'static str,
+    ) -> Metric {
+        let key = format!("{family}.{name}");
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        entries
+            .entry(key)
+            .or_insert_with(|| Entry {
+                metric: make(),
+                unit,
+                help,
+            })
+            .metric
+            .clone()
+    }
+
+    /// Register (or fetch) a counter. `unit` states what it counts.
+    pub fn counter(
+        &self,
+        family: &str,
+        name: &str,
+        unit: Unit,
+        help: &'static str,
+    ) -> Arc<Counter> {
+        match self.register(
+            family,
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            unit,
+            help,
+        ) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {family}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, family: &str, name: &str, unit: Unit, help: &'static str) -> Arc<Gauge> {
+        match self.register(
+            family,
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            unit,
+            help,
+        ) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {family}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or fetch) a histogram. `unit` is the sample unit
+    /// (virtual-ns for latency families).
+    pub fn histogram(
+        &self,
+        family: &str,
+        name: &str,
+        unit: Unit,
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        match self.register(
+            family,
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            unit,
+            help,
+        ) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {family}.{name} already registered with a different kind"),
+        }
+    }
+
+    /// Walk every registered metric in key order:
+    /// `(full_name, metric, unit, help)`.
+    pub fn for_each(&self, mut f: impl FnMut(&str, &Metric, Unit, &'static str)) {
+        let entries = self.entries.lock().expect("registry poisoned");
+        for (key, e) in entries.iter() {
+            f(key, &e.metric, e.unit, e.help);
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_namespaces_and_shares() {
+        let r = Registry::new();
+        let c1 = r.counter("cache", "hits", Unit::Ops, "tier-1 hits");
+        let c2 = r.counter("cache", "hits", Unit::Ops, "tier-1 hits");
+        c1.incr();
+        assert_eq!(c2.get(), 1, "same key shares the metric");
+        r.gauge("cache", "bytes", Unit::Bytes, "resident bytes");
+        r.histogram("op", "ingest", Unit::VirtualNs, "ingest latency");
+        assert_eq!(r.len(), 3);
+        let mut keys = Vec::new();
+        r.for_each(|k, _, unit, _| keys.push((k.to_string(), unit.label())));
+        assert_eq!(
+            keys,
+            vec![
+                ("cache.bytes".to_string(), "bytes"),
+                ("cache.hits".to_string(), "ops"),
+                ("op.ingest".to_string(), "virtual-ns"),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("a", "b", Unit::Ops, "");
+        r.gauge("a", "b", Unit::Ops, "");
+    }
+}

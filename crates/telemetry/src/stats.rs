@@ -1,0 +1,645 @@
+//! [`EngineStats`] — the unified engine snapshot — and [`StatsDelta`],
+//! the monotonic difference between two snapshots.
+//!
+//! One `MasmEngine::stats()` call returns everything the paper's
+//! quantitative invariants need, composed from the per-subsystem
+//! reports that previously lived in four disconnected structs: cache
+//! ([`CacheStatsSnapshot`]), merge ([`MergeReport`]), compression
+//! ([`CompressionReport`]), device I/O + wear ([`IoStatsSnapshot`],
+//! [`WearStats`]), buffer occupancy, and per-operation latency
+//! histograms. `StatsDelta = now − prev` makes rates first-class:
+//! benches poll snapshots and report updates/s or bytes/s without
+//! re-plumbing counters by hand.
+
+use masm_storage::{
+    CacheStatsSnapshot, CompressionReport, IoStatsSnapshot, MergeReport, WearStats,
+};
+
+use crate::json::{JsonObj, JsonValue};
+use crate::metrics::HistogramSnapshot;
+
+/// Occupancy of the in-memory update buffer at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Buffered update records (unit: ops).
+    pub updates: u64,
+    /// Encoded bytes of the buffered updates (unit: bytes).
+    pub bytes: u64,
+    /// Current buffer capacity, including stolen query pages
+    /// (unit: bytes).
+    pub capacity_bytes: u64,
+}
+
+/// The materialized-run set at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSetStats {
+    /// Live materialized runs (unit: ops).
+    pub count: u64,
+    /// SSD bytes occupied by live runs (unit: bytes).
+    pub cached_bytes: u64,
+    /// Configured SSD update-cache capacity (unit: bytes).
+    pub ssd_capacity_bytes: u64,
+}
+
+/// Latency histograms for every public engine operation, recorded at
+/// the hot paths by [`crate::Timer`] guards. All samples are
+/// **virtual-ns**.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpLatencies {
+    /// One `apply_update` call (includes any flush it triggered).
+    pub ingest: HistogramSnapshot,
+    /// One point lookup (`get`).
+    pub get: HistogramSnapshot,
+    /// One record yielded by a merged range scan (`MergeScan::next`).
+    pub scan_next: HistogramSnapshot,
+    /// One buffer flush that materialized a run.
+    pub flush: HistogramSnapshot,
+    /// One full or partial migration.
+    pub migrate: HistogramSnapshot,
+    /// One block obtained by a run scan (cache hit ≈ 0, miss = device
+    /// wait), recorded inside `masm-blockrun`.
+    pub block_fetch: HistogramSnapshot,
+}
+
+impl OpLatencies {
+    /// Visit each histogram with its stable family name.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, &HistogramSnapshot)) {
+        f("ingest", &self.ingest);
+        f("get", &self.get);
+        f("scan_next", &self.scan_next);
+        f("flush", &self.flush);
+        f("migrate", &self.migrate);
+        f("block_fetch", &self.block_fetch);
+    }
+}
+
+/// The unified engine snapshot. All counter fields are cumulative since
+/// engine construction; gauges (buffer, runs, cache byte levels) are
+/// levels at `at_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Virtual time of the snapshot (unit: virtual-ns).
+    pub at_ns: u64,
+    /// Updates ingested since construction (unit: ops).
+    pub ingested_updates: u64,
+    /// Logical bytes of ingested updates (unit: bytes).
+    pub ingested_bytes: u64,
+    /// In-memory update-buffer occupancy.
+    pub buffer: BufferStats,
+    /// Materialized-run set occupancy.
+    pub runs: RunSetStats,
+    /// Block-cache counters and byte gauges.
+    pub cache: CacheStatsSnapshot,
+    /// Cumulative planned-merge totals.
+    pub merge: MergeReport,
+    /// Cumulative codec accounting.
+    pub compression: CompressionReport,
+    /// Update-cache SSD device I/O.
+    pub ssd: IoStatsSnapshot,
+    /// SSD erase-block wear summary (no raw histogram cloning).
+    pub ssd_wear: WearStats,
+    /// WAL device I/O.
+    pub wal: IoStatsSnapshot,
+    /// Per-operation latency histograms (virtual-ns).
+    pub ops: OpLatencies,
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut o = JsonObj::new();
+    o.u64("count", h.count)
+        .u64("sum", h.sum)
+        .u64("max", h.max)
+        .u64("p50", h.p50())
+        .u64("p95", h.p95())
+        .u64("p99", h.p99())
+        .f64("mean", h.mean());
+    o.finish()
+}
+
+fn io_json(s: &IoStatsSnapshot) -> String {
+    let mut o = JsonObj::new();
+    o.u64("read_ops", s.read_ops)
+        .u64("write_ops", s.write_ops)
+        .u64("bytes_read", s.bytes_read)
+        .u64("bytes_written", s.bytes_written)
+        .u64("sequential_ops", s.sequential_ops)
+        .u64("random_ops", s.random_ops)
+        .u64("random_writes", s.random_writes)
+        .u64("busy_ns", s.busy_ns)
+        .u64("max_block_wear", s.max_block_wear)
+        .u64("touched_blocks", s.touched_blocks);
+    o.finish()
+}
+
+fn io_from_json(v: &JsonValue) -> Option<IoStatsSnapshot> {
+    Some(IoStatsSnapshot {
+        read_ops: v.get_u64("read_ops")?,
+        write_ops: v.get_u64("write_ops")?,
+        bytes_read: v.get_u64("bytes_read")?,
+        bytes_written: v.get_u64("bytes_written")?,
+        sequential_ops: v.get_u64("sequential_ops")?,
+        random_ops: v.get_u64("random_ops")?,
+        random_writes: v.get_u64("random_writes")?,
+        busy_ns: v.get_u64("busy_ns")?,
+        max_block_wear: v.get_u64("max_block_wear")?,
+        touched_blocks: v.get_u64("touched_blocks")?,
+    })
+}
+
+fn cache_json(c: &CacheStatsSnapshot) -> String {
+    let mut o = JsonObj::new();
+    o.u64("hits", c.hits)
+        .u64("misses", c.misses)
+        .u64("insertions", c.insertions)
+        .u64("evictions", c.evictions)
+        .u64("promotions", c.promotions)
+        .u64("demotions", c.demotions)
+        .u64("rejected", c.rejected)
+        .u64("tier2_hits", c.tier2_hits)
+        .u64("tier2_insertions", c.tier2_insertions)
+        .u64("tier2_evictions", c.tier2_evictions)
+        .u64("data_bytes", c.data_bytes)
+        .u64("probation_bytes", c.probation_bytes)
+        .u64("protected_bytes", c.protected_bytes)
+        .u64("meta_bytes", c.meta_bytes)
+        .u64("disk_bytes", c.disk_bytes)
+        .u64("tier2_bytes", c.tier2_bytes)
+        .f64("hit_rate", c.hit_rate());
+    o.finish()
+}
+
+fn cache_from_json(v: &JsonValue) -> Option<CacheStatsSnapshot> {
+    Some(CacheStatsSnapshot {
+        hits: v.get_u64("hits")?,
+        misses: v.get_u64("misses")?,
+        insertions: v.get_u64("insertions")?,
+        evictions: v.get_u64("evictions")?,
+        promotions: v.get_u64("promotions")?,
+        demotions: v.get_u64("demotions")?,
+        rejected: v.get_u64("rejected")?,
+        tier2_hits: v.get_u64("tier2_hits")?,
+        tier2_insertions: v.get_u64("tier2_insertions")?,
+        tier2_evictions: v.get_u64("tier2_evictions")?,
+        data_bytes: v.get_u64("data_bytes")?,
+        probation_bytes: v.get_u64("probation_bytes")?,
+        protected_bytes: v.get_u64("protected_bytes")?,
+        meta_bytes: v.get_u64("meta_bytes")?,
+        disk_bytes: v.get_u64("disk_bytes")?,
+        tier2_bytes: v.get_u64("tier2_bytes")?,
+    })
+}
+
+fn merge_json(m: &MergeReport) -> String {
+    let mut o = JsonObj::new();
+    o.u64("inputs", m.inputs as u64)
+        .u64("fan_in", m.fan_in as u64)
+        .u64("blocks_moved", m.blocks_moved)
+        .u64("blocks_merged", m.blocks_merged)
+        .u64("bytes_moved", m.bytes_moved)
+        .u64("bytes_decoded", m.bytes_decoded)
+        .u64("entries_out", m.entries_out);
+    o.finish()
+}
+
+fn merge_from_json(v: &JsonValue) -> Option<MergeReport> {
+    Some(MergeReport {
+        inputs: v.get_u64("inputs")? as usize,
+        fan_in: v.get_u64("fan_in")? as usize,
+        blocks_moved: v.get_u64("blocks_moved")?,
+        blocks_merged: v.get_u64("blocks_merged")?,
+        bytes_moved: v.get_u64("bytes_moved")?,
+        bytes_decoded: v.get_u64("bytes_decoded")?,
+        entries_out: v.get_u64("entries_out")?,
+    })
+}
+
+fn compression_json(c: &CompressionReport) -> String {
+    let mut o = JsonObj::new();
+    o.u64("runs", c.runs)
+        .u64("blocks", c.blocks)
+        .u64("raw_bytes", c.raw_bytes)
+        .u64("stored_bytes", c.stored_bytes)
+        .u64("blocks_identity", c.blocks_identity)
+        .u64("blocks_delta", c.blocks_delta)
+        .u64("blocks_lz", c.blocks_lz)
+        .u64("codec_trials", c.codec_trials)
+        .u64("codec_trials_saved", c.codec_trials_saved)
+        .u64("lz_probes_skipped", c.lz_probes_skipped)
+        .f64("ratio", c.ratio());
+    o.finish()
+}
+
+fn compression_from_json(v: &JsonValue) -> Option<CompressionReport> {
+    Some(CompressionReport {
+        runs: v.get_u64("runs")?,
+        blocks: v.get_u64("blocks")?,
+        raw_bytes: v.get_u64("raw_bytes")?,
+        stored_bytes: v.get_u64("stored_bytes")?,
+        blocks_identity: v.get_u64("blocks_identity")?,
+        blocks_delta: v.get_u64("blocks_delta")?,
+        blocks_lz: v.get_u64("blocks_lz")?,
+        codec_trials: v.get_u64("codec_trials")?,
+        codec_trials_saved: v.get_u64("codec_trials_saved")?,
+        lz_probes_skipped: v.get_u64("lz_probes_skipped")?,
+    })
+}
+
+fn wear_json(w: &WearStats) -> String {
+    let mut o = JsonObj::new();
+    o.u64("max_writes_per_block", w.max_writes_per_block)
+        .f64("mean_writes_per_block", w.mean_writes_per_block)
+        .u64("blocks_touched", w.blocks_touched)
+        .f64("cv", w.cv);
+    o.finish()
+}
+
+impl EngineStats {
+    /// One compact JSON object with every family nested under a stable
+    /// key: `ingested`, `buffer`, `runs`, `cache`, `merge`,
+    /// `compression`, `ssd`, `ssd_wear`, `wal`, and `ops` (six latency
+    /// histograms). `random_writes` is additionally lifted to the top
+    /// level so the paper's zero-random-write invariant is greppable in
+    /// every NDJSON row.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut ops = JsonObj::new();
+        self.ops.for_each(|name, h| {
+            ops.raw(name, &hist_json(h));
+        });
+        let mut ingested = JsonObj::new();
+        ingested
+            .u64("updates", self.ingested_updates)
+            .u64("bytes", self.ingested_bytes);
+        let mut buffer = JsonObj::new();
+        buffer
+            .u64("updates", self.buffer.updates)
+            .u64("bytes", self.buffer.bytes)
+            .u64("capacity_bytes", self.buffer.capacity_bytes);
+        let mut runs = JsonObj::new();
+        runs.u64("count", self.runs.count)
+            .u64("cached_bytes", self.runs.cached_bytes)
+            .u64("ssd_capacity_bytes", self.runs.ssd_capacity_bytes);
+        let mut o = JsonObj::new();
+        o.u64("at_ns", self.at_ns)
+            .u64("random_writes", self.ssd.random_writes)
+            .raw("ingested", &ingested.finish())
+            .raw("buffer", &buffer.finish())
+            .raw("runs", &runs.finish())
+            .raw("cache", &cache_json(&self.cache))
+            .raw("merge", &merge_json(&self.merge))
+            .raw("compression", &compression_json(&self.compression))
+            .raw("ssd", &io_json(&self.ssd))
+            .raw("ssd_wear", &wear_json(&self.ssd_wear))
+            .raw("wal", &io_json(&self.wal))
+            .raw("ops", &ops.finish());
+        o.finish()
+    }
+
+    /// Monotonic difference `self − earlier`. Counter families
+    /// subtract; byte gauges (buffer, runs, cache levels) are *not*
+    /// carried into the delta — read them off the newer snapshot.
+    ///
+    /// Panics (in debug builds) if `earlier` is actually newer: every
+    /// cumulative counter must be monotone non-decreasing between two
+    /// snapshots of the same engine.
+    #[must_use]
+    pub fn delta(&self, earlier: &EngineStats) -> StatsDelta {
+        StatsDelta {
+            elapsed_ns: self.at_ns - earlier.at_ns,
+            ingested_updates: self.ingested_updates - earlier.ingested_updates,
+            ingested_bytes: self.ingested_bytes - earlier.ingested_bytes,
+            cache: self.cache.delta(&earlier.cache),
+            merge: self.merge.delta(&earlier.merge),
+            compression: self.compression.delta(&earlier.compression),
+            ssd: self.ssd.delta(&earlier.ssd),
+            wal: self.wal.delta(&earlier.wal),
+            ops: OpCountDeltas {
+                ingest: OpCountDelta::between(&earlier.ops.ingest, &self.ops.ingest),
+                get: OpCountDelta::between(&earlier.ops.get, &self.ops.get),
+                scan_next: OpCountDelta::between(&earlier.ops.scan_next, &self.ops.scan_next),
+                flush: OpCountDelta::between(&earlier.ops.flush, &self.ops.flush),
+                migrate: OpCountDelta::between(&earlier.ops.migrate, &self.ops.migrate),
+                block_fetch: OpCountDelta::between(&earlier.ops.block_fetch, &self.ops.block_fetch),
+            },
+        }
+    }
+
+    /// Internal-consistency checks shared by tests and benches. Returns
+    /// human-readable violations; empty means the snapshot is coherent.
+    #[must_use]
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.cache.data_bytes != self.cache.probation_bytes + self.cache.protected_bytes {
+            v.push(format!(
+                "cache.data_bytes {} != probation {} + protected {}",
+                self.cache.data_bytes, self.cache.probation_bytes, self.cache.protected_bytes
+            ));
+        }
+        self.ops.for_each(|name, h| {
+            if h.buckets.iter().sum::<u64>() != h.count {
+                v.push(format!("ops.{name}: bucket sum != count {}", h.count));
+            }
+            if h.count > 0 && h.p50() > h.max {
+                v.push(format!("ops.{name}: p50 {} > max {}", h.p50(), h.max));
+            }
+        });
+        if self.buffer.bytes > 0 && self.buffer.updates == 0 {
+            v.push("buffer.bytes > 0 with zero buffered updates".into());
+        }
+        v
+    }
+}
+
+/// Count/sum delta of one latency family between two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCountDelta {
+    /// Operations in the interval (unit: ops).
+    pub count: u64,
+    /// Total latency in the interval (unit: virtual-ns).
+    pub sum_ns: u64,
+}
+
+impl OpCountDelta {
+    fn between(earlier: &HistogramSnapshot, now: &HistogramSnapshot) -> Self {
+        OpCountDelta {
+            count: now.count - earlier.count,
+            sum_ns: now.sum - earlier.sum,
+        }
+    }
+
+    fn to_json(self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("count", self.count).u64("sum_ns", self.sum_ns);
+        o.finish()
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(OpCountDelta {
+            count: v.get_u64("count")?,
+            sum_ns: v.get_u64("sum_ns")?,
+        })
+    }
+}
+
+/// Per-operation count/sum deltas (fields mirror [`OpLatencies`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCountDeltas {
+    /// `apply_update` calls.
+    pub ingest: OpCountDelta,
+    /// Point lookups.
+    pub get: OpCountDelta,
+    /// Scan records yielded.
+    pub scan_next: OpCountDelta,
+    /// Buffer flushes.
+    pub flush: OpCountDelta,
+    /// Migrations.
+    pub migrate: OpCountDelta,
+    /// Run-scan block fetches.
+    pub block_fetch: OpCountDelta,
+}
+
+/// The monotonic difference between two [`EngineStats`] snapshots of
+/// one engine: every field is "what happened in the interval", so rates
+/// (e.g. [`StatsDelta::updates_per_sec`]) are first-class. Serializes
+/// to one JSON object and parses back exactly
+/// ([`StatsDelta::from_json`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Interval length (unit: virtual-ns).
+    pub elapsed_ns: u64,
+    /// Updates ingested in the interval (unit: ops).
+    pub ingested_updates: u64,
+    /// Logical update bytes ingested (unit: bytes).
+    pub ingested_bytes: u64,
+    /// Cache counter deltas (byte gauges carried from the newer
+    /// snapshot, as documented on [`CacheStatsSnapshot::delta`]).
+    pub cache: CacheStatsSnapshot,
+    /// Merge-counter deltas (`fan_in` carried, it is a high-water mark).
+    pub merge: MergeReport,
+    /// Compression-counter deltas.
+    pub compression: CompressionReport,
+    /// SSD I/O deltas (wear fields carried, they are levels).
+    pub ssd: IoStatsSnapshot,
+    /// WAL I/O deltas.
+    pub wal: IoStatsSnapshot,
+    /// Per-operation count/latency-sum deltas.
+    pub ops: OpCountDeltas,
+}
+
+impl StatsDelta {
+    /// Update ingest rate over the interval (unit: ops per *virtual*
+    /// second; 0 when the interval is empty).
+    #[must_use]
+    pub fn updates_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ingested_updates as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// SSD write bandwidth over the interval (unit: bytes per virtual
+    /// second).
+    #[must_use]
+    pub fn ssd_write_bytes_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ssd.bytes_written as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// One compact JSON object; [`StatsDelta::from_json`] inverts it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut ops = JsonObj::new();
+        ops.raw("ingest", &self.ops.ingest.to_json())
+            .raw("get", &self.ops.get.to_json())
+            .raw("scan_next", &self.ops.scan_next.to_json())
+            .raw("flush", &self.ops.flush.to_json())
+            .raw("migrate", &self.ops.migrate.to_json())
+            .raw("block_fetch", &self.ops.block_fetch.to_json());
+        let mut o = JsonObj::new();
+        o.u64("elapsed_ns", self.elapsed_ns)
+            .u64("ingested_updates", self.ingested_updates)
+            .u64("ingested_bytes", self.ingested_bytes)
+            .f64("updates_per_sec", self.updates_per_sec())
+            .raw("cache", &cache_json(&self.cache))
+            .raw("merge", &merge_json(&self.merge))
+            .raw("compression", &compression_json(&self.compression))
+            .raw("ssd", &io_json(&self.ssd))
+            .raw("wal", &io_json(&self.wal))
+            .raw("ops", &ops.finish());
+        o.finish()
+    }
+
+    /// Parse a value produced by [`StatsDelta::to_json`]. Returns
+    /// `None` on any missing or mistyped field.
+    #[must_use]
+    pub fn from_json(v: &JsonValue) -> Option<StatsDelta> {
+        let ops = v.get("ops")?;
+        Some(StatsDelta {
+            elapsed_ns: v.get_u64("elapsed_ns")?,
+            ingested_updates: v.get_u64("ingested_updates")?,
+            ingested_bytes: v.get_u64("ingested_bytes")?,
+            cache: cache_from_json(v.get("cache")?)?,
+            merge: merge_from_json(v.get("merge")?)?,
+            compression: compression_from_json(v.get("compression")?)?,
+            ssd: io_from_json(v.get("ssd")?)?,
+            wal: io_from_json(v.get("wal")?)?,
+            ops: OpCountDeltas {
+                ingest: OpCountDelta::from_json(ops.get("ingest")?)?,
+                get: OpCountDelta::from_json(ops.get("get")?)?,
+                scan_next: OpCountDelta::from_json(ops.get("scan_next")?)?,
+                flush: OpCountDelta::from_json(ops.get("flush")?)?,
+                migrate: OpCountDelta::from_json(ops.get("migrate")?)?,
+                block_fetch: OpCountDelta::from_json(ops.get("block_fetch")?)?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::Histogram;
+
+    fn sample_stats(scale: u64) -> EngineStats {
+        let h = Histogram::new();
+        for i in 0..scale {
+            h.record(i * 100);
+        }
+        let hist = h.snapshot();
+        EngineStats {
+            at_ns: 1_000_000 * scale,
+            ingested_updates: 10 * scale,
+            ingested_bytes: 1000 * scale,
+            buffer: BufferStats {
+                updates: 3,
+                bytes: 300,
+                capacity_bytes: 4096,
+            },
+            runs: RunSetStats {
+                count: 2,
+                cached_bytes: 8192,
+                ssd_capacity_bytes: 1 << 20,
+            },
+            cache: CacheStatsSnapshot {
+                hits: 5 * scale,
+                misses: scale,
+                data_bytes: 128,
+                probation_bytes: 100,
+                protected_bytes: 28,
+                ..CacheStatsSnapshot::default()
+            },
+            merge: MergeReport {
+                inputs: 2,
+                fan_in: 2,
+                blocks_moved: scale,
+                bytes_moved: 100 * scale,
+                ..MergeReport::default()
+            },
+            compression: CompressionReport {
+                runs: scale,
+                blocks: 4 * scale,
+                raw_bytes: 4000 * scale,
+                stored_bytes: 1500 * scale,
+                ..CompressionReport::default()
+            },
+            ssd: IoStatsSnapshot {
+                write_ops: 7 * scale,
+                bytes_written: 7000 * scale,
+                sequential_ops: 7 * scale,
+                busy_ns: 10_000 * scale,
+                ..IoStatsSnapshot::default()
+            },
+            ssd_wear: WearStats {
+                max_writes_per_block: 3,
+                mean_writes_per_block: 1.5,
+                blocks_touched: 4,
+                cv: 0.3,
+            },
+            wal: IoStatsSnapshot {
+                write_ops: 10 * scale,
+                bytes_written: 400 * scale,
+                ..IoStatsSnapshot::default()
+            },
+            ops: OpLatencies {
+                ingest: hist,
+                get: hist,
+                scan_next: hist,
+                flush: hist,
+                migrate: hist,
+                block_fetch: hist,
+            },
+        }
+    }
+
+    #[test]
+    fn engine_stats_json_has_all_families() {
+        let s = sample_stats(2);
+        let v = parse(&s.to_json()).expect("EngineStats JSON parses");
+        for family in [
+            "ingested",
+            "buffer",
+            "runs",
+            "cache",
+            "merge",
+            "compression",
+            "ssd",
+            "ssd_wear",
+            "wal",
+            "ops",
+        ] {
+            assert!(v.get(family).is_some(), "missing family {family}");
+        }
+        assert_eq!(
+            v.get_u64("random_writes"),
+            Some(0),
+            "top-level invariant field"
+        );
+        let ops = v.get("ops").unwrap();
+        for op in [
+            "ingest",
+            "get",
+            "scan_next",
+            "flush",
+            "migrate",
+            "block_fetch",
+        ] {
+            let h = ops.get(op).unwrap_or_else(|| panic!("missing op {op}"));
+            assert!(h.get_u64("p99").is_some());
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_coherent_snapshot() {
+        assert!(sample_stats(3).invariant_violations().is_empty());
+        let mut broken = sample_stats(3);
+        broken.cache.data_bytes += 1;
+        assert_eq!(broken.invariant_violations().len(), 1);
+    }
+
+    #[test]
+    fn delta_is_monotone_and_rates_work() {
+        let a = sample_stats(1);
+        let b = sample_stats(3);
+        let d = b.delta(&a);
+        assert_eq!(d.ingested_updates, 20);
+        assert_eq!(d.elapsed_ns, 2_000_000);
+        assert!((d.updates_per_sec() - 10_000.0).abs() < 1e-6);
+        assert_eq!(d.ops.ingest.count, 2);
+        assert!(d.ssd_write_bytes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn stats_delta_roundtrips_through_json() {
+        let d = sample_stats(4).delta(&sample_stats(1));
+        let parsed = parse(&d.to_json()).expect("delta JSON parses");
+        let back = StatsDelta::from_json(&parsed).expect("delta reconstructs");
+        assert_eq!(d, back);
+        // Default (all-zero) deltas round-trip too.
+        let zero = StatsDelta::default();
+        let back = StatsDelta::from_json(&parse(&zero.to_json()).unwrap()).unwrap();
+        assert_eq!(zero, back);
+    }
+}

@@ -1,0 +1,72 @@
+//! A drop-guard that records elapsed time into a [`Histogram`].
+
+use crate::metrics::Histogram;
+
+/// Records `now() − start` (virtual-ns) into a histogram when dropped.
+///
+/// The clock is any `Fn() -> u64` — for the simulated engine that is
+/// `|| session.now()`, so the guard stays generic without a dependency
+/// on the storage crate. The guard is two words on the stack plus the
+/// closure; nothing allocates.
+///
+/// ```
+/// use std::cell::Cell;
+/// use masm_telemetry::{Histogram, Timer};
+/// let hist = Histogram::new();
+/// let t = Cell::new(100u64);
+/// {
+///     let _guard = Timer::start(&hist, || t.get());
+///     t.set(t.get() + 42); // simulated work
+/// }
+/// assert_eq!(hist.snapshot().sum, 42);
+/// ```
+pub struct Timer<'h, F: Fn() -> u64> {
+    hist: &'h Histogram,
+    now: F,
+    start: u64,
+}
+
+impl<'h, F: Fn() -> u64> Timer<'h, F> {
+    /// Start timing; the elapsed time is recorded on drop.
+    #[must_use]
+    pub fn start(hist: &'h Histogram, now: F) -> Self {
+        let start = now();
+        Timer { hist, now, start }
+    }
+}
+
+impl<F: Fn() -> u64> Drop for Timer<'_, F> {
+    fn drop(&mut self) {
+        self.hist.record((self.now)().saturating_sub(self.start));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn records_elapsed_on_drop() {
+        let hist = Histogram::new();
+        let clock = AtomicU64::new(10);
+        {
+            let _t = Timer::start(&hist, || clock.load(Ordering::Relaxed));
+            clock.store(25, Ordering::Relaxed);
+        }
+        let s = hist.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 15);
+    }
+
+    #[test]
+    fn backwards_clock_records_zero() {
+        let hist = Histogram::new();
+        let clock = AtomicU64::new(100);
+        {
+            let _t = Timer::start(&hist, || clock.load(Ordering::Relaxed));
+            clock.store(40, Ordering::Relaxed);
+        }
+        assert_eq!(hist.snapshot().sum, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the telemetry primitives: histogram invariants
+//! over arbitrary sample streams, quantile monotonicity, delta
+//! arithmetic, and exact JSON round-trips of [`StatsDelta`].
+
+use proptest::prelude::*;
+
+use masm_telemetry::json::parse;
+use masm_telemetry::{
+    BufferStats, EngineStats, Histogram, HistogramSnapshot, OpLatencies, RunSetStats, StatsDelta,
+};
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix of small values, mid-range latencies, and extreme outliers so
+    // every bucket region gets exercised.
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            0u64..1024,
+            1024u64..10_000_000,
+            (u64::MAX - 1024)..u64::MAX,
+        ],
+        0..400,
+    )
+}
+
+fn snapshot_of(vals: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Core histogram accounting: count matches the number of recorded
+    /// samples, the bucket array sums to count, sum/max match the raw
+    /// stream, and the reported percentiles are ordered and bounded by
+    /// max. This is the "histogram count == op count" invariant the
+    /// engine relies on.
+    #[test]
+    fn histogram_accounting_matches_stream(vals in samples()) {
+        let s = snapshot_of(&vals);
+        prop_assert_eq!(s.count, vals.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        prop_assert_eq!(s.sum, vals.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert_eq!(s.max, vals.iter().copied().max().unwrap_or(0));
+        prop_assert!(s.p50() <= s.p95());
+        prop_assert!(s.p95() <= s.p99());
+        prop_assert!(s.p99() <= s.max);
+        if !vals.is_empty() {
+            // p50 can never undershoot the smallest recorded value's
+            // bucket floor; cheap sanity rather than exactness (log₂
+            // buckets are lossy by design).
+            prop_assert!(s.quantile(1.0) == s.max);
+        }
+    }
+
+    /// Splitting a stream at any point and taking `later − earlier`
+    /// gives exactly the histogram of the suffix (modulo `max`, which
+    /// is a high-water mark carried from the newer snapshot).
+    #[test]
+    fn histogram_delta_is_suffix(vals in samples(), cut in 0usize..400) {
+        let cut = cut.min(vals.len());
+        let h = Histogram::new();
+        for &v in &vals[..cut] {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for &v in &vals[cut..] {
+            h.record(v);
+        }
+        let late = h.snapshot();
+        let d = late.delta(&early);
+        let suffix = snapshot_of(&vals[cut..]);
+        prop_assert_eq!(d.count, suffix.count);
+        prop_assert_eq!(d.sum, suffix.sum);
+        prop_assert_eq!(d.buckets, suffix.buckets);
+    }
+
+    /// `StatsDelta` survives `to_json` → `parse` → `from_json` exactly,
+    /// for deltas built from arbitrary per-field values (all integer
+    /// fields stay below 2⁵³ in practice; the generator respects that).
+    #[test]
+    fn stats_delta_roundtrips_json(
+        at in 1u64..(1 << 50),
+        updates in 0u64..(1 << 40),
+        bytes in 0u64..(1 << 45),
+        ops_counts in proptest::collection::vec(0u64..(1 << 30), 6),
+    ) {
+        let mut now = EngineStats {
+            at_ns: at,
+            ingested_updates: updates,
+            ingested_bytes: bytes,
+            buffer: BufferStats { updates: 1, bytes: 64, capacity_bytes: 4096 },
+            runs: RunSetStats { count: 1, cached_bytes: 1024, ssd_capacity_bytes: 1 << 30 },
+            ..EngineStats::default()
+        };
+        now.cache.hits = updates / 2;
+        now.cache.misses = updates / 7;
+        now.ssd.write_ops = updates / 3;
+        now.ssd.bytes_written = bytes / 2;
+        now.wal.write_ops = updates;
+        now.merge.blocks_moved = updates / 5;
+        now.compression.raw_bytes = bytes;
+        now.compression.stored_bytes = bytes / 3;
+        let hists: Vec<HistogramSnapshot> = ops_counts
+            .iter()
+            .map(|&n| {
+                let h = Histogram::new();
+                for i in 0..(n % 64) {
+                    h.record(i * 17);
+                }
+                h.snapshot()
+            })
+            .collect();
+        now.ops = OpLatencies {
+            ingest: hists[0],
+            get: hists[1],
+            scan_next: hists[2],
+            flush: hists[3],
+            migrate: hists[4],
+            block_fetch: hists[5],
+        };
+        let d = now.delta(&EngineStats::default());
+        let parsed = parse(&d.to_json()).expect("delta JSON parses");
+        let back = StatsDelta::from_json(&parsed).expect("delta reconstructs");
+        prop_assert_eq!(d, back);
+        // The full EngineStats JSON must always parse, too.
+        prop_assert!(parse(&now.to_json()).is_some());
+        prop_assert!(now.invariant_violations().is_empty());
+    }
+}

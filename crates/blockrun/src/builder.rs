@@ -159,6 +159,13 @@ impl RunBuilder {
         self.raw_blocks
     }
 
+    /// Entries buffered in the currently open (un-encoded) block. The
+    /// builder's only entry-granular in-memory state: streaming callers
+    /// use this to assert their peak working set stays block-bounded.
+    pub fn open_block_entries(&self) -> usize {
+        self.block.len()
+    }
+
     /// Entries appended so far (decoded entries + raw block counts).
     pub fn entry_count(&self) -> u64 {
         self.keys.len() as u64 + self.raw_entries

@@ -58,9 +58,42 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use masm_storage::{CacheStats, CacheStatsSnapshot};
+use masm_telemetry::{Counter, Gauge, Registry, Unit};
 use parking_lot::Mutex;
 
 use crate::block::Entry;
+
+/// Registry-backed metric handles, bound once via
+/// [`BlockCache::bind_registry`]. The cache pushes its own counters at
+/// the point each event happens (hits and misses on `get`, insertions
+/// on admit); byte gauges refresh whenever [`BlockCache::stats`] runs.
+struct BoundMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    tier2_hits: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    data_bytes: Arc<Gauge>,
+    meta_bytes: Arc<Gauge>,
+    tier2_bytes: Arc<Gauge>,
+}
+
+impl BoundMetrics {
+    fn new(registry: &Registry) -> Self {
+        let c = |name, help| registry.counter("cache", name, Unit::Ops, help);
+        let g = |name, help| registry.gauge("cache", name, Unit::Bytes, help);
+        BoundMetrics {
+            hits: c("hits", "tier-1 block cache hits"),
+            misses: c("misses", "block cache misses (device reads)"),
+            tier2_hits: c("tier2_hits", "victim-tier hits served by a decode"),
+            insertions: c("insertions", "tier-1 admissions"),
+            evictions: c("evictions", "tier-1 evictions"),
+            data_bytes: g("data_bytes", "resident decoded block bytes (tier 1)"),
+            meta_bytes: g("meta_bytes", "pinned run metadata bytes"),
+            tier2_bytes: g("tier2_bytes", "resident stored bytes (victim tier)"),
+        }
+    }
+}
 
 /// Cache key: `(run_key, block_idx)`.
 pub type BlockKey = (u64, u32);
@@ -293,6 +326,9 @@ pub struct BlockCache {
     /// against this cache, kept separate from the evictable data
     /// blocks — see [`BlockCache::retain_meta_bytes`].
     meta_bytes: std::sync::atomic::AtomicUsize,
+    /// Registry-bound metric handles, set once by
+    /// [`BlockCache::bind_registry`].
+    bound: std::sync::OnceLock<BoundMetrics>,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -341,7 +377,15 @@ impl BlockCache {
             tick: std::sync::atomic::AtomicU64::new(0),
             stats: CacheStats::default(),
             meta_bytes: std::sync::atomic::AtomicUsize::new(0),
+            bound: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Register this cache's counters and gauges with an engine metric
+    /// [`Registry`]. Idempotent; only the first registry wins (a cache
+    /// belongs to one engine).
+    pub fn bind_registry(&self, registry: &Registry) {
+        let _ = self.bound.get_or_init(|| BoundMetrics::new(registry));
     }
 
     /// The tier-1 replacement policy.
@@ -377,12 +421,18 @@ impl BlockCache {
                 shard.touch(key, tick);
             }
             self.stats.record_hit();
+            if let Some(b) = self.bound.get() {
+                b.hits.incr();
+            }
             return Some(block);
         }
         if let Some(victim) = shard.tier2_remove(key) {
             if let Some(entries) = victim.stored.decode() {
                 let entries: CachedBlock = Arc::new(entries);
                 self.stats.record_tier2_hit();
+                if let Some(b) = self.bound.get() {
+                    b.tier2_hits.incr();
+                }
                 // Readmit to *probation*, not protected: a cyclic sweep
                 // served out of tier 2 must keep churning the probation
                 // segment rather than flooding protected and displacing
@@ -399,6 +449,9 @@ impl BlockCache {
             // were CRC-verified at admission): drop the entry, miss.
         }
         self.stats.record_miss();
+        if let Some(b) = self.bound.get() {
+            b.misses.incr();
+        }
         None
     }
 
@@ -424,6 +477,9 @@ impl BlockCache {
     /// hit/miss accounting truthful for scans.
     pub fn record_bypass_miss(&self) {
         self.stats.record_miss();
+        if let Some(b) = self.bound.get() {
+            b.misses.incr();
+        }
     }
 
     /// Whether an entry's stored copy is worth retaining for demotion:
@@ -492,7 +548,13 @@ impl BlockCache {
             let Some(victim) = shard.victim() else { break };
             let entry = shard.remove(victim).expect("victim is resident");
             self.stats.record_eviction();
+            if let Some(b) = self.bound.get() {
+                b.evictions.incr();
+            }
             self.demote_to_tier2(shard, victim, entry);
+        }
+        if let Some(b) = self.bound.get() {
+            b.insertions.incr();
         }
         let tick = self.next_tick();
         let disk_len = stored.len() as u32;
@@ -622,6 +684,11 @@ impl BlockCache {
         snap.meta_bytes = self.meta_bytes() as u64;
         snap.disk_bytes = disk;
         snap.tier2_bytes = t2 as u64;
+        if let Some(b) = self.bound.get() {
+            b.data_bytes.set(snap.data_bytes);
+            b.meta_bytes.set(snap.meta_bytes);
+            b.tier2_bytes.set(snap.tier2_bytes);
+        }
         snap
     }
 

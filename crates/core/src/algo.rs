@@ -87,6 +87,14 @@ impl RunSet {
         self.space.alloc(bytes)
     }
 
+    /// Release `bytes` of allocated-but-unregistered space (a run build
+    /// or write failed after its extent was allocated). The extent
+    /// itself stays burned until the allocator rewinds at quiesce — the
+    /// bump allocator never reuses space while readers may be pinned.
+    pub fn free_space(&mut self, bytes: u64) {
+        self.space.free(bytes);
+    }
+
     /// Register a freshly materialized run.
     pub fn add(&mut self, run: Arc<SortedRun>) {
         self.runs.push(run);

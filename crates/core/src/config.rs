@@ -114,6 +114,26 @@ pub struct MasmConfig {
     /// at scale), clamped to this cap so a very wide merge cannot flood
     /// the device queue.
     pub merge_prefetch_cap: usize,
+    /// Background worker threads. `0` (the default) keeps the engine's
+    /// original inline execution: flushes and merges run on the caller's
+    /// thread, deterministically. With `n > 0` the engine spawns `n`
+    /// worker threads that drain a backlog queue of flush / compaction /
+    /// migration jobs, so `apply_update` never pays a materialization
+    /// inline and scans never pay a merge at setup — callers only
+    /// throttle through the [`MasmConfig::worker_backlog_bytes`]
+    /// backpressure gate.
+    pub background_workers: usize,
+    /// Backpressure bound on the flush backlog: when the bytes of
+    /// sealed (drained-but-not-yet-materialized) update batches exceed
+    /// this, `apply_update` blocks until a worker catches up. `0` means
+    /// auto: 4× the update-buffer capacity. Ignored when
+    /// [`MasmConfig::background_workers`] is 0.
+    pub worker_backlog_bytes: u64,
+    /// Number of independent move-segment reads a merge keeps in flight
+    /// on the SSD (§3.7 overlap): a merge plan's `Move` segments are
+    /// independent I/O, so their chunk reads are pipelined up to this
+    /// depth. 1 restores strictly serial execution.
+    pub device_queue_depth: usize,
 }
 
 impl Default for MasmConfig {
@@ -134,6 +154,9 @@ impl Default for MasmConfig {
             cache_protected_frac: 0.8,
             cache_tier2_bytes: 4 * 1024 * 1024,
             merge_prefetch_cap: 16,
+            background_workers: 0,
+            worker_backlog_bytes: 0,
+            device_queue_depth: 4,
         }
     }
 }
@@ -157,6 +180,20 @@ impl MasmConfig {
             cache_protected_frac: 0.8,
             cache_tier2_bytes: 1024 * 1024,
             merge_prefetch_cap: 8,
+            background_workers: 0,
+            worker_backlog_bytes: 0,
+            device_queue_depth: 4,
+        }
+    }
+
+    /// Effective backpressure bound for the background-flush backlog
+    /// (see [`MasmConfig::worker_backlog_bytes`]; 0 = 4× the update
+    /// buffer).
+    pub fn effective_backlog_bytes(&self) -> u64 {
+        if self.worker_backlog_bytes > 0 {
+            self.worker_backlog_bytes
+        } else {
+            4 * self.update_buffer_bytes()
         }
     }
 
@@ -287,6 +324,12 @@ impl MasmConfig {
         }
         if self.merge_prefetch_cap == 0 {
             return Err(MasmError::Config("merge_prefetch_cap must be ≥ 1".into()));
+        }
+        if self.device_queue_depth == 0 {
+            return Err(MasmError::Config("device_queue_depth must be ≥ 1".into()));
+        }
+        if self.background_workers > 64 {
+            return Err(MasmError::Config("background_workers must be ≤ 64".into()));
         }
         if !(0.0..=1.0).contains(&self.cache_protected_frac) {
             return Err(MasmError::Config(

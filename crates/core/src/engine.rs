@@ -13,18 +13,48 @@
 //!   merges cached updates (drop-in for `Table_range_scan`),
 //! * [`MasmEngine::migrate`] — in-place migration of cached updates,
 //! * [`MasmEngine::recover`] — crash recovery from the redo log.
+//!
+//! # Concurrency architecture
+//!
+//! The engine state lock is a [`TrackedMutex`] and is **never** held
+//! across device I/O (the storage layer debug-asserts this). Every
+//! operation follows the same phased-locking shape:
+//!
+//! 1. a short critical section deciding what to do and snapshotting
+//!    immutable `Arc`s (runs, sealed batches, a buffer snapshot),
+//! 2. all I/O outside the lock against those snapshots,
+//! 3. a short *handoff* critical section publishing the result and
+//!    bumping the engine epoch.
+//!
+//! Queries therefore read a consistent snapshot and never block on a
+//! flush, merge, or migration. Retired run space is recycled only once
+//! the engine quiesces (no active queries, no sealed batches, no merge
+//! or migration in flight), so a pinned snapshot can keep reading a
+//! retired run's blocks safely — the bump allocator never hands its
+//! extent out again before the rewind.
+//!
+//! With `background_workers > 0` a `worker::WorkerPool`
+//! executes flushes, compactions, and migrations off the ingest/scan
+//! path: ingest *seals* a full buffer into an immutable batch (visible
+//! to queries) and enqueues a flush job; it only ever throttles via the
+//! bounded-backlog backpressure gate. With `background_workers == 0`
+//! (the default) everything runs inline and single-threaded benches
+//! stay deterministic.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
 
 use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
-use masm_storage::{CacheStatsSnapshot, CompressionReport, MergeReport, SessionHandle, SimDevice};
+use masm_storage::{
+    CacheStatsSnapshot, CompressionReport, MergeReport, SessionHandle, SimDevice, TrackedMutex,
+};
 use masm_telemetry::{
-    BufferStats, EngineStats, Histogram, OpLatencies, Registry, RunSetStats, Timer, Unit,
+    BufferStats, Counter, EngineStats, Gauge, Histogram, OpLatencies, Registry, RunSetStats, Timer,
+    Unit, WorkerStats,
 };
 
 use crate::algo::RunSet;
@@ -40,6 +70,7 @@ use crate::run::{
 use crate::ts::{Timestamp, TimestampOracle};
 use crate::update::{UpdateOp, UpdateRecord};
 use crate::wal::{Wal, WalRecord};
+use crate::worker::{Job, JobKind, WorkerHandle, WorkerPool, MAX_JOB_ATTEMPTS};
 
 /// The engine's metric families: a [`Registry`] for export plus direct
 /// `Arc<Histogram>` handles for the hot paths (registry lookup never
@@ -52,12 +83,20 @@ struct EngineMetrics {
     flush: Arc<Histogram>,
     migrate: Arc<Histogram>,
     block_fetch: Arc<Histogram>,
+    /// Epochs the oldest pinned query snapshot trails the engine's
+    /// current epoch (0 when no query is active).
+    epoch_lag: Arc<Gauge>,
+    merge_inputs: Arc<Counter>,
+    merge_blocks_moved: Arc<Counter>,
+    merge_blocks_merged: Arc<Counter>,
+    merge_bytes_decoded: Arc<Counter>,
 }
 
 impl EngineMetrics {
     fn new() -> Self {
         let registry = Registry::new();
         let h = |name, help| registry.histogram("op", name, Unit::VirtualNs, help);
+        let c = |name, unit, help| registry.counter("merge", name, unit, help);
         EngineMetrics {
             ingest: h(
                 "ingest",
@@ -68,6 +107,16 @@ impl EngineMetrics {
             flush: h("flush", "one buffer flush materializing a 1-pass run"),
             migrate: h("migrate", "one full or partial migration"),
             block_fetch: h("block_fetch", "one block obtained by a query run scan"),
+            epoch_lag: registry.gauge(
+                "engine",
+                "epoch_lag",
+                Unit::Ops,
+                "epochs the oldest pinned query snapshot trails the engine",
+            ),
+            merge_inputs: c("inputs", Unit::Ops, "runs consumed by planned merges"),
+            merge_blocks_moved: c("blocks_moved", Unit::Ops, "blocks relinked verbatim"),
+            merge_blocks_merged: c("blocks_merged", Unit::Ops, "blocks decoded and re-encoded"),
+            merge_bytes_decoded: c("bytes_decoded", Unit::Bytes, "bytes decoded by merges"),
             registry,
         }
     }
@@ -84,16 +133,49 @@ impl EngineMetrics {
     }
 }
 
+/// Bookkeeping for one active query (scan or point lookup).
+#[derive(Debug, Clone, Copy)]
+struct QueryPin {
+    /// Query pages pinned (one per open run scan).
+    pages: u64,
+    /// The engine epoch the query's snapshot was taken at.
+    epoch: u64,
+}
+
+/// A full in-memory buffer, sealed into an immutable batch awaiting its
+/// background flush. Sealed batches stay visible to queries (scans and
+/// gets read them alongside runs and the live buffer) and are removed
+/// only when their 1-pass run is published.
+struct SealedBatch {
+    id: u64,
+    /// Largest update timestamp in the batch — logged with the run so
+    /// recovery can tell buffer-resident updates from flushed ones.
+    max_ts: Timestamp,
+    /// Logical bytes, for backlog accounting.
+    bytes: u64,
+    /// A worker (or inline caller) is currently flushing this batch.
+    claimed: bool,
+    /// Whether `bytes` was charged to the worker backlog gate.
+    enqueued: bool,
+    /// Sorted, deduplicated updates; shared with query snapshots.
+    updates: Arc<Vec<UpdateRecord>>,
+}
+
 struct EngineState {
     buffer: UpdateBuffer,
     runs: RunSet,
-    /// Active query timestamps → pinned query pages (one per open run).
-    active_queries: BTreeMap<Timestamp, u64>,
+    /// Sealed batches awaiting background flush, oldest first.
+    sealed: Vec<SealedBatch>,
+    next_batch: u64,
+    /// Active query timestamps → pin bookkeeping.
+    active_queries: BTreeMap<Timestamp, QueryPin>,
     /// Total pinned query pages across active scans.
     pinned_pages: u64,
     /// SSD bytes of runs deleted while queries were still active; freed
     /// once the system quiesces.
     retired_bytes: u64,
+    /// A planned 2-pass merge is in flight.
+    merging: bool,
     migrating: bool,
 }
 
@@ -132,9 +214,18 @@ pub struct MasmEngine {
     /// run pages are read off the SSD once.
     cache: Arc<BlockCache>,
     oracle: TimestampOracle,
-    state: Mutex<EngineState>,
+    /// The engine state lock. [`TrackedMutex`]: holding it across
+    /// device I/O is a debug-mode panic (lock-discipline audit).
+    state: TrackedMutex<EngineState>,
     quiesce: Condvar,
-    wal: Mutex<Wal>,
+    /// Redo log. Appends are internally synchronized (lock-free offset
+    /// reservation) — no engine lock is involved in logging.
+    wal: Wal,
+    /// Monotonic snapshot-publication counter: bumped inside every
+    /// handoff critical section that changes the visible run set.
+    epoch: AtomicU64,
+    /// Background worker pool, present when `background_workers > 0`.
+    workers: OnceLock<WorkerHandle>,
     ingested_updates: AtomicU64,
     ingested_bytes: AtomicU64,
     /// Last commit timestamp per key, for first-committer-wins snapshot
@@ -185,23 +276,28 @@ impl MasmEngine {
         // no-op — another engine's accounting must not be rewritten.
         ssd.prime_head_position_if_unset(cfg.ssd_region_base);
         let cache = Arc::new(BlockCache::with_config(cfg.cache_config()));
-        Ok(Arc::new(MasmEngine {
+        let engine = Arc::new(MasmEngine {
             heap,
             ssd,
             cfg,
             schema,
             cache,
             oracle: TimestampOracle::new(),
-            state: Mutex::new(EngineState {
+            state: TrackedMutex::new(EngineState {
                 buffer,
                 runs,
+                sealed: Vec::new(),
+                next_batch: 0,
                 active_queries: BTreeMap::new(),
                 pinned_pages: 0,
                 retired_bytes: 0,
+                merging: false,
                 migrating: false,
             }),
             quiesce: Condvar::new(),
-            wal: Mutex::new(Wal::new(wal_dev, 0)),
+            wal: Wal::new(wal_dev, 0),
+            epoch: AtomicU64::new(0),
+            workers: OnceLock::new(),
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
@@ -209,7 +305,110 @@ impl MasmEngine {
             merge_totals: Mutex::new(MergeReport::default()),
             compression_totals: Mutex::new(CompressionReport::default()),
             metrics: EngineMetrics::new(),
-        }))
+        });
+        Self::start_workers(&engine);
+        Ok(engine)
+    }
+
+    /// Wire subsystem metrics into the engine registry and, when
+    /// configured, spawn the background worker pool.
+    fn start_workers(engine: &Arc<Self>) {
+        engine.cache.bind_registry(&engine.metrics.registry);
+        if engine.cfg.background_workers > 0 {
+            let pool = WorkerPool::new(
+                engine.cfg.background_workers,
+                engine.cfg.effective_backlog_bytes(),
+                &engine.metrics.registry,
+            );
+            let handle = WorkerHandle::spawn(engine, pool);
+            let _ = engine.workers.set(handle);
+        }
+    }
+
+    /// Drain and join the background workers (no-op in inline mode).
+    /// Idempotent; queued jobs still execute before threads exit.
+    /// Dropping the engine without calling this only *signals* shutdown
+    /// — call it for deterministic teardown.
+    pub fn shutdown(&self) {
+        if let Some(h) = self.workers.get() {
+            h.join();
+        }
+    }
+
+    /// The worker handle while background mode is live. `None` once
+    /// shutdown has been signalled: a job enqueued past shutdown would
+    /// never run, so the engine reverts to the inline flush/merge paths
+    /// (same semantics as `background_workers = 0`).
+    fn live_pool(&self) -> Option<&WorkerHandle> {
+        self.workers.get().filter(|h| !h.pool.is_shutdown())
+    }
+
+    /// Worker-side job dispatch (called from the pool's threads).
+    pub(crate) fn run_job(self: &Arc<Self>, pool: &WorkerPool, mut job: Job) {
+        let session = SessionHandle::fresh(self.ssd.clock().clone());
+        let result = match job.kind {
+            JobKind::Flush { batch_id } => self.flush_batch(&session, batch_id),
+            JobKind::Compact => self.background_compact(&session),
+            JobKind::Migrate => self.migrate(&session).map(|_| ()),
+        };
+        match result {
+            Ok(()) => {
+                pool.counters.jobs_completed.incr();
+                self.maybe_schedule_maintenance();
+            }
+            Err(_) => {
+                job.attempts += 1;
+                if job.attempts < MAX_JOB_ATTEMPTS {
+                    pool.counters.jobs_retried.incr();
+                    pool.requeue(job);
+                } else {
+                    pool.counters.jobs_failed.incr();
+                    if let JobKind::Flush { batch_id } = job.kind {
+                        self.abandon_batch(batch_id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enqueue compaction / migration jobs if the run set warrants them
+    /// (checked after every completed job and every published flush).
+    fn maybe_schedule_maintenance(&self) {
+        let Some(h) = self.workers.get() else { return };
+        let (compact, migrate) = {
+            let st = self.state.lock();
+            (
+                !st.merging && st.runs.plan_merge(&self.cfg).is_some(),
+                !st.migrating && st.runs.needs_migration(&self.cfg),
+            )
+        };
+        if compact {
+            h.pool.enqueue_compact();
+        }
+        if migrate {
+            h.pool.enqueue_migrate();
+        }
+    }
+
+    /// A flush exhausted its retries: move the sealed batch's updates
+    /// back into the in-memory buffer (the WAL already holds them all)
+    /// so nothing is lost and queries keep seeing the data.
+    fn abandon_batch(&self, batch_id: u64) {
+        let released = {
+            let mut st = self.state.lock();
+            let Some(pos) = st.sealed.iter().position(|b| b.id == batch_id) else {
+                return;
+            };
+            let batch = st.sealed.remove(pos);
+            for u in batch.updates.iter() {
+                st.buffer.push(u.clone());
+            }
+            batch.enqueued.then_some(batch.bytes)
+        };
+        if let (Some(bytes), Some(h)) = (released, self.workers.get()) {
+            h.pool.release_backlog(bytes);
+        }
+        self.quiesce.notify_all();
     }
 
     /// Bulk-load the table (records sorted by key) and log the load so
@@ -223,7 +422,7 @@ impl MasmEngine {
         self.heap.bulk_load(session, records, fill)?;
         let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
         let base = page_map.first().copied().unwrap_or(0);
-        self.wal.lock().append(
+        self.wal.append(
             session,
             &WalRecord::HeapLoaded {
                 base,
@@ -289,6 +488,10 @@ impl MasmEngine {
     fn record_merge(&self, report: MergeReport) {
         *self.last_merge.lock() = Some(report);
         self.merge_totals.lock().absorb(&report);
+        self.metrics.merge_inputs.add(report.inputs as u64);
+        self.metrics.merge_blocks_moved.add(report.blocks_moved);
+        self.metrics.merge_blocks_merged.add(report.blocks_merged);
+        self.metrics.merge_bytes_decoded.add(report.bytes_decoded);
     }
 
     /// Fold a newly built (or recovered) run's codec accounting into
@@ -364,8 +567,15 @@ impl MasmEngine {
     /// (engine state, WAL) plus atomic loads; the SSD wear summary is
     /// O(1) — no per-block map is walked.
     pub fn stats(&self) -> EngineStats {
-        let (buffer, runs) = {
+        let (buffer, runs, epoch_lag) = {
             let st = self.state.lock();
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let lag = st
+                .active_queries
+                .values()
+                .map(|p| p.epoch)
+                .min()
+                .map_or(0, |oldest| epoch.saturating_sub(oldest));
             (
                 BufferStats {
                     updates: st.buffer.len() as u64,
@@ -377,9 +587,32 @@ impl MasmEngine {
                     cached_bytes: st.runs.live_bytes(),
                     ssd_capacity_bytes: self.cfg.ssd_capacity,
                 },
+                lag,
             )
         };
-        let wal = self.wal.lock().device().stats();
+        self.metrics.epoch_lag.set(epoch_lag);
+        let workers = match self.workers.get() {
+            Some(h) => {
+                let (queue_depth, backlog_bytes) = h.pool.depths();
+                WorkerStats {
+                    threads: h.pool.threads as u64,
+                    queue_depth,
+                    backlog_bytes,
+                    jobs_completed: h.pool.counters.jobs_completed.get(),
+                    jobs_retried: h.pool.counters.jobs_retried.get(),
+                    jobs_failed: h.pool.counters.jobs_failed.get(),
+                    flushes: h.pool.counters.flushes.get(),
+                    merges: h.pool.counters.merges.get(),
+                    migrations: h.pool.counters.migrations.get(),
+                    epoch_lag,
+                }
+            }
+            None => WorkerStats {
+                epoch_lag,
+                ..WorkerStats::default()
+            },
+        };
+        let wal = self.wal.device().stats();
         EngineStats {
             at_ns: self.ssd.clock().now(),
             ingested_updates: self.ingested_updates.load(Ordering::Relaxed),
@@ -392,6 +625,7 @@ impl MasmEngine {
             ssd: self.ssd.stats(),
             ssd_wear: self.ssd.wear_stats(),
             wal,
+            workers,
             ops: self.metrics.snapshot(),
         }
     }
@@ -408,7 +642,7 @@ impl MasmEngine {
     /// aborts with [`MasmError::Conflict`]. On success all writes carry
     /// one fresh commit timestamp.
     pub fn commit_writes(
-        &self,
+        self: &Arc<Self>,
         session: &SessionHandle,
         start_ts: Timestamp,
         writes: Vec<(Key, UpdateOp)>,
@@ -432,75 +666,100 @@ impl MasmEngine {
 
     /// Apply one well-formed update; returns its commit timestamp.
     pub fn apply_update(
-        &self,
+        self: &Arc<Self>,
         session: &SessionHandle,
         key: Key,
         op: UpdateOp,
     ) -> MasmResult<Timestamp> {
-        let ts = self.oracle.next();
-        self.apply_update_with_ts(session, UpdateRecord::new(ts, key, op))?;
-        Ok(ts)
+        self.ingest(session, Err((key, op)))
     }
 
     /// Apply an update that already carries its commit timestamp
     /// (transaction commit path).
     pub fn apply_update_with_ts(
-        &self,
+        self: &Arc<Self>,
         session: &SessionHandle,
         update: UpdateRecord,
     ) -> MasmResult<()> {
+        self.ingest(session, Ok(update)).map(|_| ())
+    }
+
+    /// The shared ingest path. `pre` is either a pre-timestamped update
+    /// (transaction commit, which assigned its timestamp under the
+    /// commit index — a small pre-existing window where a concurrent
+    /// seal may race the push) or the raw (key, op), whose timestamp is
+    /// drawn *inside* the state lock so it can never land in a batch
+    /// already sealed with a smaller `max_ts`.
+    fn ingest(
+        self: &Arc<Self>,
+        session: &SessionHandle,
+        pre: Result<UpdateRecord, (Key, UpdateOp)>,
+    ) -> MasmResult<Timestamp> {
         let _t = Timer::start(&self.metrics.ingest, || session.now());
+        let background = self.live_pool().is_some();
+        let (update, seal) = {
+            let mut st = self.state.lock();
+            let mut seal = None;
+            if st.buffer.is_full() {
+                // MaSM-M (Fig. 8): steal an unused query page if one
+                // exists, otherwise seal the buffer for flushing.
+                let page = self.cfg.ssd_page_size;
+                let stolen = (st.buffer.capacity() - st.buffer.base_capacity()) / page;
+                let in_use = st.pinned_pages + stolen as u64;
+                if self.cfg.alpha < 2.0 && in_use < self.cfg.query_pages() {
+                    st.buffer.steal_page(page);
+                } else if st.runs.live_bytes() + st.buffer.bytes() as u64 > self.cfg.ssd_capacity {
+                    return Err(MasmError::CacheFull {
+                        cached: st.runs.live_bytes(),
+                        capacity: self.cfg.ssd_capacity,
+                    });
+                } else {
+                    seal = Some(self.seal_batch_locked(&mut st, background));
+                }
+            }
+            let update = match pre {
+                Ok(u) => u,
+                Err((key, op)) => UpdateRecord::new(self.oracle.next(), key, op),
+            };
+            st.buffer.push(update.clone());
+            (update, seal)
+        };
+        let ts = update.ts;
         self.ingested_updates.fetch_add(1, Ordering::Relaxed);
         self.ingested_bytes
             .fetch_add(update.encoded_len() as u64, Ordering::Relaxed);
-        let mut st = self.state.lock();
-        if st.buffer.is_full() {
-            // MaSM-M (Fig. 8): steal an unused query page if one exists,
-            // otherwise materialize a 1-pass run.
-            let page = self.cfg.ssd_page_size;
-            let stolen = (st.buffer.capacity() - st.buffer.base_capacity()) / page;
-            let in_use = st.pinned_pages + stolen as u64;
-            if self.cfg.alpha < 2.0 && in_use < self.cfg.query_pages() {
-                st.buffer.steal_page(page);
+        // The WAL write happens outside the state lock; appenders
+        // reserve disjoint offsets, so ordering across threads is
+        // whatever the offsets say — recovery filters buffer-resident
+        // updates by timestamp (`RunCreated.max_ts`), not log position.
+        self.wal.append(session, &WalRecord::Update(update))?;
+        if let Some((batch_id, bytes)) = seal {
+            if background {
+                let pool = &self.workers.get().expect("background mode").pool;
+                pool.enqueue_flush(batch_id, bytes);
+                // Backpressure: wait until the un-flushed backlog drops
+                // under the limit, never doing the I/O ourselves.
+                pool.wait_for_space();
             } else {
-                self.flush_locked(session, &mut st, false)?;
+                // Inline mode: materialize the run now. On error the
+                // updates are still durable (WAL) and visible (sealed
+                // batch is readable until explicitly abandoned); we
+                // return them to the buffer so the next flush retries.
+                if let Err(e) = self.flush_batch(session, batch_id) {
+                    self.abandon_batch(batch_id);
+                    return Err(e);
+                }
             }
         }
-        // Log after any flush so WAL order mirrors buffer membership:
-        // recovery treats updates logged after the last 1-pass
-        // RunCreated as the in-memory buffer's contents.
-        self.wal
-            .lock()
-            .append(session, &WalRecord::Update(update.clone()))?;
-        st.buffer.push(update);
-        Ok(())
+        Ok(ts)
     }
 
-    /// Materialize the in-memory buffer as a 1-pass sorted run.
-    /// `allow_overflow` bypasses the capacity check (migration flushes
-    /// must succeed — migration is what frees the space).
-    fn flush_locked(
-        &self,
-        session: &SessionHandle,
-        st: &mut EngineState,
-        allow_overflow: bool,
-    ) -> MasmResult<()> {
-        if st.buffer.is_empty() {
-            return Ok(());
-        }
-        if !allow_overflow
-            && st.runs.live_bytes() + st.buffer.bytes() as u64 > self.cfg.ssd_capacity
-        {
-            return Err(MasmError::CacheFull {
-                cached: st.runs.live_bytes(),
-                capacity: self.cfg.ssd_capacity,
-            });
-        }
-        // Time only real flushes (past both early returns): the
-        // histogram's count doubles as the number of 1-pass runs
-        // materialized.
-        let _t = Timer::start(&self.metrics.flush, || session.now());
+    /// Seal the in-memory buffer into an immutable sealed batch
+    /// (sorted, optionally duplicate-folded) and return its id and
+    /// logical byte size. Caller holds the state lock.
+    fn seal_batch_locked(&self, st: &mut EngineState, charge_backlog: bool) -> (u64, u64) {
         let updates = st.buffer.drain_sorted();
+        let max_ts = updates.iter().map(|u| u.ts).max().unwrap_or(0);
         let updates = if self.cfg.merge_duplicates {
             let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
             fold_duplicates(updates, &self.schema, |t1, t2| {
@@ -509,37 +768,140 @@ impl MasmEngine {
         } else {
             updates
         };
+        let bytes: u64 = updates.iter().map(|u| u.encoded_len() as u64).sum();
+        let id = st.next_batch;
+        st.next_batch += 1;
+        st.sealed.push(SealedBatch {
+            id,
+            max_ts,
+            bytes,
+            claimed: false,
+            enqueued: charge_backlog,
+            updates: Arc::new(updates),
+        });
+        (id, bytes)
+    }
+
+    /// Materialize sealed batch `batch_id` as a 1-pass run: claim it,
+    /// build and write the run outside the lock, publish in a handoff
+    /// critical section. Missing or already-claimed batches are a no-op
+    /// (a concurrent migration may have drained the queue).
+    fn flush_batch(&self, session: &SessionHandle, batch_id: u64) -> MasmResult<()> {
+        let (updates, max_ts, run_id) = {
+            let mut st = self.state.lock();
+            let Some(batch) = st.sealed.iter_mut().find(|b| b.id == batch_id) else {
+                return Ok(());
+            };
+            if batch.claimed {
+                return Ok(());
+            }
+            batch.claimed = true;
+            let updates = Arc::clone(&batch.updates);
+            let max_ts = batch.max_ts;
+            let run_id = st.runs.next_id();
+            (updates, max_ts, run_id)
+        };
+        let _t = Timer::start(&self.metrics.flush, || session.now());
+        match self.flush_claimed(session, &updates, max_ts, run_id, batch_id) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Unclaim so a retry (or migration's drain) can take
+                // over; wake any waiter blocked on this batch.
+                let mut st = self.state.lock();
+                if let Some(batch) = st.sealed.iter_mut().find(|b| b.id == batch_id) {
+                    batch.claimed = false;
+                }
+                drop(st);
+                self.quiesce.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn flush_claimed(
+        &self,
+        session: &SessionHandle,
+        updates: &[UpdateRecord],
+        max_ts: Timestamp,
+        run_id: u64,
+        batch_id: u64,
+    ) -> MasmResult<()> {
         // Build first: the block format's encoded size (compression,
         // zone maps, bloom, footer) is only known after building, and
         // the run's SSD extent must be allocated before it is written.
-        let id = st.runs.next_id();
-        let (mut run, encoded) = build_run(&self.cfg, id, 0, 1, &updates);
-        let base = st.runs.alloc_space(run.bytes);
+        let (mut run, encoded) = build_run(&self.cfg, run_id, 0, 1, updates);
+        let base = self.state.lock().runs.alloc_space(run.bytes);
         run.rebase(base);
-        write_built(session, &self.ssd, &run, &encoded)?;
-        self.wal.lock().append(
-            session,
-            &WalRecord::RunCreated {
-                id,
-                base,
-                bytes: run.bytes,
-                count: run.count,
-                passes: 1,
-            },
-        )?;
+        // Runs append from their own allocator cursor; prime the head
+        // there so interleaved WAL/heap traffic on a shared clock never
+        // reclassifies this strictly sequential stream (goal 2).
+        self.ssd.prime_head_position(base);
+        let written = (|| {
+            write_built(session, &self.ssd, &run, &encoded)?;
+            self.wal.append(
+                session,
+                &WalRecord::RunCreated {
+                    id: run_id,
+                    base,
+                    bytes: run.bytes,
+                    count: run.count,
+                    passes: 1,
+                    max_ts,
+                },
+            )
+        })();
+        if let Err(e) = written {
+            // The extent stays burned until the quiesce rewind; only
+            // the live-byte accounting is released.
+            self.state.lock().runs.free_space(run.bytes);
+            return Err(e);
+        }
         self.account_run_added(&run);
         self.record_compression(&run);
-        st.runs.add(Arc::new(run));
+        // Handoff: publish the run and retire the sealed batch in one
+        // critical section so queries always see exactly one of them.
+        let released = {
+            let mut st = self.state.lock();
+            st.runs.add(Arc::new(run));
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            let pos = st
+                .sealed
+                .iter()
+                .position(|b| b.id == batch_id)
+                .expect("claimed batch still sealed");
+            let batch = st.sealed.remove(pos);
+            batch.enqueued.then_some(batch.bytes)
+        };
+        if let Some(h) = self.workers.get() {
+            h.pool.counters.flushes.incr();
+            if let Some(bytes) = released {
+                h.pool.release_backlog(bytes);
+            }
+        }
+        self.quiesce.notify_all();
         Ok(())
     }
 
-    /// Materialize any buffered updates as a 1-pass sorted run now.
-    /// Public so callers (benchmarks, tests, maintenance jobs) can cut
-    /// a run at a workload boundary instead of waiting for the buffer
-    /// to fill; a no-op on an empty buffer.
+    /// Materialize any buffered updates as a 1-pass sorted run now,
+    /// synchronously (even in background mode). Public so callers
+    /// (benchmarks, tests, maintenance jobs) can cut a run at a
+    /// workload boundary instead of waiting for the buffer to fill; a
+    /// no-op on an empty buffer.
     pub fn flush_buffer(&self, session: &SessionHandle) -> MasmResult<()> {
-        let mut st = self.state.lock();
-        self.flush_locked(session, &mut st, false)
+        let batch_id = {
+            let mut st = self.state.lock();
+            if st.buffer.is_empty() {
+                return Ok(());
+            }
+            if st.runs.live_bytes() + st.buffer.bytes() as u64 > self.cfg.ssd_capacity {
+                return Err(MasmError::CacheFull {
+                    cached: st.runs.live_bytes(),
+                    capacity: self.cfg.ssd_capacity,
+                });
+            }
+            self.seal_batch_locked(&mut st, false).0
+        };
+        self.flush_batch(session, batch_id)
     }
 
     /// §3.5 "Handling Skews": when duplicates abound, collapse every
@@ -554,38 +916,78 @@ impl MasmEngine {
     /// than two runs were live). Fully disjoint inputs compact with
     /// `bytes_decoded == 0`: every block moves verbatim.
     pub fn compact_runs(&self, session: &SessionHandle) -> MasmResult<MergeReport> {
-        let mut st = self.state.lock();
-        let plan: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
-        if plan.len() < 2 {
-            return Ok(MergeReport::default());
-        }
-        self.merge_runs_with(session, &mut st, plan, true)
+        let plan: Vec<Arc<SortedRun>> = {
+            let mut st = self.state.lock();
+            if st.merging {
+                return Ok(MergeReport::default());
+            }
+            let plan: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
+            if plan.len() < 2 {
+                return Ok(MergeReport::default());
+            }
+            st.merging = true;
+            plan
+        };
+        self.execute_merge(session, plan, true)
     }
 
-    /// Merge the `N` earliest 1-pass runs into one 2-pass run (Fig. 8,
-    /// scan-setup lines 5–8).
-    fn merge_runs_locked(
-        &self,
-        session: &SessionHandle,
-        st: &mut EngineState,
-        plan: Vec<Arc<SortedRun>>,
-    ) -> MasmResult<()> {
-        self.merge_runs_with(session, st, plan, self.cfg.merge_duplicates)?;
-        Ok(())
+    /// Worker-side compaction: merge 1-pass runs down to the
+    /// query-page budget, one planned merge at a time.
+    fn background_compact(&self, session: &SessionHandle) -> MasmResult<()> {
+        loop {
+            let plan = {
+                let mut st = self.state.lock();
+                if st.merging || st.migrating {
+                    return Ok(());
+                }
+                match st.runs.plan_merge(&self.cfg) {
+                    Some(plan) => {
+                        st.merging = true;
+                        plan
+                    }
+                    None => return Ok(()),
+                }
+            };
+            self.execute_merge(session, plan, self.cfg.merge_duplicates)?;
+        }
     }
 
     /// The plan → execute merge pipeline: [`compact_block_runs`] plans
     /// move/merge segments from the inputs' zone maps, relinks
-    /// non-overlapping blocks verbatim, and decodes only genuinely
-    /// overlapping key ranges (prefetching `fan_in` blocks deep).
-    fn merge_runs_with(
+    /// non-overlapping blocks verbatim (move chunks pipelined `async`
+    /// up to the configured device queue depth), and streams decodes of
+    /// genuinely overlapping key ranges. The caller must have set
+    /// `merging`; this clears it on every path.
+    fn execute_merge(
         &self,
         session: &SessionHandle,
-        st: &mut EngineState,
         plan: Vec<Arc<SortedRun>>,
         fold: bool,
     ) -> MasmResult<MergeReport> {
-        let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
+        let result = self.execute_merge_inner(session, plan, fold);
+        if result.is_err() {
+            let mut st = self.state.lock();
+            st.merging = false;
+            self.maybe_rewind(&mut st);
+            drop(st);
+            self.quiesce.notify_all();
+        }
+        result
+    }
+
+    fn execute_merge_inner(
+        &self,
+        session: &SessionHandle,
+        plan: Vec<Arc<SortedRun>>,
+        fold: bool,
+    ) -> MasmResult<MergeReport> {
+        // Snapshot the active-query guard under the lock, then do the
+        // whole read-merge-write outside it: the inputs are immutable
+        // `Arc`s and the allocator hands out a private extent.
+        let active: Vec<Timestamp> = {
+            let st = self.state.lock();
+            st.active_queries.keys().copied().collect()
+        };
         let guard = |t1: Timestamp, t2: Timestamp| !active.iter().any(|&t| t1 < t && t <= t2);
         let (mut meta, encoded, report) = compact_block_runs(
             session,
@@ -595,8 +997,10 @@ impl MasmEngine {
             &plan,
             fold.then_some(&guard as &dyn Fn(Timestamp, Timestamp) -> bool),
         )?;
-        let id = st.runs.next_id();
-        let base = st.runs.alloc_space(meta.total_bytes);
+        let (id, base) = {
+            let mut st = self.state.lock();
+            (st.runs.next_id(), st.runs.alloc_space(meta.total_bytes))
+        };
         meta.base = base;
         let run = SortedRun::from_meta(id, 2, meta);
         // The simulator tracks one head position shared by reads and
@@ -609,11 +1013,10 @@ impl MasmEngine {
         // and the flush path is untouched, so a genuine backward jump
         // after the allocator rewinds stays visible there.
         self.ssd.prime_head_position(base);
-        write_built(session, &self.ssd, &run, &encoded)?;
         let old_ids: Vec<u64> = plan.iter().map(|r| r.id).collect();
-        {
-            let mut wal = self.wal.lock();
-            wal.append(
+        let written = (|| {
+            write_built(session, &self.ssd, &run, &encoded)?;
+            self.wal.append(
                 session,
                 &WalRecord::RunCreated {
                     id,
@@ -621,16 +1024,37 @@ impl MasmEngine {
                     bytes: run.bytes,
                     count: run.count,
                     passes: 2,
+                    max_ts: run.max_ts,
                 },
             )?;
-            wal.append(session, &WalRecord::RunsDeleted(old_ids.clone()))?;
+            self.wal
+                .append(session, &WalRecord::RunsDeleted(old_ids.clone()))
+        })();
+        if let Err(e) = written {
+            self.state.lock().runs.free_space(run.bytes);
+            return Err(e);
         }
         self.account_run_added(&run);
         self.record_compression(&run);
-        st.runs.add(Arc::new(run));
-        self.account_runs_removed(st, &old_ids);
-        st.runs.remove_ids(&old_ids);
+        // Handoff: swap inputs for the merged output atomically. The
+        // inputs' SSD extents are retired, not freed — a pinned query
+        // snapshot may still be reading them.
+        {
+            let mut st = self.state.lock();
+            st.runs.add(Arc::new(run));
+            self.account_runs_removed(&st, &old_ids);
+            let freed: u64 = plan.iter().map(|r| r.bytes).sum();
+            st.runs.remove_ids(&old_ids);
+            st.retired_bytes += freed;
+            st.merging = false;
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            self.maybe_rewind(&mut st);
+        }
+        if let Some(h) = self.workers.get() {
+            h.pool.counters.merges.incr();
+        }
         self.record_merge(report);
+        self.quiesce.notify_all();
         Ok(report)
     }
 
@@ -656,34 +1080,89 @@ impl MasmEngine {
         as_of: Option<Timestamp>,
         mut private: Vec<UpdateRecord>,
     ) -> MasmResult<MergeScan> {
-        let mut st = self.state.lock();
-        let query_ts = as_of.unwrap_or_else(|| self.oracle.next());
-
-        // Fig. 8 scan setup, lines 1–4: flush a full buffer first. A
-        // full SSD is not fatal here — the scan simply reads the buffer
-        // through Mem_scan; the engine reports `needs_migration`.
-        if st.buffer.bytes() >= self.cfg.update_buffer_bytes() as usize {
-            match self.flush_locked(&session, &mut st, false) {
-                Ok(()) | Err(MasmError::CacheFull { .. }) => {}
-                Err(e) => return Err(e),
+        let background = self.live_pool().is_some();
+        enum Setup {
+            Flush(u64),
+            Merge(Vec<Arc<SortedRun>>),
+        }
+        let mut enqueue_flush: Option<(u64, u64)> = None;
+        let mut enqueue_compact = false;
+        let (query_ts, mem_snapshot, sealed_snaps, runs) = loop {
+            let mut st = self.state.lock();
+            let mut action: Option<Setup> = None;
+            // Fig. 8 scan setup, lines 1–4: flush a full buffer first. A
+            // full SSD is not fatal here — the scan simply reads the
+            // buffer through Mem_scan; the engine reports
+            // `needs_migration`.
+            if st.buffer.bytes() >= self.cfg.update_buffer_bytes() as usize
+                && st.runs.live_bytes() + st.buffer.bytes() as u64 <= self.cfg.ssd_capacity
+            {
+                let (id, bytes) = self.seal_batch_locked(&mut st, background);
+                if background {
+                    // Sealed batches are query-visible; the flush runs
+                    // in the background and this scan starts now.
+                    enqueue_flush = Some((id, bytes));
+                } else {
+                    action = Some(Setup::Flush(id));
+                }
+            }
+            // Lines 5–8: cap the number of open runs by the query
+            // pages. In background mode the merge is requested, not
+            // awaited — the scan reads the still-live 1-pass runs.
+            if action.is_none() && st.runs.len() > self.cfg.query_pages() as usize {
+                if background {
+                    enqueue_compact = true;
+                } else if !st.merging {
+                    if let Some(plan) = st.runs.plan_merge(&self.cfg) {
+                        st.merging = true;
+                        action = Some(Setup::Merge(plan));
+                    }
+                }
+            }
+            match action {
+                Some(Setup::Flush(id)) => {
+                    drop(st);
+                    if let Err(e) = self.flush_batch(&session, id) {
+                        // Return the batch to the buffer (it is already
+                        // durable in the WAL) so nothing is lost.
+                        self.abandon_batch(id);
+                        return Err(e);
+                    }
+                }
+                Some(Setup::Merge(plan)) => {
+                    drop(st);
+                    self.execute_merge(&session, plan, self.cfg.merge_duplicates)?;
+                }
+                None => {
+                    let query_ts = as_of.unwrap_or_else(|| self.oracle.next());
+                    let mem_snapshot = st.buffer.snapshot_range(begin, end, query_ts);
+                    let sealed_snaps: Vec<Arc<Vec<UpdateRecord>>> =
+                        st.sealed.iter().map(|b| Arc::clone(&b.updates)).collect();
+                    let runs: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
+                    let pinned = runs.len() as u64;
+                    st.active_queries.insert(
+                        query_ts,
+                        QueryPin {
+                            pages: pinned,
+                            epoch: self.epoch.load(Ordering::Acquire),
+                        },
+                    );
+                    st.pinned_pages += pinned;
+                    break (query_ts, mem_snapshot, sealed_snaps, runs);
+                }
+            }
+        };
+        if let (Some((id, bytes)), Some(h)) = (enqueue_flush, self.workers.get()) {
+            h.pool.enqueue_flush(id, bytes);
+        }
+        if enqueue_compact {
+            if let Some(h) = self.workers.get() {
+                h.pool.enqueue_compact();
             }
         }
-        // Lines 5–8: cap the number of open runs by the query pages.
-        while st.runs.len() > self.cfg.query_pages() as usize {
-            match st.runs.plan_merge(&self.cfg) {
-                Some(plan) => self.merge_runs_locked(&session, &mut st, plan)?,
-                None => break,
-            }
-        }
 
-        let mem_snapshot = st.buffer.snapshot_range(begin, end, query_ts);
-        let runs: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
-        let pinned = runs.len() as u64;
-        st.active_queries.insert(query_ts, pinned);
-        st.pinned_pages += pinned;
-        drop(st);
-
-        let mut streams: Vec<UpdateStream> = Vec::with_capacity(runs.len() + 2);
+        let mut streams: Vec<UpdateStream> =
+            Vec::with_capacity(runs.len() + sealed_snaps.len() + 2);
         for run in &runs {
             if run.max_key < begin || run.min_key > end {
                 continue;
@@ -700,6 +1179,18 @@ impl MasmEngine {
                 .with_fetch_histogram(Arc::clone(&self.metrics.block_fetch)),
             ));
         }
+        // Sealed batches (awaiting background flush) are part of the
+        // snapshot: their updates are not yet in any run.
+        for batch in &sealed_snaps {
+            let slice: Vec<UpdateRecord> = batch
+                .iter()
+                .filter(|u| u.key >= begin && u.key <= end)
+                .cloned()
+                .collect();
+            if !slice.is_empty() {
+                streams.push(Box::new(slice.into_iter()));
+            }
+        }
         streams.push(Box::new(mem_snapshot.into_iter()));
         if !private.is_empty() {
             private.sort_by_key(|a| (a.key, a.ts));
@@ -715,7 +1206,6 @@ impl MasmEngine {
             engine: Arc::clone(self),
             session,
             ts: query_ts,
-            pinned,
             cpu_per_record: 0,
             closed: false,
         })
@@ -734,14 +1224,24 @@ impl MasmEngine {
     /// return, at a fraction of the setup cost.
     pub fn get(self: &Arc<Self>, session: &SessionHandle, key: Key) -> MasmResult<Option<Record>> {
         let _t = Timer::start(&self.metrics.get, || session.now());
-        let ts = self.oracle.next();
         // Register as an active query so a concurrent migration cannot
         // retire the runs (and recycle their SSD space) mid-lookup.
-        let (runs, mem) = {
+        let (ts, runs, sealed, mem) = {
             let mut st = self.state.lock();
-            st.active_queries.insert(ts, 0);
+            let ts = self.oracle.next();
+            st.active_queries.insert(
+                ts,
+                QueryPin {
+                    pages: 0,
+                    epoch: self.epoch.load(Ordering::Acquire),
+                },
+            );
+            let sealed: Vec<Arc<Vec<UpdateRecord>>> =
+                st.sealed.iter().map(|b| Arc::clone(&b.updates)).collect();
             (
+                ts,
                 st.runs.runs().to_vec(),
+                sealed,
                 st.buffer.snapshot_range(key, key, ts),
             )
         };
@@ -753,6 +1253,9 @@ impl MasmEngine {
                         .into_iter()
                         .filter(|u| u.ts <= ts),
                 );
+            }
+            for batch in &sealed {
+                updates.extend(batch.iter().filter(|u| u.key == key && u.ts <= ts).cloned());
             }
             updates.extend(mem);
             updates.sort_by_key(|u| u.ts);
@@ -773,28 +1276,44 @@ impl MasmEngine {
             }
             Ok(current)
         })();
-        self.finish_scan(ts, 0);
+        self.finish_scan(ts);
         result
     }
 
-    fn finish_scan(&self, ts: Timestamp, pinned: u64) {
+    fn finish_scan(&self, ts: Timestamp) {
         let mut st = self.state.lock();
-        st.active_queries.remove(&ts);
+        let pinned = st.active_queries.remove(&ts).map_or(0, |pin| pin.pages);
         st.pinned_pages -= pinned.min(st.pinned_pages);
-        if st.active_queries.is_empty() && st.retired_bytes > 0 {
-            st.retired_bytes = 0;
-            // Recompute allocator state from the live runs: retired run
-            // space becomes reusable only now that no scan can touch it.
-            let (mut high, mut live) = (0u64, 0u64);
-            for r in st.runs.runs() {
-                high = high.max(r.base + r.bytes);
-                live += r.bytes;
-            }
-            st.runs
-                .set_space(SsdSpace::with_state(self.cfg.ssd_region_base, high, live));
-        }
+        self.maybe_rewind(&mut st);
         drop(st);
         self.quiesce.notify_all();
+    }
+
+    /// Recycle retired run extents once the engine quiesces: no active
+    /// query snapshot can still be reading a retired run, no sealed
+    /// batch has an extent allocation in flight, and no merge or
+    /// migration holds an unpublished extent. Until then the bump
+    /// allocator never reuses space, which is what makes lock-free
+    /// snapshot reads of retired runs safe.
+    fn maybe_rewind(&self, st: &mut EngineState) {
+        if st.retired_bytes == 0
+            || !st.active_queries.is_empty()
+            || !st.sealed.is_empty()
+            || st.merging
+            || st.migrating
+        {
+            return;
+        }
+        st.retired_bytes = 0;
+        // Recompute allocator state from the live runs: retired run
+        // space becomes reusable only now that no scan can touch it.
+        let (mut high, mut live) = (0u64, 0u64);
+        for r in st.runs.runs() {
+            high = high.max(r.base + r.bytes);
+            live += r.bytes;
+        }
+        st.runs
+            .set_space(SsdSpace::with_state(self.cfg.ssd_region_base, high, live));
     }
 
     /// Migrate all currently materialized runs back into the main data,
@@ -802,61 +1321,111 @@ impl MasmEngine {
     /// than the migration timestamp finish; queries arriving afterwards
     /// run concurrently and stay correct via page timestamps.
     pub fn migrate(self: &Arc<Self>, session: &SessionHandle) -> MasmResult<MigrationReport> {
-        let (mig_ts, runs) = {
+        {
             let mut st = self.state.lock();
             if st.migrating {
                 return Ok(MigrationReport::default());
             }
-            // Flush the in-memory buffer so every update earlier than the
-            // migration timestamp lives in a run: migrated pages carry
-            // `mig_ts`, which must truthfully mean "all updates with
-            // ts ≤ mig_ts are in this page".
-            self.flush_locked(session, &mut st, true)?;
-            if st.runs.is_empty() {
-                return Ok(MigrationReport::default());
-            }
-            let mig_ts = self.oracle.next();
-            let runs: Vec<Arc<SortedRun>> = st.runs.runs().to_vec();
             st.migrating = true;
-            self.wal.lock().append(
-                session,
-                &WalRecord::MigrationBegin {
-                    ts: mig_ts,
-                    run_ids: runs.iter().map(|r| r.id).collect(),
-                },
-            )?;
-            (mig_ts, runs)
+        }
+        let result = self.migrate_inner(session);
+        if result.is_err() {
+            // Error path must never wedge the engine: clear the claim
+            // so the next migrate (or retry) can run, and wake waiters.
+            let mut st = self.state.lock();
+            st.migrating = false;
+            self.maybe_rewind(&mut st);
+            drop(st);
+            self.quiesce.notify_all();
+        }
+        result
+    }
+
+    /// Drain buffered and sealed updates into runs so every update
+    /// earlier than the migration timestamp lives in a run: migrated
+    /// pages carry `mig_ts`, which must truthfully mean "all updates
+    /// with ts ≤ mig_ts are in this page". Returns the migration
+    /// timestamp and run snapshot, or `None` when there is nothing to
+    /// migrate. Caller must hold the `migrating` claim.
+    fn quiesce_updates_for_migration(
+        &self,
+        session: &SessionHandle,
+    ) -> MasmResult<Option<(Timestamp, Vec<Arc<SortedRun>>)>> {
+        loop {
+            let flush_id = {
+                let mut st = self.state.lock();
+                if !st.buffer.is_empty() {
+                    Some(self.seal_batch_locked(&mut st, false).0)
+                } else if let Some(b) = st.sealed.iter().find(|b| !b.claimed) {
+                    Some(b.id)
+                } else if !st.sealed.is_empty() {
+                    // A worker owns the remaining batches; wait for it
+                    // to publish (or unclaim on error) and re-check.
+                    self.quiesce.wait(st.inner_mut());
+                    continue;
+                } else if st.runs.is_empty() {
+                    return Ok(None);
+                } else {
+                    return Ok(Some((self.oracle.next(), st.runs.runs().to_vec())));
+                }
+            };
+            if let Some(id) = flush_id {
+                self.flush_batch(session, id)?;
+            }
+        }
+    }
+
+    fn migrate_inner(self: &Arc<Self>, session: &SessionHandle) -> MasmResult<MigrationReport> {
+        let Some((mig_ts, runs)) = self.quiesce_updates_for_migration(session)? else {
+            self.state.lock().migrating = false;
+            return Ok(MigrationReport::default());
         };
+        self.wal.append(
+            session,
+            &WalRecord::MigrationBegin {
+                ts: mig_ts,
+                run_ids: runs.iter().map(|r| r.id).collect(),
+            },
+        )?;
         // Past the early returns: this is a real migration, time it
         // end-to-end (quiesce wait + merge + run retirement).
         let _t = Timer::start(&self.metrics.migrate, || session.now());
 
-        // Wait for queries earlier than t (§3.2).
+        // Wait for queries earlier than t (§3.2). Queries arriving
+        // after t run concurrently throughout — page timestamps keep
+        // them correct, and the runs' SSD extents stay allocated until
+        // the post-quiesce rewind.
         {
             let mut st = self.state.lock();
             while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
-                self.quiesce.wait(&mut st);
+                self.quiesce.wait(st.inner_mut());
             }
         }
 
         let report = self.drive_migration(session, mig_ts, &runs)?;
 
-        // Delete the migrated runs. Wait until no query still holds
-        // their Run_scans before releasing the SSD space for reuse.
+        let ids: Vec<u64> = runs.iter().map(|r| r.id).collect();
+        self.wal
+            .append(session, &WalRecord::RunsDeleted(ids.clone()))?;
+        self.wal
+            .append(session, &WalRecord::MigrationEnd { ts: mig_ts })?;
+        // Handoff: retire the migrated runs. Their extents are recycled
+        // only at the quiesce rewind, so queries that started after
+        // `mig_ts` and still hold the old snapshot keep reading safely.
         {
             let mut st = self.state.lock();
-            while !st.active_queries.is_empty() {
-                self.quiesce.wait(&mut st);
-            }
-            let ids: Vec<u64> = runs.iter().map(|r| r.id).collect();
-            let mut wal = self.wal.lock();
-            wal.append(session, &WalRecord::RunsDeleted(ids.clone()))?;
-            wal.append(session, &WalRecord::MigrationEnd { ts: mig_ts })?;
-            drop(wal);
             self.account_runs_removed(&st, &ids);
+            let freed: u64 = runs.iter().map(|r| r.bytes).sum();
             st.runs.remove_ids(&ids);
+            st.retired_bytes += freed;
             st.migrating = false;
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            self.maybe_rewind(&mut st);
         }
+        if let Some(h) = self.workers.get() {
+            h.pool.counters.migrations.incr();
+        }
+        self.quiesce.notify_all();
         Ok(report)
     }
 
@@ -873,18 +1442,34 @@ impl MasmEngine {
         begin: Key,
         end: Key,
     ) -> MasmResult<MigrationReport> {
-        let (mig_ts, runs) = {
+        {
             let mut st = self.state.lock();
-            if st.migrating || st.runs.is_empty() {
+            if st.migrating || (st.runs.is_empty() && st.buffer.is_empty() && st.sealed.is_empty())
+            {
                 return Ok(MigrationReport::default());
             }
-            self.flush_locked(session, &mut st, true)?;
-            if st.runs.is_empty() {
-                return Ok(MigrationReport::default());
-            }
-            let mig_ts = self.oracle.next();
             st.migrating = true;
-            (mig_ts, st.runs.runs().to_vec())
+        }
+        let result = self.migrate_range_inner(session, begin, end);
+        if result.is_err() {
+            let mut st = self.state.lock();
+            st.migrating = false;
+            self.maybe_rewind(&mut st);
+            drop(st);
+            self.quiesce.notify_all();
+        }
+        result
+    }
+
+    fn migrate_range_inner(
+        self: &Arc<Self>,
+        session: &SessionHandle,
+        begin: Key,
+        end: Key,
+    ) -> MasmResult<MigrationReport> {
+        let Some((mig_ts, runs)) = self.quiesce_updates_for_migration(session)? else {
+            self.state.lock().migrating = false;
+            return Ok(MigrationReport::default());
         };
         let _t = Timer::start(&self.metrics.migrate, || session.now());
         // Queries older than the migration timestamp must not observe
@@ -892,7 +1477,7 @@ impl MasmEngine {
         {
             let mut st = self.state.lock();
             while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
-                self.quiesce.wait(&mut st);
+                self.quiesce.wait(st.inner_mut());
             }
         }
 
@@ -918,7 +1503,11 @@ impl MasmEngine {
             self.rewrite_with_updates(session, mig_ts, updates, &mut rewriter, runs.len())?;
         rewriter.finish();
 
-        self.state.lock().migrating = false;
+        {
+            let mut st = self.state.lock();
+            st.migrating = false;
+            self.maybe_rewind(&mut st);
+        }
         self.quiesce.notify_all();
         Ok(report)
     }
@@ -968,7 +1557,7 @@ impl MasmEngine {
             if !records.is_empty() {
                 self.heap.bulk_load(session, records, 1.0)?;
                 let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
-                self.wal.lock().append(
+                self.wal.append(
                     session,
                     &WalRecord::HeapLoaded {
                         base: page_map.first().copied().unwrap_or(0),
@@ -1070,9 +1659,7 @@ impl MasmEngine {
             }
             pages_written += new_pages.len() as u64;
             let commit = rewriter.commit_chunk(new_pages)?;
-            self.wal
-                .lock()
-                .append(session, &WalRecord::MapSplice(commit))?;
+            self.wal.append(session, &WalRecord::MapSplice(commit))?;
         }
 
         Ok(MigrationReport {
@@ -1120,6 +1707,7 @@ impl MasmEngine {
                     base,
                     bytes,
                     passes,
+                    max_ts: run_max_ts,
                     ..
                 } => {
                     live_runs.insert(
@@ -1131,7 +1719,13 @@ impl MasmEngine {
                     );
                     run_bytes.insert(*id, *bytes);
                     if *passes == 1 {
-                        pending.clear();
+                        // Updates at or below the run's max timestamp
+                        // are durable in the run; the rest were still
+                        // buffer-resident at the crash. A timestamp
+                        // filter (not log position) because concurrent
+                        // appenders interleave Update and RunCreated
+                        // records; re-applied duplicates are idempotent.
+                        pending.retain(|u| u.ts > *run_max_ts);
                     }
                 }
                 WalRecord::RunsDeleted(ids) => {
@@ -1222,16 +1816,21 @@ impl MasmEngine {
             cfg,
             schema,
             oracle: TimestampOracle::resume_after(max_ts),
-            state: Mutex::new(EngineState {
+            state: TrackedMutex::new(EngineState {
                 buffer,
                 runs,
+                sealed: Vec::new(),
+                next_batch: 0,
                 active_queries: BTreeMap::new(),
                 pinned_pages: 0,
                 retired_bytes: 0,
+                merging: false,
                 migrating: false,
             }),
             quiesce: Condvar::new(),
-            wal: Mutex::new(Wal::new(wal_dev, wal_end)),
+            wal: Wal::new(wal_dev, wal_end),
+            epoch: AtomicU64::new(0),
+            workers: OnceLock::new(),
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
@@ -1240,6 +1839,7 @@ impl MasmEngine {
             compression_totals: Mutex::new(compression),
             metrics: EngineMetrics::new(),
         });
+        Self::start_workers(&engine);
 
         let mut report = RecoveryReport {
             updates_recovered,
@@ -1262,7 +1862,6 @@ pub struct MergeScan {
     engine: Arc<MasmEngine>,
     session: SessionHandle,
     ts: Timestamp,
-    pinned: u64,
     cpu_per_record: u64,
     closed: bool,
 }
@@ -1305,7 +1904,7 @@ impl Drop for MergeScan {
     fn drop(&mut self) {
         if !self.closed {
             self.closed = true;
-            self.engine.finish_scan(self.ts, self.pinned);
+            self.engine.finish_scan(self.ts);
         }
     }
 }
@@ -1613,21 +2212,22 @@ mod tests {
             .map(|r| r.key)
             .collect();
         // Simulate a crash mid-migration: log MigrationBegin but stop.
-        {
+        // (The state lock is dropped before the WAL append — holding it
+        // across device I/O trips the lock-discipline debug assert.)
+        let ids: Vec<u64> = {
             let st = engine.state.lock();
-            let ids: Vec<u64> = st.runs.runs().iter().map(|r| r.id).collect();
-            engine
-                .wal
-                .lock()
-                .append(
-                    &session,
-                    &WalRecord::MigrationBegin {
-                        ts: engine.oracle.next(),
-                        run_ids: ids,
-                    },
-                )
-                .unwrap();
-        }
+            st.runs.runs().iter().map(|r| r.id).collect()
+        };
+        engine
+            .wal
+            .append(
+                &session,
+                &WalRecord::MigrationBegin {
+                    ts: engine.oracle.next(),
+                    run_ids: ids,
+                },
+            )
+            .unwrap();
         drop(engine);
         let heap2 = Arc::new(TableHeap::new(disk, HeapConfig::default()));
         let (engine2, report) =

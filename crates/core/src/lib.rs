@@ -47,6 +47,7 @@ pub mod txn;
 pub mod update;
 pub mod view;
 pub mod wal;
+pub(crate) mod worker;
 
 pub use config::{CachePolicy, CodecChoice, IndexGranularity, MasmConfig};
 pub use engine::{MasmEngine, MergeScan};

@@ -30,12 +30,12 @@
 //! ranges.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use masm_blockrun::{BlockRunMeta, BloomFilter, MergePlanner, RunBuilder, Segment};
 use masm_pagestore::{Key, Record, Schema};
-use masm_storage::{MergeReport, SessionHandle, SimDevice};
+use masm_storage::{IoTicket, MergeReport, SessionHandle, SimDevice};
 
 use crate::config::MasmConfig;
 use crate::error::MasmResult;
@@ -207,17 +207,49 @@ fn union_input_blooms(inputs: &[Arc<SortedRun>]) -> Option<BloomFilter> {
     (union.fill_ratio() < 0.95).then_some(union)
 }
 
+/// Widest single read used when relocating *Move* segments: chunks are
+/// block-aligned and at most this many bytes.
+const MOVE_READ_BYTES: u64 = 1 << 20;
+
+/// One contiguous, block-aligned byte range of a *Move* segment.
+/// Chunks are precomputed for the whole plan so their reads can be
+/// issued asynchronously ahead of consumption, up to the configured
+/// device queue depth.
+#[derive(Debug, Clone, Copy)]
+struct MoveChunk {
+    /// Input run index.
+    run: usize,
+    /// Zone (block) range covered by this chunk.
+    zone_lo: usize,
+    zone_hi: usize,
+    /// Absolute device offset of the first block.
+    offset: u64,
+    /// Total bytes spanned.
+    span: u64,
+}
+
 /// Zero-decode compaction of block runs: the plan → execute pipeline.
 ///
 /// The [`MergePlanner`] partitions the inputs' key space from their
 /// zone maps alone. *Move* segments — blocks whose key range overlaps
 /// no other input — are copied as raw verified bytes (CRC checked,
-/// never delta-decoded) via [`RunBuilder::append_raw_block`]. *Merge*
-/// segments are decoded through [`RunScan`]s (with the prefetch depth
-/// driven by the plan's fan-in, so a k-way merge keeps ≈k reads in
-/// flight) and folded through [`KWayUpdates`], optionally collapsing
-/// duplicate updates under `fold_guard` (§3.5 "Handling Skews": a pair
-/// folds only when no concurrent query timestamp separates it).
+/// never delta-decoded) via [`RunBuilder::append_raw_block`]. Their
+/// chunked reads execute **in parallel**: up to
+/// [`MasmConfig::device_queue_depth`] chunk reads are kept in flight
+/// (issued ahead, across consecutive segments), and the builder
+/// consumes them strictly in plan order — the SSD overlaps the
+/// transfers while the output stays byte-identical to the serial
+/// execution. *Merge* segments are decoded through [`RunScan`]s (with
+/// the prefetch depth driven by the plan's fan-in, so a k-way merge
+/// keeps ≈k reads in flight) and **streamed** entry-at-a-time through
+/// [`KWayUpdates`] into the builder, optionally collapsing duplicate
+/// updates under `fold_guard` (§3.5 "Handling Skews": a pair folds
+/// only when no concurrent query timestamp separates it). A merge
+/// segment never materializes its output: the in-memory working set is
+/// one head per input stream, one pending fold candidate, and the
+/// builder's open block — `report.peak_merge_entries` records the
+/// maximum, which §3.3's memory bound requires to stay independent of
+/// the segment's total entry count.
 ///
 /// Returns the built (un-rebased, un-written) output run metadata and
 /// bytes plus the [`MergeReport`]; the caller allocates SSD space,
@@ -242,42 +274,78 @@ pub fn compact_block_runs(
         ..MergeReport::default()
     };
 
+    // Blocks of one run are laid out back to back, so a move segment is
+    // one contiguous byte range: precompute its wide chunks
+    // (block-aligned, ≤ MOVE_READ_BYTES) for the *whole* plan up front.
+    // `seg_chunks[i]` is the chunk index range owned by segment `i`
+    // (empty for merge segments).
+    let mut chunks: Vec<MoveChunk> = Vec::new();
+    let mut seg_chunks: Vec<std::ops::Range<usize>> = Vec::with_capacity(plan.segments.len());
     for seg in &plan.segments {
-        match seg {
-            Segment::Move { run, blocks } => {
-                // Blocks of one run are laid out back to back, so a
-                // move segment is one contiguous byte range: read it in
-                // wide chunks (block-aligned, ≤ MOVE_READ_BYTES) rather
-                // than one small I/O per block, then stitch each block
-                // in verbatim (per-block CRC still verified).
-                const MOVE_READ_BYTES: u64 = 1 << 20;
-                let meta = &inputs[*run].meta;
-                let mut idx = blocks.start;
-                while idx < blocks.end {
-                    let first = meta.zones[idx];
-                    let mut end = idx + 1;
-                    while end < blocks.end {
-                        let z = meta.zones[end];
-                        debug_assert_eq!(
-                            z.offset,
-                            meta.zones[end - 1].offset + meta.zones[end - 1].len as u64,
-                            "blocks of one run are contiguous"
-                        );
-                        if z.offset + z.len as u64 - first.offset > MOVE_READ_BYTES {
-                            break;
-                        }
-                        end += 1;
+        let lo = chunks.len();
+        if let Segment::Move { run, blocks } = seg {
+            let meta = &inputs[*run].meta;
+            let mut idx = blocks.start;
+            while idx < blocks.end {
+                let first = meta.zones[idx];
+                let mut end = idx + 1;
+                while end < blocks.end {
+                    let z = meta.zones[end];
+                    debug_assert_eq!(
+                        z.offset,
+                        meta.zones[end - 1].offset + meta.zones[end - 1].len as u64,
+                        "blocks of one run are contiguous"
+                    );
+                    if z.offset + z.len as u64 - first.offset > MOVE_READ_BYTES {
+                        break;
                     }
-                    let last = meta.zones[end - 1];
-                    let span = last.offset + last.len as u64 - first.offset;
-                    let raw = session.read(ssd, meta.base + first.offset, span)?;
-                    for zone in &meta.zones[idx..end] {
-                        let lo = (zone.offset - first.offset) as usize;
+                    end += 1;
+                }
+                let last = meta.zones[end - 1];
+                chunks.push(MoveChunk {
+                    run: *run,
+                    zone_lo: idx,
+                    zone_hi: end,
+                    offset: meta.base + first.offset,
+                    span: last.offset + last.len as u64 - first.offset,
+                });
+                idx = end;
+            }
+        }
+        seg_chunks.push(lo..chunks.len());
+    }
+
+    // The move pipeline: chunk reads are issued asynchronously ahead of
+    // consumption, keeping up to `device_queue_depth` in flight — also
+    // across a merge segment, so the device overlaps the next move
+    // segment's transfers with the merge's decode reads. Tickets are
+    // awaited strictly in chunk order, so blocks reach the builder in
+    // plan order regardless of completion order.
+    let queue_depth = cfg.device_queue_depth.max(1);
+    let mut inflight: VecDeque<IoTicket> = VecDeque::new();
+    let mut next_issue = 0usize;
+
+    for (seg_idx, seg) in plan.segments.iter().enumerate() {
+        match seg {
+            Segment::Move { .. } => {
+                for ci in seg_chunks[seg_idx].clone() {
+                    while next_issue <= ci
+                        || (inflight.len() < queue_depth && next_issue < chunks.len())
+                    {
+                        let c = chunks[next_issue];
+                        inflight.push_back(session.read_async(ssd, c.offset, c.span)?);
+                        next_issue += 1;
+                    }
+                    let raw = session.wait(inflight.pop_front().expect("issued ahead"));
+                    let c = chunks[ci];
+                    let meta = &inputs[c.run].meta;
+                    let first_off = meta.zones[c.zone_lo].offset;
+                    for zone in &meta.zones[c.zone_lo..c.zone_hi] {
+                        let lo = (zone.offset - first_off) as usize;
                         builder.append_raw_block(&raw[lo..lo + zone.len as usize], zone)?;
                         report.blocks_moved += 1;
                         report.bytes_moved += zone.len as u64;
                     }
-                    idx = end;
                 }
             }
             Segment::Merge {
@@ -304,19 +372,39 @@ pub fn compact_block_runs(
                         ) as UpdateStream
                     })
                     .collect();
-                let merged: Vec<UpdateRecord> = KWayUpdates::new(streams).collect();
-                let merged = match fold_guard {
-                    Some(guard) => fold_duplicates(merged, schema, guard),
-                    None => merged,
-                };
                 for (run_idx, range) in parts {
                     for z in &inputs[*run_idx].meta.zones[range.clone()] {
                         report.blocks_merged += 1;
                         report.bytes_decoded += z.len as u64;
                     }
                 }
-                for u in &merged {
-                    builder.append_entry(to_entry(u));
+                // Stream the k-way fold entry-at-a-time into the
+                // builder (§3.3): the segment's merged output is never
+                // materialized. `pending` holds the one candidate a
+                // later same-key update may still fold into (same
+                // consecutive-pair semantics as [`fold_duplicates`]);
+                // it is appended the moment the key advances.
+                let heads = parts.len();
+                let mut pending: Option<UpdateRecord> = None;
+                for next in KWayUpdates::new(streams) {
+                    pending = Some(match pending.take() {
+                        Some(cur)
+                            if cur.key == next.key
+                                && fold_guard.is_some_and(|g| g(cur.ts, next.ts)) =>
+                        {
+                            cur.merge_with_later(&next, schema)
+                        }
+                        Some(cur) => {
+                            builder.append_entry(to_entry(&cur));
+                            next
+                        }
+                        None => next,
+                    });
+                    let live = (heads + 1 + builder.open_block_entries()) as u64;
+                    report.peak_merge_entries = report.peak_merge_entries.max(live);
+                }
+                if let Some(cur) = pending {
+                    builder.append_entry(to_entry(&cur));
                 }
             }
         }

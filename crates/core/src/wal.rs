@@ -17,6 +17,8 @@
 //! Data-page contents are **not** logged during migration — redo simply
 //! re-runs the migration, and page timestamps make that idempotent.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use masm_pagestore::{ChunkCommit, Key};
 use masm_storage::{SessionHandle, SimDevice};
 
@@ -41,6 +43,13 @@ pub enum WalRecord {
         count: u64,
         /// 1-pass or 2-pass.
         passes: u8,
+        /// Highest update timestamp contained in the run. Recovery uses
+        /// it to drop exactly the pending logged updates this run
+        /// absorbed (`ts ≤ max_ts`): with background flushes, Update
+        /// records for *newer* updates may be logged before the flush
+        /// worker appends its RunCreated, so "clear everything logged
+        /// so far" would lose them.
+        max_ts: Timestamp,
     },
     /// Runs were deleted (after migration or a 2-pass merge).
     RunsDeleted(Vec<u64>),
@@ -124,11 +133,13 @@ impl WalRecord {
                 bytes,
                 count,
                 passes,
+                max_ts,
             } => {
                 out.extend_from_slice(&id.to_le_bytes());
                 out.extend_from_slice(&base.to_le_bytes());
                 out.extend_from_slice(&bytes.to_le_bytes());
                 out.extend_from_slice(&count.to_le_bytes());
+                out.extend_from_slice(&max_ts.to_le_bytes());
                 out.push(*passes);
             }
             WalRecord::RunsDeleted(ids) => put_u64s(out, ids),
@@ -192,6 +203,7 @@ impl WalRecord {
                 base: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run base"))?,
                 bytes: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run bytes"))?,
                 count: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run count"))?,
+                max_ts: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("run max_ts"))?,
                 passes: *body.get(pos).ok_or(MasmError::Corrupt("run passes"))?,
             },
             2 => WalRecord::RunsDeleted(
@@ -254,32 +266,42 @@ impl WalRecord {
 }
 
 /// An append-only redo log on a simulated device.
+///
+/// Appends take `&self`: the next write offset is an atomic that each
+/// append *reserves* with `fetch_add` before issuing the device write.
+/// Concurrent appenders (foreground ingest, background flush/migration
+/// workers) therefore never hold an engine lock across the log I/O —
+/// they claim disjoint byte ranges and write them in parallel.
 #[derive(Debug)]
 pub struct Wal {
     dev: SimDevice,
-    offset: u64,
+    offset: AtomicU64,
 }
 
 impl Wal {
     /// Open a (fresh or recovered) log on `dev`, appending after
     /// `offset` bytes of existing records.
     pub fn new(dev: SimDevice, offset: u64) -> Self {
-        Wal { dev, offset }
+        Wal {
+            dev,
+            offset: AtomicU64::new(offset),
+        }
     }
 
     /// Append one record (a sequential device write charged to
-    /// `session`).
-    pub fn append(&mut self, session: &SessionHandle, rec: &WalRecord) -> MasmResult<()> {
+    /// `session`). Lock-free: reserves the byte range atomically, then
+    /// writes outside any engine lock.
+    pub fn append(&self, session: &SessionHandle, rec: &WalRecord) -> MasmResult<()> {
         let mut buf = Vec::with_capacity(64);
         rec.encode_into(&mut buf);
-        session.write(&self.dev, self.offset, &buf)?;
-        self.offset += buf.len() as u64;
+        let off = self.offset.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        session.write(&self.dev, off, &buf)?;
         Ok(())
     }
 
     /// Current end offset.
     pub fn offset(&self) -> u64 {
-        self.offset
+        self.offset.load(Ordering::Relaxed)
     }
 
     /// The underlying device.
@@ -321,6 +343,7 @@ mod tests {
                 bytes: 1234,
                 count: 10,
                 passes: 1,
+                max_ts: 8,
             },
             WalRecord::RunsDeleted(vec![1, 2, 3]),
             WalRecord::MigrationBegin {
@@ -376,7 +399,7 @@ mod tests {
         let clock = SimClock::new();
         let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let session = SessionHandle::fresh(clock);
-        let mut wal = Wal::new(dev.clone(), 0);
+        let wal = Wal::new(dev.clone(), 0);
         let records = sample_records();
         for r in &records {
             wal.append(&session, r).unwrap();
@@ -391,7 +414,7 @@ mod tests {
         let clock = SimClock::new();
         let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
         let session = SessionHandle::fresh(clock);
-        let mut wal = Wal::new(dev.clone(), 0);
+        let wal = Wal::new(dev.clone(), 0);
         for i in 0..100u64 {
             wal.append(
                 &session,

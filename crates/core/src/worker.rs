@@ -1,0 +1,330 @@
+//! Background maintenance workers: the engine's flush / compaction /
+//! migration execution pool.
+//!
+//! With `background_workers > 0` the engine never pays a flush or merge
+//! inline on the ingest or scan path. Instead it *seals* the full
+//! in-memory buffer into an immutable batch, enqueues a job here, and
+//! returns; a pool thread materializes the run off the critical path.
+//! Callers only ever throttle through the bounded-backlog backpressure
+//! gate ([`WorkerPool::wait_for_space`]) — ingest degrades to a wait,
+//! never to inline I/O.
+//!
+//! Scheduling rules:
+//!
+//! * **Flush** jobs carry the id of one sealed batch. They are the only
+//!   job kind that can exist more than once in the queue.
+//! * **Compact** and **Migrate** are deduplicated: at most one of each
+//!   queued at a time (re-requested after completion if still needed by
+//!   [`crate::engine::MasmEngine`]'s maintenance check).
+//! * A failing job retries up to [`MAX_JOB_ATTEMPTS`] times; a flush
+//!   that exhausts its retries is *abandoned* — the engine moves the
+//!   sealed batch's updates back into the in-memory buffer so no data
+//!   is lost and queries keep seeing it (the WAL already holds every
+//!   update). Workers never wedge on a poisoned job.
+//! * Shutdown is **drain-then-exit**: queued jobs still run after
+//!   [`WorkerPool::shutdown`] is signalled; threads exit once the queue
+//!   is empty. [`WorkerHandle::join`] gives deterministic teardown.
+//!
+//! The pool's own mutex is a [`TrackedMutex`]: holding it across device
+//! I/O is a debug-mode panic, same as the engine state lock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use parking_lot::Condvar;
+
+use masm_storage::TrackedMutex;
+use masm_telemetry::{Counter, Gauge, Registry, Unit};
+
+use crate::engine::MasmEngine;
+
+/// Retry budget per job: a job that fails this many times is abandoned
+/// (flushes return their batch to the buffer; compactions and
+/// migrations are simply dropped and re-requested by the next
+/// maintenance check).
+pub(crate) const MAX_JOB_ATTEMPTS: u32 = 3;
+
+/// One unit of background work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobKind {
+    /// Materialize sealed batch `batch_id` as a 1-pass run.
+    Flush { batch_id: u64 },
+    /// Merge 1-pass runs down to the query-page budget.
+    Compact,
+    /// Migrate cached updates back into the main data.
+    Migrate,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub kind: JobKind,
+    pub attempts: u32,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Bytes of sealed batches whose flush has not yet completed (the
+    /// backpressure signal; includes batches currently being flushed).
+    backlog_bytes: u64,
+    compact_queued: bool,
+    migrate_queued: bool,
+    shutdown: bool,
+}
+
+/// Registry-backed monotonic event counters, incremented by the workers
+/// themselves at the point each event happens (satellite rule: the
+/// subsystem pushes its own metrics; the engine only reads them).
+pub(crate) struct WorkerCounters {
+    pub jobs_completed: Arc<Counter>,
+    pub jobs_retried: Arc<Counter>,
+    pub jobs_failed: Arc<Counter>,
+    pub flushes: Arc<Counter>,
+    pub merges: Arc<Counter>,
+    pub migrations: Arc<Counter>,
+}
+
+impl WorkerCounters {
+    fn new(registry: &Registry) -> Self {
+        let c = |name, help| registry.counter("worker", name, Unit::Ops, help);
+        WorkerCounters {
+            jobs_completed: c("jobs_completed", "background jobs that succeeded"),
+            jobs_retried: c("jobs_retried", "background jobs re-queued after an error"),
+            jobs_failed: c("jobs_failed", "background jobs abandoned after max retries"),
+            flushes: c("flushes", "1-pass runs materialized by workers"),
+            merges: c("merges", "2-pass merges executed by workers"),
+            migrations: c("migrations", "migrations executed by workers"),
+        }
+    }
+}
+
+/// Shared state of the worker pool. The engine holds it in a
+/// [`WorkerHandle`]; each worker thread holds its own `Arc`.
+pub(crate) struct WorkerPool {
+    state: TrackedMutex<PoolState>,
+    /// Signalled when work is enqueued or shutdown is requested.
+    work: Condvar,
+    /// Signalled when backlog bytes drop (flush completed or abandoned).
+    space: Condvar,
+    pub counters: WorkerCounters,
+    /// Gauge mirrors, owned by the pool and updated at every transition.
+    queue_depth: Arc<Gauge>,
+    backlog_gauge: Arc<Gauge>,
+    pub threads: usize,
+    backlog_limit: u64,
+}
+
+impl WorkerPool {
+    pub fn new(threads: usize, backlog_limit: u64, registry: &Registry) -> Arc<Self> {
+        let g = |name, unit, help| registry.gauge("worker", name, unit, help);
+        let pool = WorkerPool {
+            state: TrackedMutex::new(PoolState {
+                queue: VecDeque::new(),
+                backlog_bytes: 0,
+                compact_queued: false,
+                migrate_queued: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            counters: WorkerCounters::new(registry),
+            queue_depth: g("queue_depth", Unit::Ops, "jobs waiting in the worker queue"),
+            backlog_gauge: g(
+                "backlog_bytes",
+                Unit::Bytes,
+                "sealed batch bytes awaiting background flush",
+            ),
+            threads,
+            backlog_limit,
+        };
+        registry
+            .gauge("worker", "threads", Unit::Ops, "background worker threads")
+            .set(threads as u64);
+        Arc::new(pool)
+    }
+
+    /// Enqueue a flush for sealed batch `batch_id` holding `bytes` of
+    /// updates. Returns immediately; backpressure is a separate call so
+    /// the engine can release its state lock first.
+    pub fn enqueue_flush(&self, batch_id: u64, bytes: u64) {
+        let mut st = self.state.lock();
+        st.backlog_bytes += bytes;
+        st.queue.push_back(Job {
+            kind: JobKind::Flush { batch_id },
+            attempts: 0,
+        });
+        self.queue_depth.set(st.queue.len() as u64);
+        self.backlog_gauge.set(st.backlog_bytes);
+        drop(st);
+        self.work.notify_one();
+    }
+
+    /// Enqueue a compaction pass unless one is already queued.
+    pub fn enqueue_compact(&self) {
+        self.enqueue_dedup(JobKind::Compact);
+    }
+
+    /// Enqueue a migration unless one is already queued.
+    pub fn enqueue_migrate(&self) {
+        self.enqueue_dedup(JobKind::Migrate);
+    }
+
+    fn enqueue_dedup(&self, kind: JobKind) {
+        let mut st = self.state.lock();
+        // Maintenance requested after shutdown can never run — drop it
+        // rather than strand it in the queue (unlike flushes, compact /
+        // migrate carry no data and are re-requested whenever needed).
+        if st.shutdown {
+            return;
+        }
+        let flag = match kind {
+            JobKind::Compact => &mut st.compact_queued,
+            JobKind::Migrate => &mut st.migrate_queued,
+            JobKind::Flush { .. } => unreachable!("flush jobs are not deduplicated"),
+        };
+        if std::mem::replace(flag, true) {
+            return;
+        }
+        st.queue.push_back(Job { kind, attempts: 0 });
+        self.queue_depth.set(st.queue.len() as u64);
+        drop(st);
+        self.work.notify_one();
+    }
+
+    /// Re-queue a failed job for another attempt.
+    pub fn requeue(&self, job: Job) {
+        let mut st = self.state.lock();
+        match job.kind {
+            JobKind::Compact => st.compact_queued = true,
+            JobKind::Migrate => st.migrate_queued = true,
+            JobKind::Flush { .. } => {}
+        }
+        st.queue.push_back(job);
+        self.queue_depth.set(st.queue.len() as u64);
+        drop(st);
+        self.work.notify_one();
+    }
+
+    /// Drop `bytes` from the flush backlog (flush completed or batch
+    /// abandoned) and wake any ingest thread throttled on it.
+    pub fn release_backlog(&self, bytes: u64) {
+        let mut st = self.state.lock();
+        st.backlog_bytes = st.backlog_bytes.saturating_sub(bytes);
+        self.backlog_gauge.set(st.backlog_bytes);
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// The ingest backpressure gate: block while the un-flushed backlog
+    /// exceeds the configured limit. Returns immediately on shutdown so
+    /// a tearing-down engine cannot strand an ingest thread.
+    pub fn wait_for_space(&self) {
+        let mut st = self.state.lock();
+        while st.backlog_bytes > self.backlog_limit && !st.shutdown {
+            self.space.wait(st.inner_mut());
+        }
+    }
+
+    /// Current (queue depth, backlog bytes).
+    pub fn depths(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.queue.len() as u64, st.backlog_bytes)
+    }
+
+    /// Whether shutdown has been signalled. The engine reverts to the
+    /// inline flush/merge paths once this is true: a job enqueued past
+    /// shutdown would never run.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().shutdown
+    }
+
+    /// Signal shutdown: workers drain the queue, then exit.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Worker side: block for the next job. `None` means the queue is
+    /// drained and shutdown was requested — exit the thread.
+    fn next_job(&self) -> Option<Job> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(job) = st.queue.pop_front() {
+                match job.kind {
+                    JobKind::Compact => st.compact_queued = false,
+                    JobKind::Migrate => st.migrate_queued = false,
+                    JobKind::Flush { .. } => {}
+                }
+                self.queue_depth.set(st.queue.len() as u64);
+                return Some(job);
+            }
+            if st.shutdown {
+                return None;
+            }
+            self.work.wait(st.inner_mut());
+        }
+    }
+}
+
+/// The engine's ownership handle: pool plus joinable thread handles.
+pub(crate) struct WorkerHandle {
+    pub pool: Arc<WorkerPool>,
+    joins: std::sync::Mutex<Vec<JoinHandle<()>>>,
+    joined: AtomicBool,
+}
+
+impl WorkerHandle {
+    /// Spawn `threads` workers over a weak engine reference. The weak
+    /// link breaks the `Arc` cycle: a dropped engine stops producing
+    /// jobs, workers fail the upgrade and exit.
+    pub fn spawn(engine: &Arc<MasmEngine>, pool: Arc<WorkerPool>) -> Self {
+        let threads = pool.threads;
+        let mut joins = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let weak: Weak<MasmEngine> = Arc::downgrade(engine);
+            let pool = Arc::clone(&pool);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("masm-worker-{i}"))
+                    .spawn(move || worker_loop(weak, pool))
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerHandle {
+            pool,
+            joins: std::sync::Mutex::new(joins),
+            joined: AtomicBool::new(false),
+        }
+    }
+
+    /// Signal shutdown and join every worker (idempotent).
+    pub fn join(&self) {
+        self.pool.shutdown();
+        if self.joined.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let handles = std::mem::take(&mut *self.joins.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Signal only — never join from Drop (the last engine Arc may be
+        // dropped *on* a worker thread, which cannot join itself).
+        self.pool.shutdown();
+    }
+}
+
+fn worker_loop(engine: Weak<MasmEngine>, pool: Arc<WorkerPool>) {
+    while let Some(job) = pool.next_job() {
+        let Some(engine) = engine.upgrade() else {
+            return;
+        };
+        engine.run_job(&pool, job);
+    }
+}

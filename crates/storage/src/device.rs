@@ -79,6 +79,17 @@ pub struct DeviceProfile {
     /// random-access setup of an op is computed from the seek distance
     /// instead of the flat `rand_*_setup` averages.
     pub seek_model: Option<SeekModel>,
+    /// Number of concurrent sequential *write* streams the device can
+    /// keep open (NCQ / multi-channel flash). `0` models a single
+    /// physical head: sequentiality is judged against the one most
+    /// recent access, so interleaved streams destroy each other — the
+    /// HDD interference effect of the paper's §2.2. A positive value
+    /// makes the device track that many open write-stream tails (plus
+    /// `4×` as many read tails): an access is sequential when it
+    /// continues *its own* stream, which is how flash devices behave —
+    /// the random-write erase penalty comes from scattered writes, not
+    /// from interleaving independent append streams.
+    pub queue_streams: usize,
     /// Erase-block size in bytes used for wear accounting (SSDs). Zero
     /// disables wear tracking (HDDs).
     pub erase_block: u64,
@@ -106,6 +117,7 @@ impl DeviceProfile {
                 span: 14_500_000,
                 rotational: 4_170_000,
             }),
+            queue_streams: 0,
             erase_block: 0,
             endurance_cycles: u64::MAX,
         }
@@ -128,6 +140,10 @@ impl DeviceProfile {
             // QD1 4 KB random read latency ~85 µs vs ~28 µs occupancy.
             rand_extra_latency: 55_000,
             seek_model: None,
+            // The X25-E advertises NCQ depth 32; eight concurrent
+            // sequential write streams is conservative for its
+            // ten-channel controller.
+            queue_streams: 8,
             erase_block: 256 * 1024,
             endurance_cycles: 100_000,
         }

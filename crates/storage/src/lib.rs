@@ -33,6 +33,7 @@ pub mod backend;
 pub mod clock;
 pub mod device;
 pub mod error;
+pub mod lockcheck;
 pub mod sched;
 pub mod sim;
 pub mod stats;
@@ -41,6 +42,7 @@ pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use clock::{Ns, SimClock};
 pub use device::{AccessKind, DeviceProfile};
 pub use error::{StorageError, StorageResult};
+pub use lockcheck::{tracked_locks_held, LockToken, TrackedGuard, TrackedMutex};
 pub use sched::{IoSession, IoTicket, SessionHandle};
 pub use sim::SimDevice;
 pub use stats::{

@@ -3,12 +3,26 @@
 //! A [`SimDevice`] binds a [`StorageBackend`] to a [`DeviceProfile`] and a
 //! shared [`SimClock`]. It maintains a single *busy-until* horizon: requests
 //! from any number of actors serialize on the device, exactly like a real
-//! disk with one head (or one SATA link). Sequentiality is detected from
-//! the device's last touched byte, so two interleaved streams — a table
-//! scan and a stream of random in-place updates, say — destroy each other's
-//! sequential patterns and both pay seek penalties. That is the central
-//! interference effect of the paper's §2.2.
+//! disk with one head (or one SATA link).
+//!
+//! Sequentiality detection depends on the profile's
+//! [`DeviceProfile::queue_streams`]. A single-head device (HDD) judges
+//! every access against the one most recently touched byte, so two
+//! interleaved streams — a table scan and a stream of random in-place
+//! updates, say — destroy each other's sequential patterns and both pay
+//! seek penalties: the central interference effect of the paper's §2.2.
+//! A multi-stream device (SSD under NCQ) instead tracks a bounded set
+//! of open stream *tails*; an access is sequential when it continues
+//! its own stream, so concurrent appenders (background flush workers,
+//! merge writers) keep their individual write patterns sequential.
+//!
+//! The device also accounts its submission queue: how many requests
+//! were in flight when each new one arrived ([`IoStatsSnapshot::
+//! max_queue_depth`]), which is how parallel segment execution becomes
+//! observable.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -18,15 +32,67 @@ use crate::backend::StorageBackend;
 use crate::clock::{Ns, SimClock};
 use crate::device::{AccessKind, DeviceProfile};
 use crate::error::{StorageError, StorageResult};
+use crate::lockcheck::assert_no_tracked_locks;
 use crate::stats::{IoStats, IoStatsSnapshot};
 
 #[derive(Debug)]
 struct DevState {
     /// Virtual time until which the device is occupied.
     busy_until: Ns,
-    /// End offset of the most recent access (for sequentiality detection).
+    /// End offset of the most recent access (single-head sequentiality
+    /// and seek-distance accounting).
     last_end: Option<u64>,
+    /// Open write-stream tails (multi-stream devices only): an access
+    /// at one of these offsets continues that stream. LRU-bounded to
+    /// `queue_streams`.
+    write_tails: VecDeque<u64>,
+    /// Open read-stream tails (multi-stream devices only), bounded to
+    /// `4 × queue_streams`.
+    read_tails: VecDeque<u64>,
+    /// Completion times of requests still occupying the device, for
+    /// queue-depth accounting.
+    inflight: BinaryHeap<Reverse<Ns>>,
     stats: IoStats,
+}
+
+impl DevState {
+    /// Classify an access and update the stream-tail state. Multi-stream
+    /// devices match writes against write tails only (flash cares about
+    /// write contiguity per stream) while reads may also continue a
+    /// write tail (reading back what was just appended), without
+    /// consuming it.
+    fn classify(&mut self, streams: usize, kind: AccessKind, offset: u64, len: u64) -> bool {
+        if streams == 0 {
+            let sequential = self.last_end == Some(offset);
+            self.last_end = Some(offset + len);
+            return sequential;
+        }
+        let sequential = match kind {
+            AccessKind::Write => remove_tail(&mut self.write_tails, offset),
+            AccessKind::Read => {
+                remove_tail(&mut self.read_tails, offset) || self.write_tails.contains(&offset)
+            }
+        };
+        let (tails, cap) = match kind {
+            AccessKind::Write => (&mut self.write_tails, streams),
+            AccessKind::Read => (&mut self.read_tails, streams * 4),
+        };
+        tails.push_back(offset + len);
+        while tails.len() > cap {
+            tails.pop_front();
+        }
+        self.last_end = Some(offset + len);
+        sequential
+    }
+}
+
+fn remove_tail(tails: &mut VecDeque<u64>, offset: u64) -> bool {
+    if let Some(pos) = tails.iter().position(|&t| t == offset) {
+        tails.remove(pos);
+        true
+    } else {
+        false
+    }
 }
 
 /// A simulated storage device.
@@ -39,6 +105,7 @@ pub struct SimDevice {
     clock: SimClock,
     state: Arc<Mutex<DevState>>,
     faulted: Arc<AtomicBool>,
+    write_faulted: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for SimDevice {
@@ -60,9 +127,13 @@ impl SimDevice {
             state: Arc::new(Mutex::new(DevState {
                 busy_until: 0,
                 last_end: None,
+                write_tails: VecDeque::new(),
+                read_tails: VecDeque::new(),
+                inflight: BinaryHeap::new(),
                 stats: IoStats::default(),
             })),
             faulted: Arc::new(AtomicBool::new(false)),
+            write_faulted: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -99,19 +170,30 @@ impl SimDevice {
     /// [`DeviceProfile::rand_extra_latency`]).
     fn schedule(&self, at: Ns, kind: AccessKind, offset: u64, len: u64) -> (Ns, Ns) {
         let mut st = self.state.lock();
-        let sequential = st.last_end == Some(offset);
         let span = self.backend.len().max(offset + len).max(1);
         let dist_frac = match st.last_end {
             Some(last) => offset.abs_diff(last) as f64 / span as f64,
             None => 0.532f64.powi(2), // no position yet: average seek
         };
+        let sequential = st.classify(self.profile.queue_streams, kind, offset, len);
         let duration = self
             .profile
             .duration_at_distance(kind, len, sequential, dist_frac);
+        // Queue accounting: drop requests that completed before this
+        // submission instant; what remains (plus this one) is the depth
+        // the device sees.
+        while let Some(&Reverse(done)) = st.inflight.peek() {
+            if done <= at {
+                st.inflight.pop();
+            } else {
+                break;
+            }
+        }
         let start = at.max(st.busy_until);
         let end = start + duration;
         st.busy_until = end;
-        st.last_end = Some(offset + len);
+        st.inflight.push(Reverse(end));
+        let depth = st.inflight.len() as u64;
         st.stats.record(
             kind,
             len,
@@ -120,6 +202,7 @@ impl SimDevice {
             offset,
             self.profile.erase_block,
         );
+        st.stats.record_queue_depth(depth);
         let completion = if sequential {
             end
         } else {
@@ -140,6 +223,7 @@ impl SimDevice {
     /// Read `len` bytes at `offset`, submitted at virtual time `at`.
     /// Returns the data and the completion time.
     pub fn read_at(&self, at: Ns, offset: u64, len: u64) -> StorageResult<(Vec<u8>, Ns)> {
+        assert_no_tracked_locks("read");
         self.check_fault()?;
         let mut buf = vec![0u8; len as usize];
         self.backend.read_at(offset, &mut buf)?;
@@ -150,7 +234,11 @@ impl SimDevice {
     /// Write `data` at `offset`, submitted at virtual time `at`.
     /// Returns the completion time.
     pub fn write_at(&self, at: Ns, offset: u64, data: &[u8]) -> StorageResult<Ns> {
+        assert_no_tracked_locks("write");
         self.check_fault()?;
+        if self.write_faulted.load(Ordering::Acquire) {
+            return Err(StorageError::Faulted("injected device write fault"));
+        }
         self.backend.write_at(offset, data)?;
         let (_, end) = self.schedule(at, AccessKind::Write, offset, data.len() as u64);
         Ok(end)
@@ -177,9 +265,13 @@ impl SimDevice {
     }
 
     /// Force the next access to be treated as random (e.g. after another
-    /// component used the device out-of-band).
+    /// component used the device out-of-band). On multi-stream devices
+    /// this closes every open stream.
     pub fn invalidate_head_position(&self) {
-        self.state.lock().last_end = None;
+        let mut st = self.state.lock();
+        st.last_end = None;
+        st.write_tails.clear();
+        st.read_tails.clear();
     }
 
     /// Treat the next access at `offset` as a sequential continuation.
@@ -189,9 +281,20 @@ impl SimDevice {
     /// allocator) will only ever append from a fixed origin. Priming the
     /// position at that origin removes the artifact so tests can assert
     /// the strict `random_writes == 0` invariant of the paper's design
-    /// goal 2.
+    /// goal 2. On a multi-stream device this *opens* a write stream at
+    /// `offset` (a new append stream for a run writer); existing
+    /// streams are unaffected.
     pub fn prime_head_position(&self, offset: u64) {
-        self.state.lock().last_end = Some(offset);
+        let mut st = self.state.lock();
+        if self.profile.queue_streams == 0 {
+            st.last_end = Some(offset);
+        } else if !st.write_tails.contains(&offset) {
+            let cap = self.profile.queue_streams;
+            st.write_tails.push_back(offset);
+            while st.write_tails.len() > cap {
+                st.write_tails.pop_front();
+            }
+        }
     }
 
     /// [`SimDevice::prime_head_position`], but only when the device has
@@ -201,8 +304,12 @@ impl SimDevice {
     /// the real head state — and its sequentiality accounting — intact.
     pub fn prime_head_position_if_unset(&self, offset: u64) {
         let mut st = self.state.lock();
-        if st.last_end.is_none() {
-            st.last_end = Some(offset);
+        if self.profile.queue_streams == 0 {
+            if st.last_end.is_none() {
+                st.last_end = Some(offset);
+            }
+        } else if st.write_tails.is_empty() && st.last_end.is_none() {
+            st.write_tails.push_back(offset);
         }
     }
 
@@ -215,6 +322,19 @@ impl SimDevice {
     /// Clear an injected fault.
     pub fn clear_fault(&self) {
         self.faulted.store(false, Ordering::Release);
+    }
+
+    /// Fault injection restricted to writes: reads keep succeeding.
+    /// Models a device that has gone read-only (e.g. an SSD at end of
+    /// life), and lets tests verify that queries keep being served while
+    /// background flush/migration work fails.
+    pub fn inject_write_fault(&self) {
+        self.write_faulted.store(true, Ordering::Release);
+    }
+
+    /// Clear an injected write fault.
+    pub fn clear_write_fault(&self) {
+        self.write_faulted.store(false, Ordering::Release);
     }
 }
 
@@ -312,6 +432,20 @@ mod tests {
         assert!(matches!(d.read_at(0, 0, 3), Err(StorageError::Faulted(_))));
         d.clear_fault();
         assert!(d.read_at(0, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn write_fault_injection_spares_reads() {
+        let d = ssd();
+        d.write_at(0, 0, &[1, 2, 3]).unwrap();
+        d.inject_write_fault();
+        assert!(matches!(
+            d.write_at(0, 8, &[4]),
+            Err(StorageError::Faulted(_))
+        ));
+        assert_eq!(d.read_at(0, 0, 3).unwrap().0, vec![1, 2, 3]);
+        d.clear_write_fault();
+        assert!(d.write_at(0, 8, &[4]).is_ok());
     }
 
     #[test]

@@ -25,6 +25,14 @@ pub struct IoStats {
     pub random_writes: u64,
     /// Total virtual nanoseconds the device was busy (unit: virtual-ns).
     pub busy_ns: u64,
+    /// Deepest submission queue observed: number of requests in flight
+    /// (still occupying the device) at any single submission instant,
+    /// including the new request (unit: ops). 1 = strictly serial
+    /// callers; >1 means some actor overlapped its I/O.
+    pub max_queue_depth: u64,
+    /// Σ of the observed queue depth over all operations (unit: ops);
+    /// divide by `total_ops` for the mean depth.
+    pub queue_depth_sum: u64,
     /// Writes per erase block, for wear/endurance estimates. Private:
     /// readers use the O(1) [`IoStats::wear_stats`] summary, maintained
     /// incrementally below, instead of walking this map on every stats
@@ -83,6 +91,12 @@ impl IoStats {
         self.busy_ns += duration;
     }
 
+    /// Record the submission-queue depth observed by one access.
+    pub(crate) fn record_queue_depth(&mut self, depth: u64) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        self.queue_depth_sum += depth;
+    }
+
     /// Immutable snapshot for reporting. O(1): the wear fields come
     /// from the running summary, not a map walk.
     #[must_use]
@@ -96,6 +110,8 @@ impl IoStats {
             random_ops: self.random_ops,
             random_writes: self.random_writes,
             busy_ns: self.busy_ns,
+            max_queue_depth: self.max_queue_depth,
+            queue_depth_sum: self.queue_depth_sum,
             max_block_wear: self.wear_max,
             touched_blocks: self.wear.len() as u64,
         }
@@ -160,6 +176,11 @@ pub struct IoStatsSnapshot {
     pub random_writes: u64,
     /// Total busy time in virtual ns.
     pub busy_ns: u64,
+    /// Deepest submission queue observed (requests in flight at one
+    /// submission instant, including the new one).
+    pub max_queue_depth: u64,
+    /// Σ of the observed queue depth over all operations.
+    pub queue_depth_sum: u64,
     /// Highest write count over any single erase block.
     pub max_block_wear: u64,
     /// Number of distinct erase blocks ever written.
@@ -171,6 +192,17 @@ impl IoStatsSnapshot {
     #[must_use]
     pub fn total_ops(&self) -> u64 {
         self.read_ops + self.write_ops
+    }
+
+    /// Mean submission-queue depth over all operations (0 when idle;
+    /// 1.0 = strictly serial callers, >1 = overlapped I/O).
+    #[must_use]
+    pub fn mean_queue_depth(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            return 0.0;
+        }
+        self.queue_depth_sum as f64 / total as f64
     }
 
     /// Average write amplification relative to `logical_bytes` of intent.
@@ -195,6 +227,8 @@ impl IoStatsSnapshot {
             random_ops: self.random_ops - earlier.random_ops,
             random_writes: self.random_writes - earlier.random_writes,
             busy_ns: self.busy_ns - earlier.busy_ns,
+            max_queue_depth: self.max_queue_depth,
+            queue_depth_sum: self.queue_depth_sum - earlier.queue_depth_sum,
             max_block_wear: self.max_block_wear,
             touched_blocks: self.touched_blocks,
         }
@@ -527,6 +561,12 @@ pub struct MergeReport {
     pub bytes_decoded: u64,
     /// Entries written to the output run.
     pub entries_out: u64,
+    /// Peak number of update records resident in the merge pipeline at
+    /// once: the k-way heads, the pending fold record, and the output
+    /// builder's open block. Streaming compaction (§3.3) bounds this by
+    /// `fan_in + block_entries`, independent of `entries_out`; a
+    /// materializing merge would make it `entries_out`.
+    pub peak_merge_entries: u64,
 }
 
 impl MergeReport {
@@ -540,6 +580,7 @@ impl MergeReport {
         self.bytes_moved += other.bytes_moved;
         self.bytes_decoded += other.bytes_decoded;
         self.entries_out += other.entries_out;
+        self.peak_merge_entries = self.peak_merge_entries.max(other.peak_merge_entries);
     }
 
     /// Fraction of processed bytes that avoided decoding (1.0 = pure
@@ -566,6 +607,8 @@ impl MergeReport {
             bytes_moved: self.bytes_moved - earlier.bytes_moved,
             bytes_decoded: self.bytes_decoded - earlier.bytes_decoded,
             entries_out: self.entries_out - earlier.entries_out,
+            // Like fan_in: a high-water mark, carried from `self`.
+            peak_merge_entries: self.peak_merge_entries,
         }
     }
 }
@@ -729,6 +772,7 @@ mod tests {
             bytes_moved: 300,
             bytes_decoded: 100,
             entries_out: 40,
+            peak_merge_entries: 7,
         });
         total.absorb(&MergeReport {
             inputs: 3,
@@ -738,6 +782,7 @@ mod tests {
             bytes_moved: 100,
             bytes_decoded: 0,
             entries_out: 10,
+            peak_merge_entries: 3,
         });
         assert_eq!(total.inputs, 5);
         assert_eq!(total.fan_in, 3);

@@ -48,6 +48,7 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, HISTOGRAM_
 pub use registry::{Metric, Registry};
 pub use stats::{
     BufferStats, EngineStats, OpCountDelta, OpCountDeltas, OpLatencies, RunSetStats, StatsDelta,
+    WorkerStats,
 };
 pub use timer::Timer;
 pub use timeseries::{NdjsonWriter, TimeSeriesWriter};

@@ -41,6 +41,36 @@ pub struct RunSetStats {
     pub ssd_capacity_bytes: u64,
 }
 
+/// Background worker-pool occupancy and lifetime counters at snapshot
+/// time. All zero for an inline engine (`background_workers = 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Configured background worker threads (unit: ops).
+    pub threads: u64,
+    /// Jobs waiting in the backlog queue right now (gauge; unit: ops).
+    pub queue_depth: u64,
+    /// Bytes of sealed update batches awaiting a background flush
+    /// (gauge; unit: bytes). This is what the ingest backpressure gate
+    /// bounds.
+    pub backlog_bytes: u64,
+    /// Jobs completed since construction (unit: ops).
+    pub jobs_completed: u64,
+    /// Jobs retried after a transient failure (unit: ops).
+    pub jobs_retried: u64,
+    /// Jobs abandoned after exhausting retries (unit: ops).
+    pub jobs_failed: u64,
+    /// Background flushes materialized (unit: ops).
+    pub flushes: u64,
+    /// Background merges completed (unit: ops).
+    pub merges: u64,
+    /// Background migrations completed (unit: ops).
+    pub migrations: u64,
+    /// Timestamps issued since the oldest still-active query pinned its
+    /// snapshot (gauge): how far the engine's epoch has advanced past
+    /// its oldest reader. 0 when no query is active.
+    pub epoch_lag: u64,
+}
+
 /// Latency histograms for every public engine operation, recorded at
 /// the hot paths by [`crate::Timer`] guards. All samples are
 /// **virtual-ns**.
@@ -100,6 +130,8 @@ pub struct EngineStats {
     pub ssd_wear: WearStats,
     /// WAL device I/O.
     pub wal: IoStatsSnapshot,
+    /// Background worker-pool occupancy and counters.
+    pub workers: WorkerStats,
     /// Per-operation latency histograms (virtual-ns).
     pub ops: OpLatencies,
 }
@@ -126,6 +158,8 @@ fn io_json(s: &IoStatsSnapshot) -> String {
         .u64("random_ops", s.random_ops)
         .u64("random_writes", s.random_writes)
         .u64("busy_ns", s.busy_ns)
+        .u64("max_queue_depth", s.max_queue_depth)
+        .u64("queue_depth_sum", s.queue_depth_sum)
         .u64("max_block_wear", s.max_block_wear)
         .u64("touched_blocks", s.touched_blocks);
     o.finish()
@@ -141,6 +175,8 @@ fn io_from_json(v: &JsonValue) -> Option<IoStatsSnapshot> {
         random_ops: v.get_u64("random_ops")?,
         random_writes: v.get_u64("random_writes")?,
         busy_ns: v.get_u64("busy_ns")?,
+        max_queue_depth: v.get_u64("max_queue_depth")?,
+        queue_depth_sum: v.get_u64("queue_depth_sum")?,
         max_block_wear: v.get_u64("max_block_wear")?,
         touched_blocks: v.get_u64("touched_blocks")?,
     })
@@ -197,7 +233,8 @@ fn merge_json(m: &MergeReport) -> String {
         .u64("blocks_merged", m.blocks_merged)
         .u64("bytes_moved", m.bytes_moved)
         .u64("bytes_decoded", m.bytes_decoded)
-        .u64("entries_out", m.entries_out);
+        .u64("entries_out", m.entries_out)
+        .u64("peak_merge_entries", m.peak_merge_entries);
     o.finish()
 }
 
@@ -210,6 +247,7 @@ fn merge_from_json(v: &JsonValue) -> Option<MergeReport> {
         bytes_moved: v.get_u64("bytes_moved")?,
         bytes_decoded: v.get_u64("bytes_decoded")?,
         entries_out: v.get_u64("entries_out")?,
+        peak_merge_entries: v.get_u64("peak_merge_entries")?,
     })
 }
 
@@ -242,6 +280,57 @@ fn compression_from_json(v: &JsonValue) -> Option<CompressionReport> {
         codec_trials_saved: v.get_u64("codec_trials_saved")?,
         lz_probes_skipped: v.get_u64("lz_probes_skipped")?,
     })
+}
+
+fn worker_json(w: &WorkerStats) -> String {
+    let mut o = JsonObj::new();
+    o.u64("threads", w.threads)
+        .u64("queue_depth", w.queue_depth)
+        .u64("backlog_bytes", w.backlog_bytes)
+        .u64("jobs_completed", w.jobs_completed)
+        .u64("jobs_retried", w.jobs_retried)
+        .u64("jobs_failed", w.jobs_failed)
+        .u64("flushes", w.flushes)
+        .u64("merges", w.merges)
+        .u64("migrations", w.migrations)
+        .u64("epoch_lag", w.epoch_lag);
+    o.finish()
+}
+
+fn worker_from_json(v: &JsonValue) -> Option<WorkerStats> {
+    Some(WorkerStats {
+        threads: v.get_u64("threads")?,
+        queue_depth: v.get_u64("queue_depth")?,
+        backlog_bytes: v.get_u64("backlog_bytes")?,
+        jobs_completed: v.get_u64("jobs_completed")?,
+        jobs_retried: v.get_u64("jobs_retried")?,
+        jobs_failed: v.get_u64("jobs_failed")?,
+        flushes: v.get_u64("flushes")?,
+        merges: v.get_u64("merges")?,
+        migrations: v.get_u64("migrations")?,
+        epoch_lag: v.get_u64("epoch_lag")?,
+    })
+}
+
+impl WorkerStats {
+    /// Difference between two snapshots (self − earlier). The gauges
+    /// (`threads`, `queue_depth`, `backlog_bytes`, `epoch_lag`) are
+    /// carried from `self`; the counters subtract.
+    #[must_use]
+    pub fn delta(&self, earlier: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            threads: self.threads,
+            queue_depth: self.queue_depth,
+            backlog_bytes: self.backlog_bytes,
+            jobs_completed: self.jobs_completed - earlier.jobs_completed,
+            jobs_retried: self.jobs_retried - earlier.jobs_retried,
+            jobs_failed: self.jobs_failed - earlier.jobs_failed,
+            flushes: self.flushes - earlier.flushes,
+            merges: self.merges - earlier.merges,
+            migrations: self.migrations - earlier.migrations,
+            epoch_lag: self.epoch_lag,
+        }
+    }
 }
 
 fn wear_json(w: &WearStats) -> String {
@@ -291,6 +380,7 @@ impl EngineStats {
             .raw("ssd", &io_json(&self.ssd))
             .raw("ssd_wear", &wear_json(&self.ssd_wear))
             .raw("wal", &io_json(&self.wal))
+            .raw("workers", &worker_json(&self.workers))
             .raw("ops", &ops.finish());
         o.finish()
     }
@@ -313,6 +403,7 @@ impl EngineStats {
             compression: self.compression.delta(&earlier.compression),
             ssd: self.ssd.delta(&earlier.ssd),
             wal: self.wal.delta(&earlier.wal),
+            workers: self.workers.delta(&earlier.workers),
             ops: OpCountDeltas {
                 ingest: OpCountDelta::between(&earlier.ops.ingest, &self.ops.ingest),
                 get: OpCountDelta::between(&earlier.ops.get, &self.ops.get),
@@ -422,6 +513,9 @@ pub struct StatsDelta {
     pub ssd: IoStatsSnapshot,
     /// WAL I/O deltas.
     pub wal: IoStatsSnapshot,
+    /// Worker-pool counter deltas (gauges carried, as documented on
+    /// [`WorkerStats::delta`]).
+    pub workers: WorkerStats,
     /// Per-operation count/latency-sum deltas.
     pub ops: OpCountDeltas,
 }
@@ -467,6 +561,7 @@ impl StatsDelta {
             .raw("compression", &compression_json(&self.compression))
             .raw("ssd", &io_json(&self.ssd))
             .raw("wal", &io_json(&self.wal))
+            .raw("workers", &worker_json(&self.workers))
             .raw("ops", &ops.finish());
         o.finish()
     }
@@ -485,6 +580,7 @@ impl StatsDelta {
             compression: compression_from_json(v.get("compression")?)?,
             ssd: io_from_json(v.get("ssd")?)?,
             wal: io_from_json(v.get("wal")?)?,
+            workers: worker_from_json(v.get("workers")?)?,
             ops: OpCountDeltas {
                 ingest: OpCountDelta::from_json(ops.get("ingest")?)?,
                 get: OpCountDelta::from_json(ops.get("get")?)?,
@@ -563,6 +659,13 @@ mod tests {
                 bytes_written: 400 * scale,
                 ..IoStatsSnapshot::default()
             },
+            workers: WorkerStats {
+                threads: 2,
+                jobs_completed: 3 * scale,
+                flushes: 2 * scale,
+                merges: scale,
+                ..WorkerStats::default()
+            },
             ops: OpLatencies {
                 ingest: hist,
                 get: hist,
@@ -588,6 +691,7 @@ mod tests {
             "ssd",
             "ssd_wear",
             "wal",
+            "workers",
             "ops",
         ] {
             assert!(v.get(family).is_some(), "missing family {family}");

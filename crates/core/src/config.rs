@@ -14,10 +14,54 @@
 //! space (so `M = 256` pages = 16 MB of memory for MaSM-M), fine-grain
 //! run index (one entry per 4 KB of cached updates).
 
+use masm_pagestore::Key;
+
 use crate::error::{MasmError, MasmResult};
 
 pub use masm_blockrun::CachePolicy;
 pub use masm_codec::CodecChoice;
+
+/// How a sharded engine picks its key-range split points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Divide the full `u64` key space into equal-width ranges. Right
+    /// for uniformly distributed keys; skewed keys should use
+    /// [`SplitPolicy::Sampled`].
+    Uniform,
+    /// Learn split points from a key sample: each shard receives the
+    /// same number of *sampled* keys (quantile splits), so a zipfian
+    /// tenant distribution still spreads ingest load evenly.
+    Sampled(Vec<Key>),
+    /// Use exactly these split points (must be strictly ascending,
+    /// non-zero, and one fewer than the shard count).
+    Explicit(Vec<Key>),
+}
+
+/// Key-range sharding of one logical table over several MaSM engines
+/// (one per contiguous key range). `shards = 1` (the default) is the
+/// unsharded engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// Number of contiguous key-range shards (1–64).
+    pub shards: usize,
+    /// How split points between shards are chosen.
+    pub split_policy: SplitPolicy,
+    /// At most this many shards migrate concurrently. Migration is the
+    /// heaviest maintenance job; staggering it keeps the scan tail
+    /// latency of an N-shard engine close to a single shard's instead
+    /// of N migrations deep.
+    pub max_concurrent_migrations: usize,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig {
+            shards: 1,
+            split_policy: SplitPolicy::Uniform,
+            max_concurrent_migrations: 1,
+        }
+    }
+}
 
 /// Granularity of the run's read-only index (§3.5 "Granularity of Run
 /// Index").
@@ -134,6 +178,11 @@ pub struct MasmConfig {
     /// independent I/O, so their chunk reads are pipelined up to this
     /// depth. 1 restores strictly serial execution.
     pub device_queue_depth: usize,
+    /// Key-range sharding over several per-range MaSM engines. The
+    /// single-engine budgets above are *totals*: a sharded engine
+    /// divides flash capacity, cache tiers, and the flush backlog
+    /// evenly across shards (see [`MasmConfig::shard_config`]).
+    pub sharding: ShardingConfig,
 }
 
 impl Default for MasmConfig {
@@ -157,6 +206,7 @@ impl Default for MasmConfig {
             background_workers: 0,
             worker_backlog_bytes: 0,
             device_queue_depth: 4,
+            sharding: ShardingConfig::default(),
         }
     }
 }
@@ -183,6 +233,7 @@ impl MasmConfig {
             background_workers: 0,
             worker_backlog_bytes: 0,
             device_queue_depth: 4,
+            sharding: ShardingConfig::default(),
         }
     }
 
@@ -291,6 +342,37 @@ impl MasmConfig {
         }
     }
 
+    /// The configuration of shard `shard_id` under this config's
+    /// [`ShardingConfig`]. Shared budgets divide evenly: flash capacity
+    /// (rounded down to whole SSD pages), both block-cache tiers, and
+    /// the flush-backlog bound each get a `1/shards` slice, so N shards
+    /// together never exceed what the unsharded config would use. The
+    /// per-shard memory (`αM` with `M = √‖SSD‖/N`) shrinks with the
+    /// per-shard flash slice exactly as the paper's formulas dictate.
+    /// The result is a valid `shards = 1` configuration or an error.
+    pub fn shard_config(&self, shard_id: usize) -> MasmResult<MasmConfig> {
+        let n = self.sharding.shards;
+        if shard_id >= n {
+            return Err(MasmError::Config(format!(
+                "shard_id {shard_id} out of range for {n} shards"
+            )));
+        }
+        let mut cfg = self.clone();
+        cfg.sharding = ShardingConfig {
+            shards: 1,
+            split_policy: SplitPolicy::Uniform,
+            max_concurrent_migrations: self.sharding.max_concurrent_migrations,
+        };
+        let page = self.ssd_page_size as u64;
+        let per = self.ssd_capacity / n as u64;
+        cfg.ssd_capacity = per - per % page;
+        cfg.block_cache_bytes = self.block_cache_bytes / n;
+        cfg.cache_tier2_bytes = self.cache_tier2_bytes / n;
+        cfg.worker_backlog_bytes = self.worker_backlog_bytes / n as u64;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Validate invariants; call before constructing an engine.
     pub fn validate(&self) -> MasmResult<()> {
         if self.ssd_page_size < 1024 {
@@ -335,6 +417,35 @@ impl MasmConfig {
             return Err(MasmError::Config(
                 "cache_protected_frac must be in [0,1]".into(),
             ));
+        }
+        let sh = &self.sharding;
+        if sh.shards == 0 || sh.shards > 64 {
+            return Err(MasmError::Config("shards must be in 1..=64".into()));
+        }
+        if sh.max_concurrent_migrations == 0 {
+            return Err(MasmError::Config(
+                "max_concurrent_migrations must be ≥ 1".into(),
+            ));
+        }
+        if self.ssd_capacity / (sh.shards as u64) < (self.ssd_page_size as u64) * 4 {
+            return Err(MasmError::Config(
+                "ssd_capacity too small to divide across shards".into(),
+            ));
+        }
+        if let SplitPolicy::Explicit(splits) = &sh.split_policy {
+            if splits.len() != sh.shards - 1 {
+                return Err(MasmError::Config(format!(
+                    "{} shards need exactly {} explicit split points, got {}",
+                    sh.shards,
+                    sh.shards - 1,
+                    splits.len()
+                )));
+            }
+            if splits.first().is_some_and(|&s| s == 0) || splits.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(MasmError::Config(
+                    "explicit split points must be strictly ascending and non-zero".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -448,5 +559,53 @@ mod tests {
         c.validate().unwrap();
         assert_eq!(c.m_pages(), 32);
         assert_eq!(c.s_pages(), 16);
+    }
+
+    #[test]
+    fn shard_config_divides_budgets() {
+        let mut c = MasmConfig::default();
+        c.sharding.shards = 4;
+        c.validate().unwrap();
+        let s = c.shard_config(2).unwrap();
+        assert_eq!(s.sharding.shards, 1, "per-shard config is unsharded");
+        assert_eq!(s.ssd_capacity, masm_storage::GIB);
+        assert_eq!(s.ssd_capacity % s.ssd_page_size as u64, 0);
+        assert_eq!(s.block_cache_bytes, c.block_cache_bytes / 4);
+        assert_eq!(s.cache_tier2_bytes, c.cache_tier2_bytes / 4);
+        // Per-shard memory shrinks with the flash slice: M = √(‖SSD‖/4).
+        assert_eq!(s.m_pages(), 128);
+        assert!(c.shard_config(4).is_err(), "shard_id out of range");
+        // Four shard slices never exceed the unsharded budget.
+        let total: u64 = (0..4)
+            .map(|i| c.shard_config(i).unwrap().ssd_capacity)
+            .sum();
+        assert!(total <= c.ssd_capacity);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sharding() {
+        let mut c = MasmConfig::default();
+        c.sharding.shards = 0;
+        assert!(c.validate().is_err());
+        c.sharding.shards = 65;
+        assert!(c.validate().is_err());
+        c.sharding.shards = 2;
+        c.sharding.max_concurrent_migrations = 0;
+        assert!(c.validate().is_err());
+        c.sharding.max_concurrent_migrations = 1;
+        c.sharding.split_policy = SplitPolicy::Explicit(vec![]);
+        assert!(c.validate().is_err(), "wrong split count");
+        c.sharding.split_policy = SplitPolicy::Explicit(vec![0]);
+        assert!(c.validate().is_err(), "zero split");
+        c.sharding.split_policy = SplitPolicy::Explicit(vec![1 << 32]);
+        assert!(c.validate().is_ok());
+        c.sharding.shards = 3;
+        c.sharding.split_policy = SplitPolicy::Explicit(vec![100, 100]);
+        assert!(c.validate().is_err(), "splits must strictly ascend");
+        // Dividing a tiny flash budget across shards must fail loudly.
+        let mut tiny = MasmConfig::small_for_tests();
+        tiny.ssd_capacity = 4 * 4096;
+        tiny.sharding.shards = 2;
+        assert!(tiny.validate().is_err());
     }
 }

@@ -50,7 +50,8 @@ use parking_lot::{Condvar, Mutex};
 use masm_blockrun::BlockCache;
 use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
 use masm_storage::{
-    CacheStatsSnapshot, CompressionReport, MergeReport, SessionHandle, SimDevice, TrackedMutex,
+    CacheStatsSnapshot, CompressionReport, IoSession, MergeReport, Ns, SessionHandle, SimDevice,
+    TrackedMutex,
 };
 use masm_telemetry::{
     BufferStats, Counter, EngineStats, Gauge, Histogram, OpLatencies, Registry, RunSetStats, Timer,
@@ -177,6 +178,14 @@ struct EngineState {
     /// A planned 2-pass merge is in flight.
     merging: bool,
     migrating: bool,
+    /// Scans whose query timestamp is drawn (or about to be drawn) but
+    /// not yet registered in `active_queries`. A cross-shard scan draws
+    /// one timestamp and then pins each shard in turn; between the draw
+    /// and this shard's pin, the timestamp is invisible to the
+    /// active-query guards, so duplicate folding and the migration gate
+    /// must treat any pending reservation as "a query at an unknown
+    /// timestamp may still arrive" and stay conservative.
+    scan_reservations: u64,
 }
 
 /// Outcome of one migration.
@@ -226,6 +235,9 @@ pub struct MasmEngine {
     epoch: AtomicU64,
     /// Background worker pool, present when `background_workers > 0`.
     workers: OnceLock<WorkerHandle>,
+    /// This engine's shard index in a sharded deployment (0 when the
+    /// engine stands alone). Tags every job handed to the shared pool.
+    shard_id: usize,
     ingested_updates: AtomicU64,
     ingested_bytes: AtomicU64,
     /// Last commit timestamp per key, for first-committer-wins snapshot
@@ -265,6 +277,34 @@ impl MasmEngine {
         schema: Schema,
         cfg: MasmConfig,
     ) -> MasmResult<Arc<Self>> {
+        Self::build(
+            heap,
+            ssd,
+            wal_dev,
+            schema,
+            cfg,
+            TimestampOracle::new(),
+            0,
+            true,
+        )
+    }
+
+    /// Shared constructor. A sharded deployment injects a *cloned*
+    /// oracle (one global timestamp order across shards), the shard's
+    /// index, and `spawn_workers = false` — the [`crate::ShardedEngine`]
+    /// wires one shared pool across all shards afterwards via
+    /// [`MasmEngine::install_workers`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        heap: Arc<TableHeap>,
+        ssd: SimDevice,
+        wal_dev: SimDevice,
+        schema: Schema,
+        cfg: MasmConfig,
+        oracle: TimestampOracle,
+        shard_id: usize,
+        spawn_workers: bool,
+    ) -> MasmResult<Arc<Self>> {
         cfg.validate()?;
         let buffer = UpdateBuffer::new(cfg.update_buffer_bytes() as usize);
         let mut runs = RunSet::new();
@@ -282,7 +322,7 @@ impl MasmEngine {
             cfg,
             schema,
             cache,
-            oracle: TimestampOracle::new(),
+            oracle,
             state: TrackedMutex::new(EngineState {
                 buffer,
                 runs,
@@ -293,11 +333,13 @@ impl MasmEngine {
                 retired_bytes: 0,
                 merging: false,
                 migrating: false,
+                scan_reservations: 0,
             }),
             quiesce: Condvar::new(),
             wal: Wal::new(wal_dev, 0),
             epoch: AtomicU64::new(0),
             workers: OnceLock::new(),
+            shard_id,
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
@@ -306,7 +348,11 @@ impl MasmEngine {
             compression_totals: Mutex::new(CompressionReport::default()),
             metrics: EngineMetrics::new(),
         });
-        Self::start_workers(&engine);
+        if spawn_workers {
+            Self::start_workers(&engine);
+        } else {
+            engine.cache.bind_registry(&engine.metrics.registry);
+        }
         Ok(engine)
     }
 
@@ -318,11 +364,24 @@ impl MasmEngine {
             let pool = WorkerPool::new(
                 engine.cfg.background_workers,
                 engine.cfg.effective_backlog_bytes(),
-                &engine.metrics.registry,
+                1,
+                &[&engine.metrics.registry],
             );
-            let handle = WorkerHandle::spawn(engine, pool);
+            let handle = WorkerHandle::spawn(std::slice::from_ref(engine), pool);
             let _ = engine.workers.set(handle);
         }
+    }
+
+    /// Install a shared worker handle built by a sharded deployment.
+    /// No-op if workers were already installed.
+    pub(crate) fn install_workers(&self, handle: WorkerHandle) {
+        let _ = self.workers.set(handle);
+    }
+
+    /// This engine's metric registry (per-shard counters for a shared
+    /// pool register here).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     /// Drain and join the background workers (no-op in inline mode).
@@ -340,29 +399,39 @@ impl MasmEngine {
     /// never run, so the engine reverts to the inline flush/merge paths
     /// (same semantics as `background_workers = 0`).
     fn live_pool(&self) -> Option<&WorkerHandle> {
-        self.workers.get().filter(|h| !h.pool.is_shutdown())
+        self.workers.get().filter(|h| !h.pool().is_shutdown())
     }
 
-    /// Worker-side job dispatch (called from the pool's threads).
+    /// Worker-side job dispatch (called from the pool's threads). The
+    /// session starts at the job's *request* time, so background I/O
+    /// overlaps the foreground actors in virtual time; the device
+    /// busy-horizon serializes it against same-shard traffic.
     pub(crate) fn run_job(self: &Arc<Self>, pool: &WorkerPool, mut job: Job) {
-        let session = SessionHandle::fresh(self.ssd.clock().clone());
+        let session = SessionHandle::new(IoSession::at(self.ssd.clock().clone(), job.at));
         let result = match job.kind {
             JobKind::Flush { batch_id } => self.flush_batch(&session, batch_id),
             JobKind::Compact => self.background_compact(&session),
             JobKind::Migrate => self.migrate(&session).map(|_| ()),
         };
+        // The migrate staggering slot is held for the *execution* only —
+        // release it before retry bookkeeping so a failed migration
+        // cannot deadlock the pool against its own requeued job.
+        if matches!(job.kind, JobKind::Migrate) {
+            pool.migration_finished();
+        }
+        let counters = pool.counters(self.shard_id);
         match result {
             Ok(()) => {
-                pool.counters.jobs_completed.incr();
-                self.maybe_schedule_maintenance();
+                counters.jobs_completed.incr();
+                self.maybe_schedule_maintenance(session.now());
             }
             Err(_) => {
                 job.attempts += 1;
                 if job.attempts < MAX_JOB_ATTEMPTS {
-                    pool.counters.jobs_retried.incr();
+                    counters.jobs_retried.incr();
                     pool.requeue(job);
                 } else {
-                    pool.counters.jobs_failed.incr();
+                    counters.jobs_failed.incr();
                     if let JobKind::Flush { batch_id } = job.kind {
                         self.abandon_batch(batch_id);
                     }
@@ -373,7 +442,8 @@ impl MasmEngine {
 
     /// Enqueue compaction / migration jobs if the run set warrants them
     /// (checked after every completed job and every published flush).
-    fn maybe_schedule_maintenance(&self) {
+    /// `at` is the requesting actor's virtual time.
+    fn maybe_schedule_maintenance(&self, at: Ns) {
         let Some(h) = self.workers.get() else { return };
         let (compact, migrate) = {
             let st = self.state.lock();
@@ -383,10 +453,10 @@ impl MasmEngine {
             )
         };
         if compact {
-            h.pool.enqueue_compact();
+            h.pool().enqueue_compact(self.shard_id, at);
         }
         if migrate {
-            h.pool.enqueue_migrate();
+            h.pool().enqueue_migrate(self.shard_id, at);
         }
     }
 
@@ -406,7 +476,7 @@ impl MasmEngine {
             batch.enqueued.then_some(batch.bytes)
         };
         if let (Some(bytes), Some(h)) = (released, self.workers.get()) {
-            h.pool.release_backlog(bytes);
+            h.pool().release_backlog(bytes);
         }
         self.quiesce.notify_all();
     }
@@ -593,17 +663,18 @@ impl MasmEngine {
         self.metrics.epoch_lag.set(epoch_lag);
         let workers = match self.workers.get() {
             Some(h) => {
-                let (queue_depth, backlog_bytes) = h.pool.depths();
+                let (queue_depth, backlog_bytes) = h.pool().depths();
+                let counters = h.pool().counters(self.shard_id);
                 WorkerStats {
-                    threads: h.pool.threads as u64,
+                    threads: h.pool().threads as u64,
                     queue_depth,
                     backlog_bytes,
-                    jobs_completed: h.pool.counters.jobs_completed.get(),
-                    jobs_retried: h.pool.counters.jobs_retried.get(),
-                    jobs_failed: h.pool.counters.jobs_failed.get(),
-                    flushes: h.pool.counters.flushes.get(),
-                    merges: h.pool.counters.merges.get(),
-                    migrations: h.pool.counters.migrations.get(),
+                    jobs_completed: counters.jobs_completed.get(),
+                    jobs_retried: counters.jobs_retried.get(),
+                    jobs_failed: counters.jobs_failed.get(),
+                    flushes: counters.flushes.get(),
+                    merges: counters.merges.get(),
+                    migrations: counters.migrations.get(),
                     epoch_lag,
                 }
             }
@@ -735,8 +806,8 @@ impl MasmEngine {
         self.wal.append(session, &WalRecord::Update(update))?;
         if let Some((batch_id, bytes)) = seal {
             if background {
-                let pool = &self.workers.get().expect("background mode").pool;
-                pool.enqueue_flush(batch_id, bytes);
+                let pool = self.workers.get().expect("background mode").pool();
+                pool.enqueue_flush(self.shard_id, batch_id, bytes, session.now());
                 // Backpressure: wait until the un-flushed backlog drops
                 // under the limit, never doing the I/O ourselves.
                 pool.wait_for_space();
@@ -761,9 +832,12 @@ impl MasmEngine {
         let updates = st.buffer.drain_sorted();
         let max_ts = updates.iter().map(|u| u.ts).max().unwrap_or(0);
         let updates = if self.cfg.merge_duplicates {
+            // A pending reservation is a query at an unknown timestamp:
+            // fold nothing until it resolves into a registered pin.
+            let reserved = st.scan_reservations > 0;
             let active: Vec<Timestamp> = st.active_queries.keys().copied().collect();
             fold_duplicates(updates, &self.schema, |t1, t2| {
-                !active.iter().any(|&t| t1 < t && t <= t2)
+                !reserved && !active.iter().any(|&t| t1 < t && t <= t2)
             })
         } else {
             updates
@@ -873,9 +947,9 @@ impl MasmEngine {
             batch.enqueued.then_some(batch.bytes)
         };
         if let Some(h) = self.workers.get() {
-            h.pool.counters.flushes.incr();
+            h.pool().counters(self.shard_id).flushes.incr();
             if let Some(bytes) = released {
-                h.pool.release_backlog(bytes);
+                h.pool().release_backlog(bytes);
             }
         }
         self.quiesce.notify_all();
@@ -983,12 +1057,21 @@ impl MasmEngine {
     ) -> MasmResult<MergeReport> {
         // Snapshot the active-query guard under the lock, then do the
         // whole read-merge-write outside it: the inputs are immutable
-        // `Arc`s and the allocator hands out a private extent.
-        let active: Vec<Timestamp> = {
+        // `Arc`s and the allocator hands out a private extent. A scan
+        // reservation pending at snapshot time disables folding for this
+        // merge: its timestamp is unknown, so every version spanning it
+        // must survive. (A reservation arriving *after* the snapshot is
+        // safe — its timestamp is drawn later, hence above every update
+        // already frozen in these input runs.)
+        let (active, reserved): (Vec<Timestamp>, bool) = {
             let st = self.state.lock();
-            st.active_queries.keys().copied().collect()
+            (
+                st.active_queries.keys().copied().collect(),
+                st.scan_reservations > 0,
+            )
         };
-        let guard = |t1: Timestamp, t2: Timestamp| !active.iter().any(|&t| t1 < t && t <= t2);
+        let guard =
+            |t1: Timestamp, t2: Timestamp| !reserved && !active.iter().any(|&t| t1 < t && t <= t2);
         let (mut meta, encoded, report) = compact_block_runs(
             session,
             &self.ssd,
@@ -1051,7 +1134,7 @@ impl MasmEngine {
             self.maybe_rewind(&mut st);
         }
         if let Some(h) = self.workers.get() {
-            h.pool.counters.merges.incr();
+            h.pool().counters(self.shard_id).merges.incr();
         }
         self.record_merge(report);
         self.quiesce.notify_all();
@@ -1153,11 +1236,12 @@ impl MasmEngine {
             }
         };
         if let (Some((id, bytes)), Some(h)) = (enqueue_flush, self.workers.get()) {
-            h.pool.enqueue_flush(id, bytes);
+            h.pool()
+                .enqueue_flush(self.shard_id, id, bytes, session.now());
         }
         if enqueue_compact {
             if let Some(h) = self.workers.get() {
-                h.pool.enqueue_compact();
+                h.pool().enqueue_compact(self.shard_id, session.now());
             }
         }
 
@@ -1289,6 +1373,33 @@ impl MasmEngine {
         self.quiesce.notify_all();
     }
 
+    /// Announce a scan whose timestamp is not yet registered here.
+    ///
+    /// [`crate::ShardedEngine::scan_at`] draws one timestamp for all
+    /// shards and then pins them one by one; a shard whose pin has not
+    /// landed yet must not fold duplicate versions across the pending
+    /// timestamp (seal-time or merge-time `fold_duplicates` would keep
+    /// only the newer version, which the scan then filters out, exposing
+    /// an older one — a backwards read) or migrate past it (heap pages
+    /// stamped with a migration timestamp above the scan's mask the
+    /// updates it should see). While at least one reservation is
+    /// pending, duplicate folding keeps every version and the migration
+    /// gate waits.
+    pub(crate) fn reserve_scan(&self) {
+        self.state.lock().scan_reservations += 1;
+    }
+
+    /// Resolve a [`MasmEngine::reserve_scan`]: the scan's timestamp is
+    /// now registered in `active_queries` (or the scan was abandoned),
+    /// so the ordinary per-timestamp guards take over.
+    pub(crate) fn release_scan_reservation(&self) {
+        let mut st = self.state.lock();
+        debug_assert!(st.scan_reservations > 0, "unbalanced scan reservation");
+        st.scan_reservations = st.scan_reservations.saturating_sub(1);
+        drop(st);
+        self.quiesce.notify_all();
+    }
+
     /// Recycle retired run extents once the engine quiesces: no active
     /// query snapshot can still be reading a retired run, no sealed
     /// batch has an extent allocation in flight, and no merge or
@@ -1391,13 +1502,16 @@ impl MasmEngine {
         // end-to-end (quiesce wait + merge + run retirement).
         let _t = Timer::start(&self.metrics.migrate, || session.now());
 
-        // Wait for queries earlier than t (§3.2). Queries arriving
-        // after t run concurrently throughout — page timestamps keep
-        // them correct, and the runs' SSD extents stay allocated until
-        // the post-quiesce rewind.
+        // Wait for queries earlier than t (§3.2), and for pending scan
+        // reservations — their timestamps are unknown and may land below
+        // t. Queries arriving after t run concurrently throughout — page
+        // timestamps keep them correct, and the runs' SSD extents stay
+        // allocated until the post-quiesce rewind.
         {
             let mut st = self.state.lock();
-            while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
+            while st.scan_reservations > 0
+                || st.active_queries.keys().next().is_some_and(|&t| t < mig_ts)
+            {
                 self.quiesce.wait(st.inner_mut());
             }
         }
@@ -1423,7 +1537,7 @@ impl MasmEngine {
             self.maybe_rewind(&mut st);
         }
         if let Some(h) = self.workers.get() {
-            h.pool.counters.migrations.incr();
+            h.pool().counters(self.shard_id).migrations.incr();
         }
         self.quiesce.notify_all();
         Ok(report)
@@ -1473,10 +1587,13 @@ impl MasmEngine {
         };
         let _t = Timer::start(&self.metrics.migrate, || session.now());
         // Queries older than the migration timestamp must not observe
-        // pages stamped with it (§3.2).
+        // pages stamped with it (§3.2); a pending scan reservation may
+        // resolve below it, so it blocks too.
         {
             let mut st = self.state.lock();
-            while st.active_queries.keys().next().is_some_and(|&t| t < mig_ts) {
+            while st.scan_reservations > 0
+                || st.active_queries.keys().next().is_some_and(|&t| t < mig_ts)
+            {
                 self.quiesce.wait(st.inner_mut());
             }
         }
@@ -1826,11 +1943,13 @@ impl MasmEngine {
                 retired_bytes: 0,
                 merging: false,
                 migrating: false,
+                scan_reservations: 0,
             }),
             quiesce: Condvar::new(),
             wal: Wal::new(wal_dev, wal_end),
             epoch: AtomicU64::new(0),
             workers: OnceLock::new(),
+            shard_id: 0,
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),

@@ -41,6 +41,7 @@ pub mod membuf;
 pub mod merge;
 pub mod run;
 pub mod secondary;
+pub mod shard;
 pub mod theory;
 pub mod ts;
 pub mod txn;
@@ -49,12 +50,15 @@ pub mod view;
 pub mod wal;
 pub(crate) mod worker;
 
-pub use config::{CachePolicy, CodecChoice, IndexGranularity, MasmConfig};
+pub use config::{
+    CachePolicy, CodecChoice, IndexGranularity, MasmConfig, ShardingConfig, SplitPolicy,
+};
 pub use engine::{MasmEngine, MergeScan};
 // Re-exported so engine users consume `MasmEngine::stats()` without a
 // direct masm-telemetry dependency.
 pub use error::{MasmError, MasmResult};
 pub use masm_telemetry::{EngineStats, StatsDelta};
+pub use shard::{ShardRouter, ShardedEngine, ShardedScan, ShardedStats};
 pub use ts::TimestampOracle;
 pub use txn::Transaction;
 pub use update::{FieldPatch, UpdateOp, UpdateRecord};

@@ -1,0 +1,571 @@
+//! Key-range sharding: a [`ShardRouter`] partitions the keyspace into
+//! contiguous ranges and a [`ShardedEngine`] runs one [`MasmEngine`]
+//! per range over its own SSD region, WAL device, and memory budget.
+//!
+//! Why shard a MaSM engine? The single-engine design serializes three
+//! things on one flash device and one state lock: run writes (flushes
+//! and merges), migration traffic, and the buffer seal path. Splitting
+//! the keyspace gives each shard its own device queue and its own lock,
+//! so N ingest lanes hitting N shards absorb updates in parallel while
+//! *each shard individually* preserves the paper's design goals — in
+//! particular design goal 2: every shard's SSD sees only sequential
+//! writes (`random_writes == 0` per shard, asserted by tests and the
+//! `fig_sharded_ingest` bench).
+//!
+//! Consistency across shards comes from two shared pieces:
+//!
+//! * **One timestamp oracle.** Every shard draws commit timestamps from
+//!   the same [`TimestampOracle`] (cloned handles share the counter), so
+//!   there is a single global commit order even though shards ingest
+//!   concurrently.
+//! * **One query timestamp per cross-shard scan.** A
+//!   [`ShardedEngine::scan`] draws one timestamp and opens a pinned
+//!   snapshot scan *in every overlapping shard* at that timestamp before
+//!   returning — one consistent cut of the whole table. Because shard
+//!   ranges are contiguous and disjoint, the k-way merge of per-shard
+//!   iterators degenerates to concatenation in shard order.
+//!
+//! Maintenance is shared, not duplicated: all shards feed one
+//! `WorkerPool` with shard-tagged jobs. The pool staggers migrations
+//! (at most [`crate::config::ShardingConfig::max_concurrent_migrations`]
+//! shards migrate at once) so the scan-latency spike of an in-place
+//! migration is never multiplied by the shard count.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use masm_pagestore::{Key, Record, Schema, TableHeap};
+use masm_storage::{SessionHandle, SimDevice};
+use masm_telemetry::json::JsonObj;
+use masm_telemetry::{EngineStats, Registry, Unit};
+
+use crate::config::{MasmConfig, ShardingConfig, SplitPolicy};
+use crate::engine::{MasmEngine, MergeScan, MigrationReport};
+use crate::error::{MasmError, MasmResult};
+use crate::ts::{Timestamp, TimestampOracle};
+use crate::update::UpdateOp;
+use crate::worker::{WorkerHandle, WorkerPool};
+
+/// Partitions `u64` keyspace into `splits.len() + 1` contiguous ranges.
+///
+/// `splits` are the *lower bounds of every shard but the first*, kept
+/// strictly ascending and non-zero: shard `i` owns `[splits[i-1],
+/// splits[i])` (first shard starts at 0, last ends at `u64::MAX`
+/// inclusive). Routing is total — every `u64` maps to exactly one
+/// shard, including the boundary keys themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    splits: Vec<Key>,
+}
+
+impl ShardRouter {
+    /// Evenly spaced split points over the full `u64` keyspace.
+    #[must_use]
+    pub fn uniform(shards: usize) -> Self {
+        let n = shards.max(1) as u64;
+        let stride = u64::MAX / n;
+        ShardRouter {
+            splits: (1..n).map(|i| i * stride).collect(),
+        }
+    }
+
+    /// Learn split points from a key sample: quantile boundaries over
+    /// the sorted, deduplicated sample, nudged upward where duplicates
+    /// collapse quantiles so the splits stay strictly ascending. An
+    /// empty sample falls back to [`ShardRouter::uniform`].
+    #[must_use]
+    pub fn from_sample(shards: usize, sample: &[Key]) -> Self {
+        if sample.is_empty() || shards <= 1 {
+            return Self::uniform(shards);
+        }
+        let mut keys = sample.to_vec();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut splits = Vec::with_capacity(shards - 1);
+        let mut last: Key = 0;
+        for i in 1..shards {
+            let candidate = keys[i * keys.len() / shards];
+            let split = candidate.max(last.saturating_add(1));
+            splits.push(split);
+            last = split;
+        }
+        ShardRouter { splits }
+    }
+
+    /// Explicit split points; must be strictly ascending and non-zero.
+    pub fn from_splits(splits: Vec<Key>) -> MasmResult<Self> {
+        if splits.first() == Some(&0) {
+            return Err(MasmError::Config(
+                "split point 0 leaves the first shard empty".into(),
+            ));
+        }
+        if splits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MasmError::Config(
+                "split points must be strictly ascending".into(),
+            ));
+        }
+        Ok(ShardRouter { splits })
+    }
+
+    /// Build the router a [`ShardingConfig`] describes.
+    pub fn from_config(cfg: &ShardingConfig) -> MasmResult<Self> {
+        let router = match &cfg.split_policy {
+            SplitPolicy::Uniform => Self::uniform(cfg.shards),
+            SplitPolicy::Sampled(sample) => Self::from_sample(cfg.shards, sample),
+            SplitPolicy::Explicit(splits) => Self::from_splits(splits.clone())?,
+        };
+        if router.shards() != cfg.shards {
+            return Err(MasmError::Config(format!(
+                "router has {} shards, config wants {}",
+                router.shards(),
+                cfg.shards
+            )));
+        }
+        Ok(router)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning `key` (total over all of `u64`).
+    #[must_use]
+    pub fn route(&self, key: Key) -> usize {
+        self.splits.partition_point(|&s| s <= key)
+    }
+
+    /// Shard `i`'s inclusive key range `[lo, hi]`.
+    #[must_use]
+    pub fn shard_range(&self, shard: usize) -> (Key, Key) {
+        let lo = if shard == 0 {
+            0
+        } else {
+            self.splits[shard - 1]
+        };
+        let hi = self.splits.get(shard).map_or(u64::MAX, |&next| next - 1);
+        (lo, hi)
+    }
+
+    /// The split points (lower bounds of shards `1..`).
+    #[must_use]
+    pub fn split_points(&self) -> &[Key] {
+        &self.splits
+    }
+}
+
+/// Aggregated statistics of a sharded engine: one summed snapshot, the
+/// per-shard rows behind it, and the load-balance gauge.
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    /// Fold-merge of every shard's [`EngineStats`] (counters summed,
+    /// pool-global worker gauges maxed — see [`EngineStats::merge`]).
+    pub total: EngineStats,
+    /// Each shard's own snapshot, indexed by shard id.
+    pub per_shard: Vec<EngineStats>,
+    /// Max over mean of per-shard ingested bytes (1.0 = perfectly
+    /// balanced; 0.0 before any ingest).
+    pub shard_imbalance: f64,
+}
+
+impl ShardedStats {
+    /// One NDJSON row for shard `i`: `{"shard_id":i,"stats":{…}}`. The
+    /// nested stats object keeps `random_writes` at its top level, so
+    /// the zero-random-writes invariant stays greppable per shard.
+    #[must_use]
+    pub fn shard_row(&self, shard: usize) -> String {
+        let mut o = JsonObj::new();
+        o.u64("shard_id", shard as u64)
+            .raw("stats", &self.per_shard[shard].to_json());
+        o.finish()
+    }
+}
+
+/// N key-range shards behind one router, one timestamp domain, and one
+/// background worker pool.
+pub struct ShardedEngine {
+    router: ShardRouter,
+    shards: Vec<Arc<MasmEngine>>,
+    oracle: TimestampOracle,
+    workers: Option<WorkerHandle>,
+    /// Sharding-level metrics (the per-shard registries live in the
+    /// shard engines).
+    registry: Registry,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("splits", &self.router.split_points())
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// Build `cfg.sharding.shards` shard engines over a shared heap.
+    /// `ssds` and `wals` supply one device per shard (each shard's run
+    /// region and redo log are its own device queue — that independence
+    /// is where the ingest scaling comes from). Budgets in `cfg` are
+    /// totals and are divided per [`MasmConfig::shard_config`].
+    pub fn new(
+        heap: Arc<TableHeap>,
+        ssds: Vec<SimDevice>,
+        wals: Vec<SimDevice>,
+        schema: Schema,
+        cfg: MasmConfig,
+    ) -> MasmResult<Arc<Self>> {
+        cfg.validate()?;
+        let n = cfg.sharding.shards;
+        if ssds.len() != n || wals.len() != n {
+            return Err(MasmError::Config(format!(
+                "{n} shards need {n} SSD and {n} WAL devices (got {} / {})",
+                ssds.len(),
+                wals.len()
+            )));
+        }
+        let router = ShardRouter::from_config(&cfg.sharding)?;
+        let oracle = TimestampOracle::new();
+        let mut shards = Vec::with_capacity(n);
+        for (shard_id, (ssd, wal)) in ssds.into_iter().zip(wals).enumerate() {
+            shards.push(MasmEngine::build(
+                Arc::clone(&heap),
+                ssd,
+                wal,
+                schema.clone(),
+                cfg.shard_config(shard_id)?,
+                oracle.clone(),
+                shard_id,
+                false,
+            )?);
+        }
+        let workers = (cfg.background_workers > 0).then(|| {
+            let backlog: u64 = shards
+                .iter()
+                .map(|e| e.config().effective_backlog_bytes())
+                .sum();
+            let registries: Vec<&Registry> = shards.iter().map(|e| e.registry()).collect();
+            let pool = WorkerPool::new(
+                cfg.background_workers,
+                backlog,
+                cfg.sharding.max_concurrent_migrations,
+                &registries,
+            );
+            let handle = WorkerHandle::spawn(&shards, pool);
+            for e in &shards {
+                e.install_workers(handle.clone());
+            }
+            handle
+        });
+        Ok(Arc::new(ShardedEngine {
+            router,
+            shards,
+            oracle,
+            workers,
+            registry: Registry::new(),
+        }))
+    }
+
+    /// The router.
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard engines, indexed by shard id.
+    #[must_use]
+    pub fn shards(&self) -> &[Arc<MasmEngine>] {
+        &self.shards
+    }
+
+    /// The shared timestamp oracle.
+    #[must_use]
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
+    /// Apply one update, routed by key; returns its commit timestamp.
+    pub fn put(&self, session: &SessionHandle, key: Key, op: UpdateOp) -> MasmResult<Timestamp> {
+        self.shards[self.router.route(key)].apply_update(session, key, op)
+    }
+
+    /// Point lookup, routed by key.
+    pub fn get(&self, session: &SessionHandle, key: Key) -> MasmResult<Option<Record>> {
+        self.shards[self.router.route(key)].get(session, key)
+    }
+
+    /// Bulk-load the shared table heap (records sorted by key). Logged
+    /// through shard 0's WAL; sharded recovery is a roadmap follow-on.
+    pub fn load_table(
+        &self,
+        session: &SessionHandle,
+        records: impl IntoIterator<Item = Record>,
+        fill: f64,
+    ) -> MasmResult<()> {
+        self.shards[0].load_table(session, records, fill)
+    }
+
+    /// Cross-shard range scan of `[begin, end]` at a fresh query
+    /// timestamp: one consistent cut over every shard.
+    pub fn scan(&self, begin: Key, end: Key) -> MasmResult<ShardedScan> {
+        self.scan_at(begin, end, None)
+    }
+
+    /// Cross-shard range scan at an explicit snapshot timestamp.
+    ///
+    /// Every overlapping shard's snapshot is *pinned before this method
+    /// returns* (each per-shard [`MergeScan`] registers itself as an
+    /// active query at `ts`), so concurrent merges and migrations in
+    /// any shard cannot reclaim state the scan still needs — the cut
+    /// stays consistent even though later shards are iterated seconds
+    /// of virtual time after the first.
+    ///
+    /// Pinning is two-phase: every overlapping shard is *reserved*
+    /// before the timestamp is drawn, and each reservation is released
+    /// only once that shard's pin is registered. Between the draw and a
+    /// shard's pin the timestamp is invisible to that shard's
+    /// active-query guards; without the reservation a concurrent seal
+    /// or compaction could fold duplicate versions across it (the scan
+    /// would then see an *older* value than a previous scan did), and a
+    /// migration could stamp heap pages with a timestamp above it.
+    pub fn scan_at(
+        &self,
+        begin: Key,
+        end: Key,
+        as_of: Option<Timestamp>,
+    ) -> MasmResult<ShardedScan> {
+        let overlapping: Vec<usize> = (0..self.shards.len())
+            .filter(|&shard| {
+                let (lo, hi) = self.router.shard_range(shard);
+                hi >= begin && lo <= end
+            })
+            .collect();
+        for &shard in &overlapping {
+            self.shards[shard].reserve_scan();
+        }
+        let ts = as_of.unwrap_or_else(|| self.oracle.next());
+        let mut parts = VecDeque::new();
+        let mut err = None;
+        for &shard in &overlapping {
+            let engine = &self.shards[shard];
+            if err.is_none() {
+                let (lo, hi) = self.router.shard_range(shard);
+                let session = SessionHandle::fresh(engine.ssd().clock().clone());
+                match engine.begin_scan_at(
+                    session,
+                    lo.max(begin),
+                    hi.min(end),
+                    Some(ts),
+                    Vec::new(),
+                ) {
+                    Ok(scan) => parts.push_back(scan),
+                    Err(e) => err = Some(e),
+                }
+            }
+            // Pinned (or abandoned): the per-timestamp guards take over.
+            engine.release_scan_reservation();
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(ShardedScan {
+            ts,
+            current: None,
+            rest: parts,
+        })
+    }
+
+    /// Whether any shard's cached updates warrant migration.
+    #[must_use]
+    pub fn needs_migration(&self) -> bool {
+        self.shards.iter().any(|e| e.needs_migration())
+    }
+
+    /// Flush every shard's in-memory buffer to its SSD region.
+    pub fn flush_all(&self, session: &SessionHandle) -> MasmResult<()> {
+        for e in &self.shards {
+            e.flush_buffer(session)?;
+        }
+        Ok(())
+    }
+
+    /// Migrate every shard that needs it, sequentially (the inline
+    /// counterpart of the pool's staggering: never more than one
+    /// migration's worth of heap traffic at a time).
+    pub fn migrate_all(&self, session: &SessionHandle) -> MasmResult<Vec<MigrationReport>> {
+        let mut reports = Vec::new();
+        for e in &self.shards {
+            if e.needs_migration() {
+                reports.push(e.migrate(session)?);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Aggregate statistics: per-shard snapshots, their fold-merge, and
+    /// the ingest-balance gauge (also published to this engine's
+    /// registry as `shard/imbalance_permille`).
+    #[must_use]
+    pub fn stats(&self) -> ShardedStats {
+        let per_shard: Vec<EngineStats> = self.shards.iter().map(|e| e.stats()).collect();
+        let total = per_shard[1..]
+            .iter()
+            .fold(per_shard[0], |acc, s| acc.merge(s));
+        let max = per_shard
+            .iter()
+            .map(|s| s.ingested_bytes)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = total.ingested_bytes as f64 / per_shard.len() as f64;
+        let shard_imbalance = if mean > 0.0 { max / mean } else { 0.0 };
+        self.registry
+            .gauge(
+                "shard",
+                "imbalance_permille",
+                Unit::Ops,
+                "max/mean per-shard ingested bytes, x1000",
+            )
+            .set((shard_imbalance * 1000.0) as u64);
+        ShardedStats {
+            total,
+            per_shard,
+            shard_imbalance,
+        }
+    }
+
+    /// The sharding-level metric registry.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Drain and join the shared worker pool (no-op in inline mode;
+    /// idempotent).
+    pub fn shutdown(&self) {
+        if let Some(h) = &self.workers {
+            h.join();
+        }
+    }
+}
+
+/// A cross-shard snapshot scan: the concatenation of per-shard
+/// [`MergeScan`]s in shard (= key) order, all pinned at one query
+/// timestamp. Dropping it (or exhausting it) releases every pin.
+pub struct ShardedScan {
+    ts: Timestamp,
+    current: Option<MergeScan>,
+    rest: VecDeque<MergeScan>,
+}
+
+impl std::fmt::Debug for ShardedScan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScan")
+            .field("ts", &self.ts)
+            .field("pending_shards", &self.rest.len())
+            .finish()
+    }
+}
+
+impl ShardedScan {
+    /// The single query timestamp every shard was pinned at.
+    #[must_use]
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+}
+
+impl Iterator for ShardedScan {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        loop {
+            if let Some(cur) = &mut self.current {
+                if let Some(record) = cur.next() {
+                    return Some(record);
+                }
+                // Exhausted: drop it now so its shard's pin releases
+                // before we start the next shard.
+                self.current = None;
+            }
+            self.current = Some(self.rest.pop_front()?);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_router_is_total_and_ordered() {
+        let r = ShardRouter::uniform(4);
+        assert_eq!(r.shards(), 4);
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(u64::MAX), 3);
+        // Boundary keys belong to the shard they open.
+        for (i, &s) in r.split_points().iter().enumerate() {
+            assert_eq!(r.route(s), i + 1);
+            assert_eq!(r.route(s - 1), i);
+        }
+        // Ranges tile the keyspace exactly.
+        for i in 0..4 {
+            let (lo, hi) = r.shard_range(i);
+            assert!(lo <= hi);
+            assert_eq!(r.route(lo), i);
+            assert_eq!(r.route(hi), i);
+        }
+        assert_eq!(r.shard_range(0).0, 0);
+        assert_eq!(r.shard_range(3).1, u64::MAX);
+    }
+
+    #[test]
+    fn single_shard_router_routes_everything_to_zero() {
+        let r = ShardRouter::uniform(1);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(u64::MAX), 0);
+        assert_eq!(r.shard_range(0), (0, u64::MAX));
+    }
+
+    #[test]
+    fn sampled_router_balances_a_skewed_sample() {
+        // 3/4 of the sample mass below 1000, the rest spread high.
+        let mut sample: Vec<Key> = (0..750).map(|i| i % 1000).collect();
+        sample.extend((0..250).map(|i| 1_000_000 + i * 1000));
+        let r = ShardRouter::from_sample(4, &sample);
+        assert_eq!(r.shards(), 4);
+        // Splits land inside the dense region, not at uniform stride.
+        assert!(r.split_points()[0] < 1000, "{:?}", r.split_points());
+        let counts = sample.iter().fold(vec![0usize; 4], |mut c, &k| {
+            c[r.route(k)] += 1;
+            c
+        });
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= sample.len() / 2, "skewed routing: {counts:?}");
+    }
+
+    #[test]
+    fn degenerate_sample_still_yields_strict_splits() {
+        // All-equal sample: quantiles collapse; router must still
+        // produce strictly ascending splits (empty shards are fine).
+        let sample = vec![7u64; 100];
+        let r = ShardRouter::from_sample(4, &sample);
+        assert_eq!(r.shards(), 4);
+        let s = r.split_points();
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        assert_eq!(r.route(6), 0);
+    }
+
+    #[test]
+    fn explicit_splits_are_validated() {
+        assert!(ShardRouter::from_splits(vec![0]).is_err());
+        assert!(ShardRouter::from_splits(vec![10, 10]).is_err());
+        assert!(ShardRouter::from_splits(vec![20, 10]).is_err());
+        let r = ShardRouter::from_splits(vec![10, 20]).unwrap();
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.route(9), 0);
+        assert_eq!(r.route(10), 1);
+        assert_eq!(r.route(20), 2);
+    }
+}

@@ -281,6 +281,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "key-ordered")]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert is compiled out")]
     fn unordered_append_panics_in_debug() {
         let mut p = Page::new(4096);
         p.append(&Record::synthetic(9, 10));

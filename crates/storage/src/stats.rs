@@ -157,6 +157,36 @@ pub struct WearStats {
     pub cv: f64,
 }
 
+impl WearStats {
+    /// Combine the wear summaries of two *disjoint* block populations
+    /// (per-shard SSDs). Exact, via the method of moments: each side's
+    /// `(mean, cv)` reconstructs `E[w]` and `E[w²]`, which are weighted
+    /// by block count and recombined — the same numbers a single
+    /// device covering both populations would report.
+    #[must_use]
+    pub fn merge(&self, other: &WearStats) -> WearStats {
+        let n = self.blocks_touched + other.blocks_touched;
+        if n == 0 {
+            return WearStats::default();
+        }
+        let (n1, n2) = (self.blocks_touched as f64, other.blocks_touched as f64);
+        let mean = (n1 * self.mean_writes_per_block + n2 * other.mean_writes_per_block) / n as f64;
+        let sq = |s: &WearStats| {
+            let m = s.mean_writes_per_block;
+            (s.cv * m).powi(2) + m * m
+        };
+        let e2 = (n1 * sq(self) + n2 * sq(other)) / n as f64;
+        let var = (e2 - mean * mean).max(0.0);
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        WearStats {
+            max_writes_per_block: self.max_writes_per_block.max(other.max_writes_per_block),
+            mean_writes_per_block: mean,
+            blocks_touched: n,
+            cv,
+        }
+    }
+}
+
 /// Copyable summary of [`IoStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStatsSnapshot {
@@ -231,6 +261,28 @@ impl IoStatsSnapshot {
             queue_depth_sum: self.queue_depth_sum - earlier.queue_depth_sum,
             max_block_wear: self.max_block_wear,
             touched_blocks: self.touched_blocks,
+        }
+    }
+
+    /// Combine snapshots of two *disjoint* devices (one shard's SSD
+    /// each): counters add; the high-water marks take the larger value;
+    /// `touched_blocks` adds because the devices share no erase blocks.
+    /// Associative and commutative.
+    #[must_use]
+    pub fn merge(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_ops: self.read_ops + other.read_ops,
+            write_ops: self.write_ops + other.write_ops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            sequential_ops: self.sequential_ops + other.sequential_ops,
+            random_ops: self.random_ops + other.random_ops,
+            random_writes: self.random_writes + other.random_writes,
+            busy_ns: self.busy_ns + other.busy_ns,
+            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+            queue_depth_sum: self.queue_depth_sum + other.queue_depth_sum,
+            max_block_wear: self.max_block_wear.max(other.max_block_wear),
+            touched_blocks: self.touched_blocks + other.touched_blocks,
         }
     }
 }
@@ -444,6 +496,33 @@ impl CacheStatsSnapshot {
             meta_bytes: self.meta_bytes,
             disk_bytes: self.disk_bytes,
             tier2_bytes: self.tier2_bytes,
+        }
+    }
+
+    /// Combine snapshots of two *independent* caches (one shard's block
+    /// cache each): every field adds — the counters count disjoint
+    /// event streams and the byte gauges are disjoint resident sets, so
+    /// their sum is the machine-wide cache footprint. Associative and
+    /// commutative.
+    #[must_use]
+    pub fn merge(&self, other: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            promotions: self.promotions + other.promotions,
+            demotions: self.demotions + other.demotions,
+            rejected: self.rejected + other.rejected,
+            tier2_hits: self.tier2_hits + other.tier2_hits,
+            tier2_insertions: self.tier2_insertions + other.tier2_insertions,
+            tier2_evictions: self.tier2_evictions + other.tier2_evictions,
+            data_bytes: self.data_bytes + other.data_bytes,
+            probation_bytes: self.probation_bytes + other.probation_bytes,
+            protected_bytes: self.protected_bytes + other.protected_bytes,
+            meta_bytes: self.meta_bytes + other.meta_bytes,
+            disk_bytes: self.disk_bytes + other.disk_bytes,
+            tier2_bytes: self.tier2_bytes + other.tier2_bytes,
         }
     }
 }

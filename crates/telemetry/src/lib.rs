@@ -51,4 +51,4 @@ pub use stats::{
     WorkerStats,
 };
 pub use timer::Timer;
-pub use timeseries::{NdjsonWriter, TimeSeriesWriter};
+pub use timeseries::{ClockSource, NdjsonWriter, TimeSeriesWriter, WallClock};

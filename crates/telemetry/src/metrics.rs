@@ -186,6 +186,18 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Fold another histogram's snapshot into this one (bucket-wise
+    /// add), as if its samples had been recorded here. With per-shard
+    /// histograms this is how a global latency family is assembled.
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        for (b, &n) in self.buckets.iter().zip(other.buckets.iter()) {
+            b.fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
 }
 
 /// Copyable summary of a [`Histogram`]. Sample unit is whatever the
@@ -276,6 +288,22 @@ impl HistogramSnapshot {
             max: self.max,
         }
     }
+
+    /// Combine two snapshots as if their streams had been recorded into
+    /// one histogram: buckets and counts add, the sum wraps (matching
+    /// its recording semantics), and `max` takes the larger high-water
+    /// mark. Associative and commutative, so summing per-shard
+    /// snapshots in any order yields the same global histogram — the
+    /// property the shard-aggregation proptest pins.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +370,26 @@ mod tests {
         assert!(s.p99() <= s.max);
         assert_eq!(s.quantile(1.0), 1000, "top quantile clamps to max");
         assert_eq!(HistogramSnapshot::default().p99(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_add() {
+        let h1 = Histogram::new();
+        let h2 = Histogram::new();
+        for v in [1u64, 100] {
+            h1.record(v);
+        }
+        for v in [2u64, 5000] {
+            h2.record(v);
+        }
+        let merged = h1.snapshot().merge(&h2.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 5103);
+        assert_eq!(merged.max, 5000);
+        assert_eq!(merged.buckets.iter().sum::<u64>(), 4);
+        // Folding into a live histogram matches snapshot-level merge.
+        h1.merge(&h2.snapshot());
+        assert_eq!(h1.snapshot(), merged);
     }
 
     #[test]

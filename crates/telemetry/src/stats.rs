@@ -30,6 +30,20 @@ pub struct BufferStats {
     pub capacity_bytes: u64,
 }
 
+impl BufferStats {
+    /// Combine per-shard buffer occupancies: every field adds — each
+    /// shard owns an independent buffer, so the sum is the machine-wide
+    /// buffered footprint.
+    #[must_use]
+    pub fn merge(&self, other: &BufferStats) -> BufferStats {
+        BufferStats {
+            updates: self.updates + other.updates,
+            bytes: self.bytes + other.bytes,
+            capacity_bytes: self.capacity_bytes + other.capacity_bytes,
+        }
+    }
+}
+
 /// The materialized-run set at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunSetStats {
@@ -39,6 +53,19 @@ pub struct RunSetStats {
     pub cached_bytes: u64,
     /// Configured SSD update-cache capacity (unit: bytes).
     pub ssd_capacity_bytes: u64,
+}
+
+impl RunSetStats {
+    /// Combine per-shard run sets: counts, occupancy, and capacity all
+    /// add (shards hold disjoint runs on disjoint flash slices).
+    #[must_use]
+    pub fn merge(&self, other: &RunSetStats) -> RunSetStats {
+        RunSetStats {
+            count: self.count + other.count,
+            cached_bytes: self.cached_bytes + other.cached_bytes,
+            ssd_capacity_bytes: self.ssd_capacity_bytes + other.ssd_capacity_bytes,
+        }
+    }
 }
 
 /// Background worker-pool occupancy and lifetime counters at snapshot
@@ -100,6 +127,21 @@ impl OpLatencies {
         f("flush", &self.flush);
         f("migrate", &self.migrate);
         f("block_fetch", &self.block_fetch);
+    }
+
+    /// Combine per-shard latency families bucket-wise (see
+    /// [`HistogramSnapshot::merge`]): the global histogram of the
+    /// union of both shards' samples.
+    #[must_use]
+    pub fn merge(&self, other: &OpLatencies) -> OpLatencies {
+        OpLatencies {
+            ingest: self.ingest.merge(&other.ingest),
+            get: self.get.merge(&other.get),
+            scan_next: self.scan_next.merge(&other.scan_next),
+            flush: self.flush.merge(&other.flush),
+            migrate: self.migrate.merge(&other.migrate),
+            block_fetch: self.block_fetch.merge(&other.block_fetch),
+        }
     }
 }
 
@@ -331,6 +373,28 @@ impl WorkerStats {
             epoch_lag: self.epoch_lag,
         }
     }
+
+    /// Combine per-shard worker views. The counters add (each shard's
+    /// jobs are counted by its own shard-tagged counters); the gauges
+    /// (`threads`, `queue_depth`, `backlog_bytes`) take the max — the
+    /// shards of one engine *share* one pool, so each reports the same
+    /// pool-wide level and summing would multiply it by the shard
+    /// count. `epoch_lag` takes the worst shard's lag.
+    #[must_use]
+    pub fn merge(&self, other: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            threads: self.threads.max(other.threads),
+            queue_depth: self.queue_depth.max(other.queue_depth),
+            backlog_bytes: self.backlog_bytes.max(other.backlog_bytes),
+            jobs_completed: self.jobs_completed + other.jobs_completed,
+            jobs_retried: self.jobs_retried + other.jobs_retried,
+            jobs_failed: self.jobs_failed + other.jobs_failed,
+            flushes: self.flushes + other.flushes,
+            merges: self.merges + other.merges,
+            migrations: self.migrations + other.migrations,
+            epoch_lag: self.epoch_lag.max(other.epoch_lag),
+        }
+    }
 }
 
 fn wear_json(w: &WearStats) -> String {
@@ -415,6 +479,43 @@ impl EngineStats {
         }
     }
 
+    /// Combine two shards' snapshots into the global engine view: the
+    /// snapshot a single engine covering both shards' work would have
+    /// produced. Counters and disjoint-resource gauges (buffer, runs,
+    /// cache bytes, flash capacity) add; high-water marks (`fan_in`,
+    /// queue depths, wear maxima) take the larger side; the wear
+    /// summary recombines exactly via moments
+    /// ([`WearStats::merge`](masm_storage::WearStats::merge)); worker
+    /// *pool* gauges take the max because shards share one pool.
+    ///
+    /// `merge` is associative and commutative, and commutes with
+    /// [`EngineStats::delta`] when all snapshots are taken on one
+    /// shared clock (`at_ns` equal across shards at each sampling
+    /// instant) — the property the aggregation proptest pins, so
+    /// summing per-shard deltas equals the delta of summed snapshots.
+    #[must_use]
+    pub fn merge(&self, other: &EngineStats) -> EngineStats {
+        let mut merge_totals = self.merge;
+        merge_totals.absorb(&other.merge);
+        let mut compression = self.compression;
+        compression.absorb(&other.compression);
+        EngineStats {
+            at_ns: self.at_ns.max(other.at_ns),
+            ingested_updates: self.ingested_updates + other.ingested_updates,
+            ingested_bytes: self.ingested_bytes + other.ingested_bytes,
+            buffer: self.buffer.merge(&other.buffer),
+            runs: self.runs.merge(&other.runs),
+            cache: self.cache.merge(&other.cache),
+            merge: merge_totals,
+            compression,
+            ssd: self.ssd.merge(&other.ssd),
+            ssd_wear: self.ssd_wear.merge(&other.ssd_wear),
+            wal: self.wal.merge(&other.wal),
+            workers: self.workers.merge(&other.workers),
+            ops: self.ops.merge(&other.ops),
+        }
+    }
+
     /// Internal-consistency checks shared by tests and benches. Returns
     /// human-readable violations; empty means the snapshot is coherent.
     #[must_use]
@@ -470,6 +571,15 @@ impl OpCountDelta {
             sum_ns: v.get_u64("sum_ns")?,
         })
     }
+
+    /// Combine per-shard interval deltas (counts and latency sums add).
+    #[must_use]
+    pub fn merge(&self, other: &OpCountDelta) -> OpCountDelta {
+        OpCountDelta {
+            count: self.count + other.count,
+            sum_ns: self.sum_ns.wrapping_add(other.sum_ns),
+        }
+    }
 }
 
 /// Per-operation count/sum deltas (fields mirror [`OpLatencies`]).
@@ -487,6 +597,21 @@ pub struct OpCountDeltas {
     pub migrate: OpCountDelta,
     /// Run-scan block fetches.
     pub block_fetch: OpCountDelta,
+}
+
+impl OpCountDeltas {
+    /// Combine per-shard interval deltas family-wise.
+    #[must_use]
+    pub fn merge(&self, other: &OpCountDeltas) -> OpCountDeltas {
+        OpCountDeltas {
+            ingest: self.ingest.merge(&other.ingest),
+            get: self.get.merge(&other.get),
+            scan_next: self.scan_next.merge(&other.scan_next),
+            flush: self.flush.merge(&other.flush),
+            migrate: self.migrate.merge(&other.migrate),
+            block_fetch: self.block_fetch.merge(&other.block_fetch),
+        }
+    }
 }
 
 /// The monotonic difference between two [`EngineStats`] snapshots of
@@ -529,6 +654,31 @@ impl StatsDelta {
             return 0.0;
         }
         self.ingested_updates as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Combine per-shard interval deltas into the global interval: the
+    /// same rules as [`EngineStats::merge`] applied to "what happened"
+    /// fields. `elapsed_ns` takes the max — per-shard snapshots of one
+    /// engine are cut on one shared clock, so the intervals coincide
+    /// and max (rather than sum) keeps rates honest.
+    #[must_use]
+    pub fn merge(&self, other: &StatsDelta) -> StatsDelta {
+        let mut merge_totals = self.merge;
+        merge_totals.absorb(&other.merge);
+        let mut compression = self.compression;
+        compression.absorb(&other.compression);
+        StatsDelta {
+            elapsed_ns: self.elapsed_ns.max(other.elapsed_ns),
+            ingested_updates: self.ingested_updates + other.ingested_updates,
+            ingested_bytes: self.ingested_bytes + other.ingested_bytes,
+            cache: self.cache.merge(&other.cache),
+            merge: merge_totals,
+            compression,
+            ssd: self.ssd.merge(&other.ssd),
+            wal: self.wal.merge(&other.wal),
+            workers: self.workers.merge(&other.workers),
+            ops: self.ops.merge(&other.ops),
+        }
     }
 
     /// SSD write bandwidth over the interval (unit: bytes per virtual

@@ -31,6 +31,54 @@ fn snapshot_of(vals: &[u64]) -> HistogramSnapshot {
     h.snapshot()
 }
 
+/// A synthetic shard snapshot at `at` whose counter families are driven
+/// by `c` (8 independent knobs). Monotone in every element of `c`, so a
+/// later cut of the same shard is `stats_with(at_b, base + inc)`.
+fn stats_with(at: u64, c: &[u64]) -> EngineStats {
+    let mut s = EngineStats {
+        at_ns: at,
+        ingested_updates: c[0],
+        ingested_bytes: c[0] * 100,
+        buffer: BufferStats {
+            updates: c[1] % 64,
+            bytes: (c[1] % 64) * 100,
+            capacity_bytes: 4096,
+        },
+        runs: RunSetStats {
+            count: c[2] % 8,
+            cached_bytes: (c[2] % 8) * 1024,
+            ssd_capacity_bytes: 1 << 30,
+        },
+        ..EngineStats::default()
+    };
+    s.cache.hits = c[1];
+    s.cache.misses = c[2];
+    s.cache.data_bytes = c[1] % (1 << 20);
+    s.ssd.write_ops = c[3];
+    s.ssd.bytes_written = c[3] * 4096;
+    s.ssd.queue_depth_sum = c[3] / 2;
+    s.ssd.max_queue_depth = c[3] % 17;
+    s.wal.write_ops = c[4];
+    s.merge.blocks_moved = c[5];
+    s.merge.fan_in = (c[5] % 9) as usize;
+    s.compression.raw_bytes = c[6];
+    s.compression.stored_bytes = c[6] / 2;
+    s.workers.jobs_completed = c[7];
+    s.workers.flushes = c[7];
+    s.workers.queue_depth = c[7] % 7;
+    let h = Histogram::new();
+    for i in 0..(c[0].min(64)) {
+        h.record(i * 13);
+    }
+    s.ops.ingest = h.snapshot();
+    s
+}
+
+fn shard_counters() -> impl Strategy<Value = Vec<(Vec<u64>, Vec<u64>)>> {
+    let knobs = || proptest::collection::vec(0u64..(1 << 30), 8);
+    proptest::collection::vec((knobs(), knobs()), 1..5)
+}
+
 proptest! {
     /// Core histogram accounting: count matches the number of recorded
     /// samples, the bucket array sums to count, sum/max match the raw
@@ -128,5 +176,66 @@ proptest! {
         // The full EngineStats JSON must always parse, too.
         prop_assert!(parse(&now.to_json()).is_some());
         prop_assert!(now.invariant_violations().is_empty());
+    }
+
+    /// Histogram merge is bucketwise addition, hence commutative and
+    /// associative — the algebra per-shard latency aggregation relies
+    /// on.
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in samples(), b in samples(), c in samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        // Merging equals recording the concatenated stream (modulo
+        // nothing: buckets, count, sum, and max are all exact).
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(sa.merge(&sb), snapshot_of(&all));
+    }
+
+    /// The sharded-stats aggregation identity: for per-shard snapshot
+    /// pairs (aᵢ, bᵢ) cut at the same two instants on one shared clock,
+    /// *delta of merges equals merge of deltas* —
+    /// `merge(b₀..bₙ).delta(merge(a₀..aₙ)) == merge(bᵢ.delta(aᵢ))`.
+    /// This is what lets `ShardedEngine::stats()` totals be differenced
+    /// across time exactly as a single engine's would be. Merge itself
+    /// is also checked commutative and associative.
+    #[test]
+    fn shard_merge_commutes_with_delta(
+        shards in shard_counters(),
+        at_a in 1u64..(1 << 40),
+        dt in 1u64..(1 << 30),
+    ) {
+        let at_b = at_a + dt;
+        let earlier: Vec<EngineStats> = shards
+            .iter()
+            .map(|(base, _)| stats_with(at_a, base))
+            .collect();
+        let later: Vec<EngineStats> = shards
+            .iter()
+            .map(|(base, inc)| {
+                let grown: Vec<u64> = base.iter().zip(inc).map(|(b, i)| b + i).collect();
+                stats_with(at_b, &grown)
+            })
+            .collect();
+        let merged_a = earlier[1..].iter().fold(earlier[0], |acc, s| acc.merge(s));
+        let merged_b = later[1..].iter().fold(later[0], |acc, s| acc.merge(s));
+        // Commutativity + associativity of the snapshot merge.
+        let reversed = earlier[..earlier.len() - 1]
+            .iter()
+            .rev()
+            .fold(*earlier.last().unwrap(), |acc, s| acc.merge(s));
+        prop_assert_eq!(merged_a, reversed);
+        // Sum-of-deltas == delta-of-sums.
+        let per_shard: Vec<StatsDelta> = later
+            .iter()
+            .zip(&earlier)
+            .map(|(b, a)| b.delta(a))
+            .collect();
+        let summed = per_shard[1..]
+            .iter()
+            .fold(per_shard[0], |acc, d| acc.merge(d));
+        prop_assert_eq!(merged_b.delta(&merged_a), summed);
     }
 }

@@ -34,6 +34,11 @@
 //! asserts 4 shards ingest at least 1.8x the single-shard rate and that
 //! `random_writes == 0` in every shard of every run — the acceptance
 //! checks CI smoke-runs at `MASM_BENCH_MB=8`.
+//!
+//! With `MASM_TRACE_OUT=<path>` the 4-shard run is flight-recorded:
+//! the exported Chrome trace is self-validated (every shard's process
+//! track carries at least one complete `job.flush` span), written to
+//! `<path>`, and summarized on a `TRACE:ok` line.
 
 use std::sync::Arc;
 use std::thread;
@@ -43,7 +48,8 @@ use masm_core::update::UpdateRecord;
 use masm_core::{ShardedEngine, ShardingConfig, SplitPolicy};
 use masm_pagestore::{HeapConfig, Schema, TableHeap};
 use masm_storage::{DeviceProfile, IoSession, SessionHandle, SimClock, SimDevice, MIB};
-use masm_telemetry::json::JsonObj;
+use masm_telemetry::json::{parse, JsonObj, JsonValue};
+use masm_telemetry::{TraceConfig, Tracer};
 use masm_workloads::tenant::MultiTenantKeyGen;
 
 const LANES: u64 = 4;
@@ -69,7 +75,7 @@ struct RunResult {
     flushes: u64,
 }
 
-fn run(mb: u64, shards: usize) -> RunResult {
+fn run(mb: u64, shards: usize, tracer: Option<&Arc<Tracer>>) -> RunResult {
     let schema = Schema::synthetic_100b();
     let mut cfg = scaled_masm_config(mb * MIB);
     // The same total flash for every shard count — floored so a 4-way
@@ -110,6 +116,9 @@ fn run(mb: u64, shards: usize) -> RunResult {
     // upsert), so the sweep measures the update path alone.
     let engine =
         ShardedEngine::new(heap, ssds, wals, schema.clone(), cfg.clone()).expect("sharded config");
+    if let Some(t) = tracer {
+        engine.install_tracer(t);
+    }
 
     // Size the stream to ~60% of the flash budget: enough to force many
     // background flushes in every shard, comfortably under the 90%
@@ -176,7 +185,19 @@ fn run(mb: u64, shards: usize) -> RunResult {
 
 fn main() {
     let mb = scale_mb();
-    let results: Vec<RunResult> = [1, 2, 4].into_iter().map(|n| run(mb, n)).collect();
+    let trace_out = std::env::var("MASM_TRACE_OUT").ok();
+    let tracer = trace_out.as_ref().map(|_| {
+        Arc::new(Tracer::new(TraceConfig {
+            ring_capacity: 1 << 15,
+            ..TraceConfig::default()
+        }))
+    });
+    // Flight-record only the 4-shard sweep point: the trace check below
+    // wants one process track per shard of the widest configuration.
+    let results: Vec<RunResult> = [1, 2, 4]
+        .into_iter()
+        .map(|n| run(mb, n, if n == 4 { tracer.as_ref() } else { None }))
+        .collect();
     let base = results[0].updates_per_sec;
 
     let rows: Vec<Vec<String>> = results
@@ -257,4 +278,32 @@ fn main() {
         four.updates_per_sec,
         base
     );
+
+    if let (Some(path), Some(tracer)) = (trace_out, tracer) {
+        let json_text = tracer.export_chrome_trace();
+        let doc = parse(&json_text).expect("trace export must be valid JSON");
+        let Some(JsonValue::Arr(events)) = doc.get("traceEvents") else {
+            panic!("trace export must carry a traceEvents array");
+        };
+        // Every shard's process track must have flushed in background.
+        for shard in 0..4u64 {
+            let flushed = events.iter().any(|e| {
+                matches!(e.get("ph"), Some(JsonValue::Str(p)) if p == "X")
+                    && matches!(e.get("name"), Some(JsonValue::Str(n)) if n == "job.flush")
+                    && e.get_u64("pid") == Some(shard)
+            });
+            assert!(
+                flushed,
+                "no complete job.flush span on shard {shard}'s track"
+            );
+        }
+        std::fs::write(&path, &json_text).expect("write trace file");
+        let ts = tracer.stats();
+        println!(
+            "TRACE:ok shards=4 events={} emitted={} dropped={} path={path}",
+            events.len(),
+            ts.emitted,
+            ts.dropped
+        );
+    }
 }

@@ -629,6 +629,10 @@ pub struct BlockRunScan {
     /// the session-time stall (virtual-ns) to obtain it — ≈0 for cache
     /// hits, the device wait for misses.
     fetch_hist: Option<Arc<masm_telemetry::Histogram>>,
+    /// Optional flight recorder plus the process-track (shard) id to
+    /// emit under: one `block.fetch` span per block acquired and one
+    /// `block.prefetch` instant per async read issued.
+    tracer: Option<(Arc<masm_telemetry::Tracer>, u32)>,
 }
 
 impl BlockRunScan {
@@ -660,6 +664,7 @@ impl BlockRunScan {
             bytes_read: 0,
             error: None,
             fetch_hist: None,
+            tracer: None,
         };
         // Issue the first read immediately: a query opens all its run
         // scans at once, so their first SSD reads queue together and
@@ -683,6 +688,23 @@ impl BlockRunScan {
     pub fn with_fetch_histogram(mut self, hist: Arc<masm_telemetry::Histogram>) -> Self {
         self.fetch_hist = Some(hist);
         self
+    }
+
+    /// Emit `block.fetch` spans (one per block acquired, cache hits
+    /// included at ≈0 duration) and `block.prefetch` instants (one per
+    /// async read issued) to `tracer`, on process track `pid` (the
+    /// owning shard). The recorder is lock-free and drops on overflow,
+    /// so this adds no blocking to the scan path.
+    pub fn with_trace(mut self, tracer: Arc<masm_telemetry::Tracer>, pid: u32) -> Self {
+        self.tracer = Some((tracer, pid));
+        self
+    }
+
+    fn trace_track(&self, pid: u32) -> masm_telemetry::TrackId {
+        masm_telemetry::TrackId {
+            pid,
+            tid: masm_telemetry::current_tid(),
+        }
     }
 
     /// Bytes actually read from the device (cache hits cost nothing).
@@ -717,6 +739,15 @@ impl BlockRunScan {
             {
                 Ok(ticket) => {
                     self.bytes_read += zone.len as u64;
+                    if let Some((t, pid)) = &self.tracer {
+                        t.instant(
+                            "block.prefetch",
+                            self.trace_track(*pid),
+                            self.session.now(),
+                            "bytes",
+                            zone.len as u64,
+                        );
+                    }
                     self.pending.push_back((idx, ticket));
                 }
                 Err(e) => {
@@ -762,7 +793,8 @@ impl BlockRunScan {
         }
         let idx = self.next_idx;
         self.next_idx += 1;
-        let fetch_start = self.fetch_hist.as_ref().map(|_| self.session.now());
+        let fetch_start =
+            (self.fetch_hist.is_some() || self.tracer.is_some()).then(|| self.session.now());
 
         let entries: CachedBlock = if self.pending.front().is_some_and(|(p, _)| *p == idx) {
             // The block came from the device via prefetch, not from
@@ -815,8 +847,21 @@ impl BlockRunScan {
             }
         };
 
-        if let (Some(hist), Some(start)) = (&self.fetch_hist, fetch_start) {
-            hist.record(self.session.now().saturating_sub(start));
+        if let Some(start) = fetch_start {
+            let stall = self.session.now().saturating_sub(start);
+            if let Some(hist) = &self.fetch_hist {
+                hist.record(stall);
+            }
+            if let Some((t, pid)) = &self.tracer {
+                t.span_event(
+                    "block.fetch",
+                    self.trace_track(*pid),
+                    start,
+                    stall,
+                    "bytes",
+                    self.meta.zones[idx].len as u64,
+                );
+            }
         }
 
         let start = entries.partition_point(|e| e.key < self.begin);

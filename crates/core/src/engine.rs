@@ -54,8 +54,8 @@ use masm_storage::{
     TrackedMutex,
 };
 use masm_telemetry::{
-    BufferStats, Counter, EngineStats, Gauge, Histogram, OpLatencies, Registry, RunSetStats, Timer,
-    Unit, WorkerStats,
+    current_tid, BufferStats, Counter, EngineStats, Gauge, Histogram, OpLatencies, Registry,
+    RunSetStats, Timer, Tracer, TrackId, Unit, WorkerStats,
 };
 
 use crate::algo::RunSet;
@@ -255,6 +255,17 @@ pub struct MasmEngine {
     /// Per-operation latency histograms + the metric registry behind
     /// [`MasmEngine::stats`].
     metrics: EngineMetrics,
+    /// Optional `masm-trace` flight recorder
+    /// ([`MasmEngine::install_tracer`]). When absent or disabled every
+    /// instrumentation site costs one load.
+    tracer: OnceLock<Arc<Tracer>>,
+    /// Flow id linking the most recently requested compact job to the
+    /// flush/scan that scheduled it (0 = none pending). Consumed by
+    /// [`MasmEngine::run_job`].
+    compact_flow: AtomicU64,
+    /// Flow id linking the most recently requested migrate job to its
+    /// requester (0 = none pending).
+    migrate_flow: AtomicU64,
 }
 
 impl std::fmt::Debug for MasmEngine {
@@ -347,6 +358,9 @@ impl MasmEngine {
             merge_totals: Mutex::new(MergeReport::default()),
             compression_totals: Mutex::new(CompressionReport::default()),
             metrics: EngineMetrics::new(),
+            tracer: OnceLock::new(),
+            compact_flow: AtomicU64::new(0),
+            migrate_flow: AtomicU64::new(0),
         });
         if spawn_workers {
             Self::start_workers(&engine);
@@ -384,6 +398,44 @@ impl MasmEngine {
         &self.metrics.registry
     }
 
+    /// Install the `masm-trace` flight recorder. First installation
+    /// wins; the engine emits spans, instants, and flow links only
+    /// while a tracer is installed *and* enabled — otherwise every
+    /// instrumentation site costs one relaxed load.
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The installed tracer while recording is on. `None` is the fast
+    /// path: one `OnceLock` load plus one relaxed atomic load.
+    #[inline]
+    fn trace(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get().filter(|t| t.enabled())
+    }
+
+    /// The installed tracer regardless of the enabled flag (scan
+    /// streams hold it for the lifetime of the query and re-check the
+    /// flag per event).
+    pub(crate) fn tracer_arc(&self) -> Option<Arc<Tracer>> {
+        self.tracer.get().cloned()
+    }
+
+    /// This engine's trace track: pid = shard, tid = calling thread.
+    fn track(&self) -> TrackId {
+        TrackId {
+            pid: self.shard_id as u32,
+            tid: current_tid(),
+        }
+    }
+
+    /// Deterministic flow id for sealed batch `batch_id`'s ingest →
+    /// flush causal link. Shard-disambiguated and disjoint from
+    /// [`Tracer::next_flow_id`]'s counter range, so the link can be
+    /// emitted statelessly from both ends.
+    fn flush_flow(&self, batch_id: u64) -> u64 {
+        ((self.shard_id as u64 + 1) << 40) | batch_id
+    }
+
     /// Drain and join the background workers (no-op in inline mode).
     /// Idempotent; queued jobs still execute before threads exit.
     /// Dropping the engine without calling this only *signals* shutdown
@@ -408,6 +460,24 @@ impl MasmEngine {
     /// busy-horizon serializes it against same-shard traffic.
     pub(crate) fn run_job(self: &Arc<Self>, pool: &WorkerPool, mut job: Job) {
         let session = SessionHandle::new(IoSession::at(self.ssd.clock().clone(), job.at));
+        // Resolve the job's causal link before executing: the flush
+        // flow id is deterministic from the batch, compact/migrate
+        // flows were stashed by whoever scheduled the job. Consume the
+        // stash unconditionally so a stale id never leaks into the
+        // next job of the same kind.
+        let (job_name, flow_name, flow) = match job.kind {
+            JobKind::Flush { batch_id } => ("job.flush", "masm.flush", self.flush_flow(batch_id)),
+            JobKind::Compact => (
+                "job.compact",
+                "masm.compact",
+                self.compact_flow.swap(0, Ordering::Relaxed),
+            ),
+            JobKind::Migrate => (
+                "job.migrate",
+                "masm.migrate",
+                self.migrate_flow.swap(0, Ordering::Relaxed),
+            ),
+        };
         let result = match job.kind {
             JobKind::Flush { batch_id } => self.flush_batch(&session, batch_id),
             JobKind::Compact => self.background_compact(&session),
@@ -420,6 +490,8 @@ impl MasmEngine {
             pool.migration_finished();
         }
         let counters = pool.counters(self.shard_id);
+        let job_at = job.at;
+        let mut attempts = job.attempts;
         match result {
             Ok(()) => {
                 counters.jobs_completed.incr();
@@ -427,16 +499,52 @@ impl MasmEngine {
             }
             Err(_) => {
                 job.attempts += 1;
+                attempts = job.attempts;
                 if job.attempts < MAX_JOB_ATTEMPTS {
                     counters.jobs_retried.incr();
+                    if let Some(t) = self.trace() {
+                        t.instant(
+                            "job.retry",
+                            self.track(),
+                            session.now(),
+                            "attempts",
+                            u64::from(job.attempts),
+                        );
+                    }
                     pool.requeue(job);
                 } else {
                     counters.jobs_failed.incr();
+                    if let Some(t) = self.trace() {
+                        t.instant(
+                            "job.abandon",
+                            self.track(),
+                            session.now(),
+                            "attempts",
+                            u64::from(job.attempts),
+                        );
+                    }
                     if let JobKind::Flush { batch_id } = job.kind {
                         self.abandon_batch(batch_id);
                     }
                 }
             }
+        }
+        // Emit the job span last so every event this job produced —
+        // the flow finish, retries, and any compact/migrate flow starts
+        // scheduled by `maybe_schedule_maintenance` — falls inside it.
+        if let Some(t) = self.trace() {
+            let track = self.track();
+            if flow != 0 {
+                t.flow_finish(flow_name, track, job_at, flow);
+            }
+            t.span_event(
+                job_name,
+                track,
+                job_at,
+                session.now().saturating_sub(job_at),
+                "attempts",
+                u64::from(attempts),
+            );
         }
     }
 
@@ -453,9 +561,19 @@ impl MasmEngine {
             )
         };
         if compact {
+            if let Some(t) = self.trace() {
+                let flow = t.next_flow_id();
+                self.compact_flow.store(flow, Ordering::Relaxed);
+                t.flow_start("masm.compact", self.track(), at, flow);
+            }
             h.pool().enqueue_compact(self.shard_id, at);
         }
         if migrate {
+            if let Some(t) = self.trace() {
+                let flow = t.next_flow_id();
+                self.migrate_flow.store(flow, Ordering::Relaxed);
+                t.flow_start("masm.migrate", self.track(), at, flow);
+            }
             h.pool().enqueue_migrate(self.shard_id, at);
         }
     }
@@ -767,6 +885,11 @@ impl MasmEngine {
         pre: Result<UpdateRecord, (Key, UpdateOp)>,
     ) -> MasmResult<Timestamp> {
         let _t = Timer::start(&self.metrics.ingest, || session.now());
+        // Sampled hot-path span (1-in-2^shift); `None` costs one
+        // relaxed load + one relaxed fetch-add.
+        let _sp = self
+            .trace()
+            .and_then(|t| t.op_span("ingest", self.track(), || session.now()));
         let background = self.live_pool().is_some();
         let (update, seal) = {
             let mut st = self.state.lock();
@@ -807,10 +930,34 @@ impl MasmEngine {
         if let Some((batch_id, bytes)) = seal {
             if background {
                 let pool = self.workers.get().expect("background mode").pool();
-                pool.enqueue_flush(self.shard_id, batch_id, bytes, session.now());
+                let t0 = session.now();
+                if let Some(t) = self.trace() {
+                    let track = self.track();
+                    t.instant("batch.seal", track, t0, "bytes", bytes);
+                    // The causal origin of the flush job: Perfetto draws
+                    // ingest.enqueue → job.flush across threads.
+                    t.flow_start("masm.flush", track, t0, self.flush_flow(batch_id));
+                    t.span_event("ingest.enqueue", track, t0, 100, "batch", batch_id);
+                }
+                pool.enqueue_flush(self.shard_id, batch_id, bytes, t0);
                 // Backpressure: wait until the un-flushed backlog drops
-                // under the limit, never doing the I/O ourselves.
-                pool.wait_for_space();
+                // under the limit, never doing the I/O ourselves. The
+                // stall span runs on the *global* clock — this lane's
+                // session cursor does not advance while it sleeps.
+                let stall_start = self.ssd.clock().now();
+                if pool.wait_for_space() {
+                    if let Some(t) = self.trace() {
+                        let end = self.ssd.clock().now();
+                        t.span_event(
+                            "backpressure.stall",
+                            self.track(),
+                            stall_start,
+                            end.saturating_sub(stall_start).max(1),
+                            "batch",
+                            batch_id,
+                        );
+                    }
+                }
             } else {
                 // Inline mode: materialize the run now. On error the
                 // updates are still durable (WAL) and visible (sealed
@@ -876,6 +1023,12 @@ impl MasmEngine {
             (updates, max_ts, run_id)
         };
         let _t = Timer::start(&self.metrics.flush, || session.now());
+        let mut _sp = self.trace().map(|t| {
+            let s = session.clone();
+            let mut g = t.span("flush", self.track(), move || s.now());
+            g.set_arg("batch", batch_id);
+            g
+        });
         match self.flush_claimed(session, &updates, max_ts, run_id, batch_id) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -1038,6 +1191,12 @@ impl MasmEngine {
         plan: Vec<Arc<SortedRun>>,
         fold: bool,
     ) -> MasmResult<MergeReport> {
+        let mut _sp = self.trace().map(|t| {
+            let s = session.clone();
+            let mut g = t.span("compact", self.track(), move || s.now());
+            g.set_arg("inputs", plan.len() as u64);
+            g
+        });
         let result = self.execute_merge_inner(session, plan, fold);
         if result.is_err() {
             let mut st = self.state.lock();
@@ -1163,6 +1322,10 @@ impl MasmEngine {
         as_of: Option<Timestamp>,
         mut private: Vec<UpdateRecord>,
     ) -> MasmResult<MergeScan> {
+        let _setup = self.trace().map(|t| {
+            let s = session.clone();
+            t.span("scan.setup", self.track(), move || s.now())
+        });
         let background = self.live_pool().is_some();
         enum Setup {
             Flush(u64),
@@ -1236,11 +1399,22 @@ impl MasmEngine {
             }
         };
         if let (Some((id, bytes)), Some(h)) = (enqueue_flush, self.workers.get()) {
+            if let Some(t) = self.trace() {
+                let track = self.track();
+                let t0 = session.now();
+                t.instant("batch.seal", track, t0, "bytes", bytes);
+                t.flow_start("masm.flush", track, t0, self.flush_flow(id));
+            }
             h.pool()
                 .enqueue_flush(self.shard_id, id, bytes, session.now());
         }
         if enqueue_compact {
             if let Some(h) = self.workers.get() {
+                if let Some(t) = self.trace() {
+                    let flow = t.next_flow_id();
+                    self.compact_flow.store(flow, Ordering::Relaxed);
+                    t.flow_start("masm.compact", self.track(), session.now(), flow);
+                }
                 h.pool().enqueue_compact(self.shard_id, session.now());
             }
         }
@@ -1251,17 +1425,19 @@ impl MasmEngine {
             if run.max_key < begin || run.min_key > end {
                 continue;
             }
-            streams.push(Box::new(
-                RunScan::with_cache(
-                    self.ssd.clone(),
-                    session.clone(),
-                    Arc::clone(run),
-                    Some(Arc::clone(&self.cache)),
-                    begin,
-                    end,
-                )
-                .with_fetch_histogram(Arc::clone(&self.metrics.block_fetch)),
-            ));
+            let mut scan = RunScan::with_cache(
+                self.ssd.clone(),
+                session.clone(),
+                Arc::clone(run),
+                Some(Arc::clone(&self.cache)),
+                begin,
+                end,
+            )
+            .with_fetch_histogram(Arc::clone(&self.metrics.block_fetch));
+            if let Some(t) = self.tracer_arc() {
+                scan = scan.with_trace(t, self.shard_id as u32);
+            }
+            streams.push(Box::new(scan));
         }
         // Sealed batches (awaiting background flush) are part of the
         // snapshot: their updates are not yet in any run.
@@ -1308,6 +1484,10 @@ impl MasmEngine {
     /// return, at a fraction of the setup cost.
     pub fn get(self: &Arc<Self>, session: &SessionHandle, key: Key) -> MasmResult<Option<Record>> {
         let _t = Timer::start(&self.metrics.get, || session.now());
+        let _sp = self.trace().and_then(|t| {
+            let s = session.clone();
+            t.op_span("get", self.track(), move || s.now())
+        });
         // Register as an active query so a concurrent migration cannot
         // retire the runs (and recycle their SSD space) mid-lookup.
         let (ts, runs, sealed, mem) = {
@@ -1415,6 +1595,17 @@ impl MasmEngine {
         {
             return;
         }
+        if let Some(t) = self.trace() {
+            // Emitting under the state lock is fine: the recorder is
+            // lock-free and never does I/O.
+            t.instant(
+                "epoch.retire",
+                self.track(),
+                self.ssd.clock().now(),
+                "bytes",
+                st.retired_bytes,
+            );
+        }
         st.retired_bytes = 0;
         // Recompute allocator state from the live runs: retired run
         // space becomes reusable only now that no scan can touch it.
@@ -1439,6 +1630,10 @@ impl MasmEngine {
             }
             st.migrating = true;
         }
+        let _sp = self.trace().map(|t| {
+            let s = session.clone();
+            t.span("migrate", self.track(), move || s.now())
+        });
         let result = self.migrate_inner(session);
         if result.is_err() {
             // Error path must never wedge the engine: clear the claim
@@ -1508,11 +1703,22 @@ impl MasmEngine {
         // timestamps keep them correct, and the runs' SSD extents stay
         // allocated until the post-quiesce rewind.
         {
+            // Session cursors do not advance while parked on the
+            // condvar, so the quiesce wait is timed on the global
+            // device clock.
+            let q0 = self.ssd.clock().now();
             let mut st = self.state.lock();
             while st.scan_reservations > 0
                 || st.active_queries.keys().next().is_some_and(|&t| t < mig_ts)
             {
                 self.quiesce.wait(st.inner_mut());
+            }
+            drop(st);
+            let q1 = self.ssd.clock().now();
+            if q1 > q0 {
+                if let Some(t) = self.trace() {
+                    t.span_event("migrate.quiesce", self.track(), q0, q1 - q0, "ts", mig_ts);
+                }
             }
         }
 
@@ -1957,6 +2163,9 @@ impl MasmEngine {
             merge_totals: Mutex::new(MergeReport::default()),
             compression_totals: Mutex::new(compression),
             metrics: EngineMetrics::new(),
+            tracer: OnceLock::new(),
+            compact_flow: AtomicU64::new(0),
+            migrate_flow: AtomicU64::new(0),
         });
         Self::start_workers(&engine);
 

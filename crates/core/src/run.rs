@@ -231,6 +231,15 @@ impl RunScan {
         self
     }
 
+    /// Emit `block.fetch` spans and `block.prefetch` instants for this
+    /// scan to `tracer`, on process track `pid` (the owning shard) —
+    /// the engine wires its installed [`masm_telemetry::Tracer`]
+    /// through here.
+    pub fn with_trace(mut self, tracer: Arc<masm_telemetry::Tracer>, pid: u32) -> Self {
+        self.inner = self.inner.with_trace(tracer, pid);
+        self
+    }
+
     /// Bytes this scan has read off the SSD (cache hits cost nothing).
     pub fn bytes_read(&self) -> u64 {
         self.inner.bytes_read()

@@ -37,7 +37,7 @@ use std::sync::Arc;
 use masm_pagestore::{Key, Record, Schema, TableHeap};
 use masm_storage::{SessionHandle, SimDevice};
 use masm_telemetry::json::JsonObj;
-use masm_telemetry::{EngineStats, Registry, Unit};
+use masm_telemetry::{current_tid, EngineStats, Registry, Tracer, TrackId, Unit};
 
 use crate::config::{MasmConfig, ShardingConfig, SplitPolicy};
 use crate::engine::{MasmEngine, MergeScan, MigrationReport};
@@ -341,8 +341,25 @@ impl ShardedEngine {
                 hi >= begin && lo <= end
             })
             .collect();
+        let tracer = self
+            .shards
+            .first()
+            .and_then(|e| e.tracer_arc())
+            .filter(|t| t.enabled());
         for &shard in &overlapping {
             self.shards[shard].reserve_scan();
+            if let Some(t) = &tracer {
+                t.instant(
+                    "scan.reserve",
+                    TrackId {
+                        pid: shard as u32,
+                        tid: current_tid(),
+                    },
+                    self.shards[shard].ssd().clock().now(),
+                    "shard",
+                    shard as u64,
+                );
+            }
         }
         let ts = as_of.unwrap_or_else(|| self.oracle.next());
         let mut parts = VecDeque::new();
@@ -352,6 +369,9 @@ impl ShardedEngine {
             if err.is_none() {
                 let (lo, hi) = self.router.shard_range(shard);
                 let session = SessionHandle::fresh(engine.ssd().clock().clone());
+                // The per-shard session is consumed by the scan, so the
+                // pin is timed on the shard's global device clock.
+                let t0 = tracer.as_ref().map(|_| engine.ssd().clock().now());
                 match engine.begin_scan_at(
                     session,
                     lo.max(begin),
@@ -361,6 +381,20 @@ impl ShardedEngine {
                 ) {
                     Ok(scan) => parts.push_back(scan),
                     Err(e) => err = Some(e),
+                }
+                if let (Some(t), Some(t0)) = (&tracer, t0) {
+                    let t1 = engine.ssd().clock().now();
+                    t.span_event(
+                        "scan.pin",
+                        TrackId {
+                            pid: shard as u32,
+                            tid: current_tid(),
+                        },
+                        t0,
+                        t1.saturating_sub(t0).max(1),
+                        "ts",
+                        ts,
+                    );
                 }
             }
             // Pinned (or abandoned): the per-timestamp guards take over.
@@ -438,6 +472,17 @@ impl ShardedEngine {
     #[must_use]
     pub fn metrics_registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Install one shared flight recorder across every shard engine
+    /// (each shard emits on its own process track, `pid == shard_id`)
+    /// and bind the tracer's accounting counters (`trace.*`) into this
+    /// engine's registry. Call once, before the workload starts.
+    pub fn install_tracer(&self, tracer: &Arc<Tracer>) {
+        tracer.bind_registry(&self.registry);
+        for e in &self.shards {
+            e.install_tracer(Arc::clone(tracer));
+        }
     }
 
     /// Drain and join the shared worker pool (no-op in inline mode;

@@ -290,12 +290,18 @@ impl WorkerPool {
 
     /// The ingest backpressure gate: block while the un-flushed backlog
     /// exceeds the configured limit. Returns immediately on shutdown so
-    /// a tearing-down engine cannot strand an ingest thread.
-    pub fn wait_for_space(&self) {
+    /// a tearing-down engine cannot strand an ingest thread. The return
+    /// value reports whether the caller actually stalled (waited at
+    /// least once), so tracing can record a `backpressure.stall` span
+    /// only for real throttle events.
+    pub fn wait_for_space(&self) -> bool {
         let mut st = self.state.lock();
+        let mut stalled = false;
         while st.backlog_bytes > self.backlog_limit && !st.shutdown {
+            stalled = true;
             self.space.wait(st.inner_mut());
         }
+        stalled
     }
 
     /// Current (queue depth, backlog bytes).

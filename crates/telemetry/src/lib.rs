@@ -42,6 +42,7 @@ pub mod registry;
 pub mod stats;
 pub mod timer;
 pub mod timeseries;
+pub mod trace;
 
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, HISTOGRAM_BUCKETS};
@@ -52,3 +53,7 @@ pub use stats::{
 };
 pub use timer::Timer;
 pub use timeseries::{ClockSource, NdjsonWriter, TimeSeriesWriter, WallClock};
+pub use trace::{
+    current_tid, render_chrome_trace, InvariantWatchdog, RecordKind, SpanGuard, TraceConfig,
+    TraceRecord, TraceStats, Tracer, TrackId,
+};

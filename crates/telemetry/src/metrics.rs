@@ -143,9 +143,10 @@ pub(crate) fn bucket_index(v: u64) -> usize {
     ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
 }
 
-/// Inclusive upper bound of bucket `i` (used for percentile readout).
+/// Inclusive upper bound of bucket `i` (used for percentile readout and
+/// the OpenMetrics `le` labels).
 #[must_use]
-fn bucket_upper_bound(i: usize) -> u64 {
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= HISTOGRAM_BUCKETS - 1 {

@@ -5,18 +5,24 @@
 //!
 //! This is the observability tour: everything printed here comes from
 //! `MasmEngine::stats()` (one coherent snapshot, cheap enough to poll
-//! from a driver loop) and `MasmEngine::metrics_registry()` (the metric
-//! catalog with units and help strings).
+//! from a driver loop), `MasmEngine::metrics_registry()` (the metric
+//! catalog with units and help strings — also rendered as OpenMetrics
+//! text), and an installed [`masm_telemetry::Tracer`] whose flight
+//! recording is summarized as the top-3 longest spans per operation
+//! and checked by an [`masm_telemetry::InvariantWatchdog`].
 //!
 //! Run with: `cargo run --release --example metrics_dashboard`
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use masm_core::update::{FieldPatch, UpdateOp};
 use masm_core::{EngineStats, MasmConfig, MasmEngine};
 use masm_pagestore::{HeapConfig, Record, Schema, TableHeap};
 use masm_storage::{DeviceProfile, SessionHandle, SimClock, SimDevice};
-use masm_telemetry::Metric;
+use masm_telemetry::{
+    InvariantWatchdog, Metric, RecordKind, TraceConfig, TraceRecord, Tracer, TrackId,
+};
 
 fn pct(num: u64, den: u64) -> f64 {
     if den == 0 {
@@ -107,6 +113,15 @@ fn main() {
     )
     .expect("valid config");
 
+    // Flight-record the whole run. Everything emitted below lands in
+    // the tracer's lock-free rings; the summary at the end drains them.
+    let tracer = Arc::new(Tracer::new(TraceConfig {
+        ring_capacity: 1 << 14,
+        ..TraceConfig::default()
+    }));
+    tracer.bind_registry(engine.metrics_registry());
+    engine.install_tracer(Arc::clone(&tracer));
+
     let session = SessionHandle::fresh(clock.clone());
     engine
         .load_table(
@@ -192,8 +207,61 @@ fn main() {
     println!("\nstats JSON ({} bytes):", end.to_json().len());
     println!("{}", end.to_json());
 
-    // The paper's invariant, checkable from the snapshot alone.
-    assert!(end.invariant_violations().is_empty());
+    // The watchdog wraps the same invariant check and additionally
+    // emits instant events + the `trace.violations` counter into the
+    // flight recording, so a dashboard poll loop and the trace agree.
+    let mut watchdog = InvariantWatchdog::new(
+        Arc::clone(&tracer),
+        TrackId {
+            pid: 0,
+            tid: masm_telemetry::current_tid(),
+        },
+        1_000_000,
+    );
+    let violations = watchdog.poll(&end);
+    assert!(violations.is_empty(), "invariants violated: {violations:?}");
+
+    // The registry also renders as OpenMetrics text (what a scraper
+    // would pull); show the shape without dumping all of it.
+    let exposition = engine.metrics_registry().render_openmetrics();
+    println!(
+        "\nOpenMetrics exposition: {} lines, {} bytes; first lines:",
+        exposition.lines().count(),
+        exposition.len()
+    );
+    for line in exposition.lines().take(5) {
+        println!("  {line}");
+    }
+
+    // Drain the flight recording and show the top-3 longest spans per
+    // operation — the causal view behind the percentile table above.
+    let records = tracer.take_records();
+    let stats = tracer.stats();
+    let mut by_name: BTreeMap<&str, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.kind == RecordKind::Span) {
+        by_name.entry(r.name).or_default().push(r);
+    }
+    println!(
+        "\ntrace: {} records emitted, {} retained after ring overflow ({} dropped)",
+        stats.emitted,
+        records.len(),
+        stats.dropped
+    );
+    println!("top-3 longest spans per operation (virtual ns):");
+    for (name, spans) in &mut by_name {
+        spans.sort_by_key(|r| std::cmp::Reverse(r.dur_ns));
+        let top: Vec<String> = spans
+            .iter()
+            .take(3)
+            .map(|r| format!("{} @ {}", r.dur_ns, r.t_ns))
+            .collect();
+        println!("  {name:<20} {}", top.join(", "));
+    }
+    assert!(
+        by_name.contains_key("flush") && by_name.contains_key("migrate"),
+        "the workload must have traced a flush and a migration"
+    );
+
     println!(
         "\nOK: coherent snapshot; {} random SSD writes across the whole run",
         end.ssd.random_writes

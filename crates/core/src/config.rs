@@ -253,6 +253,33 @@ impl MasmConfig {
         fan_in.clamp(1, self.merge_prefetch_cap.max(1))
     }
 
+    /// Stable fingerprint of the fields that shape the *durable* layout:
+    /// SSD page/region geometry, run block format knobs, and the shard
+    /// topology. Stored in the [`crate::ShardManifest`] and re-checked
+    /// at [`crate::ShardedEngine::recover`], so recovering with a
+    /// config whose on-flash layout disagrees with what was written is
+    /// rejected up front instead of misreading runs. Runtime-only knobs
+    /// (cache sizes, worker counts, α) deliberately do not participate:
+    /// they may change freely across restarts.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, 64-bit: dependency-free and stable across builds.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.ssd_page_size as u64);
+        mix(self.ssd_capacity);
+        mix(self.ssd_region_base);
+        mix(self.block_bytes as u64);
+        mix(self.index_granularity.bytes());
+        mix(self.bloom_bits_per_key as u64);
+        mix(self.sharding.shards as u64);
+        h
+    }
+
     /// MaSM-2M variant of this configuration.
     pub fn with_alpha(mut self, alpha: f64) -> Self {
         self.alpha = alpha;
@@ -454,6 +481,23 @@ impl MasmConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_tracks_layout_not_runtime_knobs() {
+        let base = MasmConfig::small_for_tests();
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        let mut runtime = base.clone();
+        runtime.background_workers = 4;
+        runtime.block_cache_bytes *= 2;
+        runtime.alpha = 2.0;
+        assert_eq!(base.fingerprint(), runtime.fingerprint());
+        let mut layout = base.clone();
+        layout.ssd_page_size *= 2;
+        assert_ne!(base.fingerprint(), layout.fingerprint());
+        let mut topo = base.clone();
+        topo.sharding.shards = 2;
+        assert_ne!(base.fingerprint(), topo.fingerprint());
+    }
 
     #[test]
     fn paper_defaults_give_16mb_memory() {

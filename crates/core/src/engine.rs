@@ -48,7 +48,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::{Condvar, Mutex};
 
 use masm_blockrun::BlockCache;
-use masm_pagestore::{Key, Page, Record, Schema, TableHeap, TsRangeScan};
+use masm_pagestore::{ChunkCommit, Key, Page, Record, Schema, TableHeap, TsRangeScan};
 use masm_storage::{
     CacheStatsSnapshot, CompressionReport, IoSession, MergeReport, Ns, SessionHandle, SimDevice,
     TrackedMutex,
@@ -61,6 +61,7 @@ use masm_telemetry::{
 use crate::algo::RunSet;
 use crate::config::MasmConfig;
 use crate::error::{MasmError, MasmResult};
+use crate::manifest::ShardManifest;
 use crate::membuf::UpdateBuffer;
 use crate::merge::{
     compact_block_runs, fold_duplicates, MergeDataUpdates, MergeUpdates, UpdateStream,
@@ -91,6 +92,19 @@ struct EngineMetrics {
     merge_blocks_moved: Arc<Counter>,
     merge_blocks_merged: Arc<Counter>,
     merge_bytes_decoded: Arc<Counter>,
+    recovery: RecoveryCounters,
+}
+
+/// Crash-recovery counters (family `recovery`). Registered on every
+/// engine so `render_openmetrics` always exports the family; non-zero
+/// only on engines built by [`MasmEngine::recover`].
+struct RecoveryCounters {
+    records_replayed: Arc<Counter>,
+    updates_rebuilt: Arc<Counter>,
+    runs_recovered: Arc<Counter>,
+    torn_tail: Arc<Counter>,
+    torn_bytes: Arc<Counter>,
+    migrations_redriven: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -118,6 +132,37 @@ impl EngineMetrics {
             merge_blocks_moved: c("blocks_moved", Unit::Ops, "blocks relinked verbatim"),
             merge_blocks_merged: c("blocks_merged", Unit::Ops, "blocks decoded and re-encoded"),
             merge_bytes_decoded: c("bytes_decoded", Unit::Bytes, "bytes decoded by merges"),
+            recovery: {
+                let r = |name, unit, help| registry.counter("recovery", name, unit, help);
+                RecoveryCounters {
+                    records_replayed: r(
+                        "records_replayed",
+                        Unit::Ops,
+                        "WAL records replayed at recovery",
+                    ),
+                    updates_rebuilt: r(
+                        "updates_rebuilt",
+                        Unit::Ops,
+                        "updates restored into the in-memory buffer",
+                    ),
+                    runs_recovered: r(
+                        "runs_recovered",
+                        Unit::Ops,
+                        "materialized runs re-registered at recovery",
+                    ),
+                    torn_tail: r("torn_tail", Unit::Ops, "torn WAL tails truncated"),
+                    torn_bytes: r(
+                        "torn_bytes",
+                        Unit::Bytes,
+                        "WAL bytes discarded with torn tails",
+                    ),
+                    migrations_redriven: r(
+                        "migrations_redriven",
+                        Unit::Ops,
+                        "interrupted migrations re-driven to completion",
+                    ),
+                }
+            },
             registry,
         }
     }
@@ -210,6 +255,108 @@ pub struct RecoveryReport {
     pub runs_recovered: usize,
     /// Whether an interrupted migration was re-driven to completion.
     pub redid_migration: bool,
+    /// WAL records replayed from the longest valid log prefix.
+    pub wal_records_replayed: u64,
+    /// Bytes truncated from a torn WAL tail (0 = the log ended
+    /// cleanly).
+    pub wal_torn_bytes: u64,
+}
+
+/// One heap-metadata event parsed from a redo log. Sharded recovery
+/// merges the events of every shard's log into one globally ordered
+/// sequence (by `seq`, with cross-log duplicates removed) before
+/// touching the shared heap.
+#[derive(Debug, Clone)]
+pub(crate) enum HeapEvent {
+    /// A bulk load ([`WalRecord::HeapLoaded`]).
+    Load {
+        /// Global heap-event sequence number.
+        seq: u64,
+        /// Physical base offset of the load.
+        base: u64,
+        /// Page size used.
+        page_size: u32,
+        /// Minimum key per page.
+        min_keys: Vec<Key>,
+        /// Total records loaded.
+        record_count: u64,
+    },
+    /// A migration chunk splice ([`WalRecord::MapSplice`]).
+    Splice {
+        /// Global heap-event sequence number.
+        seq: u64,
+        /// The logged splice.
+        commit: ChunkCommit,
+    },
+}
+
+impl HeapEvent {
+    pub(crate) fn seq(&self) -> u64 {
+        match self {
+            HeapEvent::Load { seq, .. } | HeapEvent::Splice { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Replay the heap-metadata events of one or more redo logs against a
+/// (fresh) table heap, in global `seq` order. Duplicates — the same
+/// bulk load broadcast to several shard WALs — collapse by `seq`.
+pub(crate) fn apply_heap_events(heap: &TableHeap, mut events: Vec<HeapEvent>) {
+    events.sort_by_key(HeapEvent::seq);
+    events.dedup_by_key(|e| e.seq());
+    for ev in events {
+        match ev {
+            HeapEvent::Load {
+                base,
+                page_size,
+                min_keys,
+                record_count,
+                ..
+            } => {
+                let page_map: Vec<u64> = (0..min_keys.len() as u64)
+                    .map(|i| base + i * page_size as u64)
+                    .collect();
+                let alloc_next = base + min_keys.len() as u64 * page_size as u64;
+                heap.restore(page_map, min_keys, record_count, alloc_next);
+            }
+            HeapEvent::Splice { commit, .. } => heap.apply_splice(&commit),
+        }
+    }
+}
+
+/// One materialized run named by the redo log as live at the crash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecoveredRun {
+    base: u64,
+    bytes: u64,
+    passes: u8,
+}
+
+/// Everything crash recovery needs from one shard's redo log: the
+/// record-level fold of the longest valid log prefix.
+pub(crate) struct ParsedWal {
+    /// The shard manifest, when the log belongs to a sharded
+    /// deployment (absent on standalone engines).
+    pub(crate) manifest: Option<ShardManifest>,
+    /// Runs created and not yet deleted, by run id.
+    pub(crate) live_runs: BTreeMap<u64, RecoveredRun>,
+    /// Logged updates not yet absorbed by any 1-pass run — the
+    /// in-memory buffer contents at the crash.
+    pub(crate) pending: Vec<UpdateRecord>,
+    /// Highest durable timestamp (updates, migration marks, and
+    /// heap-event seqs all draw from the one oracle).
+    pub(crate) max_ts: Timestamp,
+    /// A `MigrationBegin` without its `MigrationEnd`.
+    pub(crate) unfinished_migration: bool,
+    /// Heap loads and splices, in log order.
+    pub(crate) heap_events: Vec<HeapEvent>,
+    /// Records in the valid prefix.
+    pub(crate) records_replayed: u64,
+    /// Byte offset where the valid prefix ends (the recovered append
+    /// point).
+    pub(crate) end_offset: u64,
+    /// Bytes dropped beyond `end_offset` (torn tail; 0 = clean end).
+    pub(crate) torn_bytes: u64,
 }
 
 /// The MaSM storage-manager engine for one table.
@@ -608,18 +755,37 @@ impl MasmEngine {
         fill: f64,
     ) -> MasmResult<()> {
         self.heap.bulk_load(session, records, fill)?;
+        self.log_heap_loaded(session, self.oracle.next())
+    }
+
+    /// Log the heap's current (bulk-loaded) metadata under heap-event
+    /// sequence `seq`. A sharded deployment broadcasts one load to
+    /// every shard's WAL under a single shared `seq`, so multi-log
+    /// replay applies it exactly once.
+    pub(crate) fn log_heap_loaded(&self, session: &SessionHandle, seq: u64) -> MasmResult<()> {
         let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
         let base = page_map.first().copied().unwrap_or(0);
         self.wal.append(
             session,
             &WalRecord::HeapLoaded {
+                seq,
                 base,
                 page_size: self.heap.config().page_size as u32,
                 min_keys,
                 record_count,
             },
-        )?;
-        Ok(())
+        )
+    }
+
+    /// Append the shard manifest to this shard's redo log (the first
+    /// record of every WAL in a sharded deployment).
+    pub(crate) fn log_manifest(
+        &self,
+        session: &SessionHandle,
+        manifest: &ShardManifest,
+    ) -> MasmResult<()> {
+        self.wal
+            .append(session, &WalRecord::Manifest(manifest.clone()))
     }
 
     /// The table schema.
@@ -1879,16 +2045,7 @@ impl MasmEngine {
                 .collect();
             if !records.is_empty() {
                 self.heap.bulk_load(session, records, 1.0)?;
-                let (page_map, min_keys, record_count) = self.heap.metadata_snapshot();
-                self.wal.append(
-                    session,
-                    &WalRecord::HeapLoaded {
-                        base: page_map.first().copied().unwrap_or(0),
-                        page_size: self.heap.config().page_size as u32,
-                        min_keys,
-                        record_count,
-                    },
-                )?;
+                self.log_heap_loaded(session, self.oracle.next())?;
             }
             return Ok(MigrationReport {
                 ts: mig_ts,
@@ -1982,7 +2139,13 @@ impl MasmEngine {
             }
             pages_written += new_pages.len() as u64;
             let commit = rewriter.commit_chunk(new_pages)?;
-            self.wal.append(session, &WalRecord::MapSplice(commit))?;
+            self.wal.append(
+                session,
+                &WalRecord::MapSplice {
+                    seq: self.oracle.next(),
+                    commit,
+                },
+            )?;
         }
 
         Ok(MigrationReport {
@@ -1996,7 +2159,10 @@ impl MasmEngine {
     /// Rebuild an engine after a crash: heap metadata, run set, and the
     /// in-memory update buffer come back from the redo log and the
     /// (durable) SSD; an interrupted migration is re-driven to
-    /// completion (idempotent thanks to page timestamps).
+    /// completion (idempotent thanks to page timestamps). A torn WAL
+    /// tail — a record cut off mid-append by the crash — is truncated
+    /// and reported in [`RecoveryReport::wal_torn_bytes`]; corruption
+    /// anywhere *before* the tail stays a hard error.
     pub fn recover(
         heap: Arc<TableHeap>,
         ssd: SimDevice,
@@ -2004,26 +2170,66 @@ impl MasmEngine {
         schema: Schema,
         cfg: MasmConfig,
     ) -> MasmResult<(Arc<Self>, RecoveryReport)> {
+        Self::recover_traced(heap, ssd, wal_dev, schema, cfg, None)
+    }
+
+    /// [`MasmEngine::recover`] with an optional flight recorder: the
+    /// tracer is installed before replay side effects begin, so the
+    /// recovery itself shows up as a `recovery` span (plus
+    /// `recovery.torn_tail` / `recovery.migration_redo` instants).
+    pub fn recover_traced(
+        heap: Arc<TableHeap>,
+        ssd: SimDevice,
+        wal_dev: SimDevice,
+        schema: Schema,
+        cfg: MasmConfig,
+        tracer: Option<Arc<Tracer>>,
+    ) -> MasmResult<(Arc<Self>, RecoveryReport)> {
         cfg.validate()?;
         let session = SessionHandle::fresh(ssd.clock().clone());
-        let (records, wal_end) = Wal::read_all(&session, &wal_dev)?;
-
-        struct RunInfo {
-            base: u64,
-            passes: u8,
+        let mut parsed = Self::parse_wal(&session, &wal_dev)?;
+        apply_heap_events(&heap, std::mem::take(&mut parsed.heap_events));
+        let unfinished = parsed.unfinished_migration;
+        let (engine, mut report) = Self::recover_from_parsed(
+            heap,
+            ssd,
+            wal_dev,
+            schema,
+            cfg,
+            TimestampOracle::new(),
+            0,
+            true,
+            parsed,
+            tracer,
+        )?;
+        if unfinished {
+            engine.migrate(&session)?;
+            engine.note_migration_redriven();
+            report.redid_migration = true;
         }
-        let mut live_runs: BTreeMap<u64, RunInfo> = BTreeMap::new();
-        let mut run_bytes: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut pending: Vec<UpdateRecord> = Vec::new();
-        let mut max_ts: Timestamp = 0;
-        let mut unfinished_migration = false;
-        let mut heap_loaded = false;
+        Ok((engine, report))
+    }
 
-        for rec in &records {
+    /// Fold one redo log into its recovery-relevant state (the longest
+    /// valid prefix; torn tails are truncated here, per [`Wal::replay`]).
+    pub(crate) fn parse_wal(session: &SessionHandle, wal_dev: &SimDevice) -> MasmResult<ParsedWal> {
+        let replay = Wal::replay(session, wal_dev)?;
+        let mut parsed = ParsedWal {
+            manifest: None,
+            live_runs: BTreeMap::new(),
+            pending: Vec::new(),
+            max_ts: 0,
+            unfinished_migration: false,
+            heap_events: Vec::new(),
+            records_replayed: replay.records.len() as u64,
+            end_offset: replay.end_offset,
+            torn_bytes: replay.torn_bytes,
+        };
+        for rec in replay.records {
             match rec {
                 WalRecord::Update(u) => {
-                    max_ts = max_ts.max(u.ts);
-                    pending.push(u.clone());
+                    parsed.max_ts = parsed.max_ts.max(u.ts);
+                    parsed.pending.push(u);
                 }
                 WalRecord::RunCreated {
                     id,
@@ -2033,75 +2239,114 @@ impl MasmEngine {
                     max_ts: run_max_ts,
                     ..
                 } => {
-                    live_runs.insert(
-                        *id,
-                        RunInfo {
-                            base: *base,
-                            passes: *passes,
+                    parsed.live_runs.insert(
+                        id,
+                        RecoveredRun {
+                            base,
+                            bytes,
+                            passes,
                         },
                     );
-                    run_bytes.insert(*id, *bytes);
-                    if *passes == 1 {
+                    if passes == 1 {
                         // Updates at or below the run's max timestamp
                         // are durable in the run; the rest were still
                         // buffer-resident at the crash. A timestamp
                         // filter (not log position) because concurrent
                         // appenders interleave Update and RunCreated
                         // records; re-applied duplicates are idempotent.
-                        pending.retain(|u| u.ts > *run_max_ts);
+                        parsed.pending.retain(|u| u.ts > run_max_ts);
                     }
                 }
                 WalRecord::RunsDeleted(ids) => {
                     for id in ids {
-                        live_runs.remove(id);
-                        run_bytes.remove(id);
+                        parsed.live_runs.remove(&id);
                     }
                 }
                 WalRecord::MigrationBegin { ts, .. } => {
-                    max_ts = max_ts.max(*ts);
-                    unfinished_migration = true;
+                    parsed.max_ts = parsed.max_ts.max(ts);
+                    parsed.unfinished_migration = true;
                 }
                 WalRecord::MigrationEnd { .. } => {
-                    unfinished_migration = false;
+                    parsed.unfinished_migration = false;
                 }
                 WalRecord::HeapLoaded {
+                    seq,
                     base,
                     page_size,
                     min_keys,
                     record_count,
                 } => {
-                    let page_map: Vec<u64> = (0..min_keys.len() as u64)
-                        .map(|i| base + i * *page_size as u64)
-                        .collect();
-                    let alloc_next = base + min_keys.len() as u64 * *page_size as u64;
-                    heap.restore(page_map, min_keys.clone(), *record_count, alloc_next);
-                    heap_loaded = true;
+                    parsed.max_ts = parsed.max_ts.max(seq);
+                    parsed.heap_events.push(HeapEvent::Load {
+                        seq,
+                        base,
+                        page_size,
+                        min_keys,
+                        record_count,
+                    });
                 }
-                WalRecord::MapSplice(commit) => {
-                    heap.apply_splice(commit);
+                WalRecord::MapSplice { seq, commit } => {
+                    parsed.max_ts = parsed.max_ts.max(seq);
+                    parsed.heap_events.push(HeapEvent::Splice { seq, commit });
+                }
+                WalRecord::Manifest(m) => {
+                    if parsed.manifest.as_ref().is_some_and(|prev| *prev != m) {
+                        return Err(MasmError::Corrupt("conflicting manifests in one WAL"));
+                    }
+                    parsed.manifest = Some(m);
                 }
             }
         }
-        if !records.is_empty() && !heap_loaded && heap.num_pages() == 0 && !live_runs.is_empty() {
-            // Runs exist but the heap was never loaded: legal (updates
-            // into an empty table); nothing to restore.
-        }
+        Ok(parsed)
+    }
+
+    /// Build a recovered engine from a parsed redo log. The heap must
+    /// already hold its recovered metadata (see [`apply_heap_events`] —
+    /// applied per log by [`MasmEngine::recover_traced`], or merged
+    /// across all logs by [`crate::ShardedEngine::recover`]). The
+    /// shared `oracle` is advanced past this log's durable maximum
+    /// (order-independent, so shards fold in any order). Does *not*
+    /// re-drive an interrupted migration — the caller owns that (and
+    /// its cross-shard staggering).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recover_from_parsed(
+        heap: Arc<TableHeap>,
+        ssd: SimDevice,
+        wal_dev: SimDevice,
+        schema: Schema,
+        cfg: MasmConfig,
+        oracle: TimestampOracle,
+        shard_id: usize,
+        spawn_workers: bool,
+        parsed: ParsedWal,
+        tracer: Option<Arc<Tracer>>,
+    ) -> MasmResult<(Arc<Self>, RecoveryReport)> {
+        cfg.validate()?;
+        let t0 = ssd.clock().now();
+        let session = SessionHandle::fresh(ssd.clock().clone());
+        let ParsedWal {
+            live_runs,
+            pending,
+            mut max_ts,
+            end_offset,
+            torn_bytes,
+            records_replayed,
+            ..
+        } = parsed;
 
         // Re-open run metadata from the durable, checksummed block-run
         // footers: zone maps, bloom filters, and key/timestamp bounds
-        // come back without decoding a single update record (the old
-        // format re-read and re-decoded every run byte here).
+        // come back without decoding a single update record.
         let mut runs = RunSet::new();
         let mut high_water = 0u64;
         let mut live_bytes = 0u64;
         let mut max_run_id = 0u64;
         let mut rebuilt: Vec<Arc<SortedRun>> = Vec::new();
         for (id, info) in &live_runs {
-            let bytes = run_bytes[id];
-            let run = recover_run(&session, &ssd, *id, info.base, bytes, info.passes)?;
+            let run = recover_run(&session, &ssd, *id, info.base, info.bytes, info.passes)?;
             max_ts = max_ts.max(run.max_ts);
-            high_water = high_water.max(info.base + bytes);
-            live_bytes += bytes;
+            high_water = high_water.max(info.base + info.bytes);
+            live_bytes += info.bytes;
             max_run_id = max_run_id.max(*id);
             rebuilt.push(Arc::new(run));
         }
@@ -2115,6 +2360,16 @@ impl MasmEngine {
         }
         runs.resume_ids_after(max_run_id);
         let runs_recovered = runs.len();
+
+        // Crash-snapshot devices carry no write-head position. Prime
+        // both heads at the recovered append points so the first
+        // post-recovery write continues the sequential pattern instead
+        // of being charged as a seek (design goal 2: random_writes
+        // stays 0 across a crash).
+        ssd.prime_head_position_if_unset(high_water.max(cfg.ssd_region_base));
+        wal_dev.prime_head_position_if_unset(end_offset);
+
+        oracle.advance_past(max_ts);
 
         let mut buffer = UpdateBuffer::new(cfg.update_buffer_bytes() as usize);
         let updates_recovered = pending.len() as u64;
@@ -2138,7 +2393,7 @@ impl MasmEngine {
             cache,
             cfg,
             schema,
-            oracle: TimestampOracle::resume_after(max_ts),
+            oracle,
             state: TrackedMutex::new(EngineState {
                 buffer,
                 runs,
@@ -2152,10 +2407,10 @@ impl MasmEngine {
                 scan_reservations: 0,
             }),
             quiesce: Condvar::new(),
-            wal: Wal::new(wal_dev, wal_end),
+            wal: Wal::new(wal_dev, end_offset),
             epoch: AtomicU64::new(0),
             workers: OnceLock::new(),
-            shard_id: 0,
+            shard_id,
             ingested_updates: AtomicU64::new(0),
             ingested_bytes: AtomicU64::new(0),
             commit_index: Mutex::new(std::collections::HashMap::new()),
@@ -2167,18 +2422,67 @@ impl MasmEngine {
             compact_flow: AtomicU64::new(0),
             migrate_flow: AtomicU64::new(0),
         });
-        Self::start_workers(&engine);
+        if let Some(t) = tracer {
+            engine.install_tracer(t);
+        }
+        if spawn_workers {
+            Self::start_workers(&engine);
+        } else {
+            engine.cache.bind_registry(&engine.metrics.registry);
+        }
 
-        let mut report = RecoveryReport {
+        let rc = &engine.metrics.recovery;
+        rc.records_replayed.add(records_replayed);
+        rc.updates_rebuilt.add(updates_recovered);
+        rc.runs_recovered.add(runs_recovered as u64);
+        if torn_bytes > 0 {
+            rc.torn_tail.add(1);
+            rc.torn_bytes.add(torn_bytes);
+        }
+        if let Some(t) = engine.trace() {
+            let t1 = engine.ssd.clock().now();
+            t.span_event(
+                "recovery",
+                engine.track(),
+                t0,
+                (t1 - t0).max(1),
+                "records",
+                records_replayed,
+            );
+            if torn_bytes > 0 {
+                t.instant(
+                    "recovery.torn_tail",
+                    engine.track(),
+                    t1,
+                    "bytes",
+                    torn_bytes,
+                );
+            }
+        }
+
+        let report = RecoveryReport {
             updates_recovered,
             runs_recovered,
             redid_migration: false,
+            wal_records_replayed: records_replayed,
+            wal_torn_bytes: torn_bytes,
         };
-        if unfinished_migration {
-            engine.migrate(&session)?;
-            report.redid_migration = true;
-        }
         Ok((engine, report))
+    }
+
+    /// Record (counter + trace instant) that an interrupted migration
+    /// was re-driven to completion on this engine during recovery.
+    pub(crate) fn note_migration_redriven(&self) {
+        self.metrics.recovery.migrations_redriven.add(1);
+        if let Some(t) = self.trace() {
+            t.instant(
+                "recovery.migration_redo",
+                self.track(),
+                self.ssd.clock().now(),
+                "shard",
+                self.shard_id as u64,
+            );
+        }
     }
 }
 

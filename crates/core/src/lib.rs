@@ -30,13 +30,17 @@
 //!    absorbed an update, so concurrent queries and crash-redo are safe.
 //! 5. **Correct ACID support** — [`txn`] provides timestamp ordering,
 //!    snapshot-isolation private buffers, and lock-release visibility;
-//!    [`wal`] + [`engine::MasmEngine::recover`] rebuild the in-memory
-//!    buffer (and only it) after a crash.
+//!    [`wal`] (CRC-framed records, stable-tail group commit, torn-tail
+//!    truncation) + [`engine::MasmEngine::recover`] rebuild the
+//!    in-memory buffer (and only it) after a crash, and
+//!    [`shard::ShardedEngine::recover`] replays every shard's WAL to
+//!    one consistent cut under [`manifest::ShardManifest`] validation.
 
 pub mod algo;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod manifest;
 pub mod membuf;
 pub mod merge;
 pub mod run;
@@ -53,12 +57,13 @@ pub(crate) mod worker;
 pub use config::{
     CachePolicy, CodecChoice, IndexGranularity, MasmConfig, ShardingConfig, SplitPolicy,
 };
-pub use engine::{MasmEngine, MergeScan};
+pub use engine::{MasmEngine, MergeScan, RecoveryReport};
 // Re-exported so engine users consume `MasmEngine::stats()` without a
 // direct masm-telemetry dependency.
 pub use error::{MasmError, MasmResult};
+pub use manifest::ShardManifest;
 pub use masm_telemetry::{EngineStats, StatsDelta};
-pub use shard::{ShardRouter, ShardedEngine, ShardedScan, ShardedStats};
+pub use shard::{ShardRouter, ShardedEngine, ShardedRecoveryReport, ShardedScan, ShardedStats};
 pub use ts::TimestampOracle;
 pub use txn::Transaction;
 pub use update::{FieldPatch, UpdateOp, UpdateRecord};

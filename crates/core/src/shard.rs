@@ -40,8 +40,11 @@ use masm_telemetry::json::JsonObj;
 use masm_telemetry::{current_tid, EngineStats, Registry, Tracer, TrackId, Unit};
 
 use crate::config::{MasmConfig, ShardingConfig, SplitPolicy};
-use crate::engine::{MasmEngine, MergeScan, MigrationReport};
+use crate::engine::{
+    apply_heap_events, MasmEngine, MergeScan, MigrationReport, ParsedWal, RecoveryReport,
+};
 use crate::error::{MasmError, MasmResult};
+use crate::manifest::ShardManifest;
 use crate::ts::{Timestamp, TimestampOracle};
 use crate::update::UpdateOp;
 use crate::worker::{WorkerHandle, WorkerPool};
@@ -182,6 +185,50 @@ impl ShardedStats {
     }
 }
 
+/// Aggregated outcome of [`ShardedEngine::recover`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRecoveryReport {
+    /// Per-shard recovery reports, indexed by shard id.
+    pub per_shard: Vec<RecoveryReport>,
+    /// Interrupted migrations re-driven to completion.
+    pub migrations_redriven: usize,
+}
+
+impl ShardedRecoveryReport {
+    /// Updates restored into in-memory buffers, across all shards.
+    #[must_use]
+    pub fn updates_recovered(&self) -> u64 {
+        self.per_shard.iter().map(|r| r.updates_recovered).sum()
+    }
+
+    /// Materialized runs re-registered, across all shards.
+    #[must_use]
+    pub fn runs_recovered(&self) -> usize {
+        self.per_shard.iter().map(|r| r.runs_recovered).sum()
+    }
+
+    /// WAL records replayed, across all shards.
+    #[must_use]
+    pub fn wal_records_replayed(&self) -> u64 {
+        self.per_shard.iter().map(|r| r.wal_records_replayed).sum()
+    }
+
+    /// WAL bytes truncated as torn tails, across all shards.
+    #[must_use]
+    pub fn wal_torn_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|r| r.wal_torn_bytes).sum()
+    }
+
+    /// Shards whose redo log ended in a (truncated) torn tail.
+    #[must_use]
+    pub fn torn_tails(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|r| r.wal_torn_bytes > 0)
+            .count()
+    }
+}
+
 /// N key-range shards behind one router, one timestamp domain, and one
 /// background worker pool.
 pub struct ShardedEngine {
@@ -240,7 +287,38 @@ impl ShardedEngine {
                 false,
             )?);
         }
-        let workers = (cfg.background_workers > 0).then(|| {
+        // Durably describe the deployment before any data moves: one
+        // manifest copy in every shard's WAL (each naming its own shard
+        // id), so recovery can validate shard count, split keys, device
+        // order, and configuration compatibility from the logs alone.
+        let fingerprint = cfg.fingerprint();
+        for (shard_id, e) in shards.iter().enumerate() {
+            let session = SessionHandle::fresh(e.ssd().clock().clone());
+            e.log_manifest(
+                &session,
+                &ShardManifest {
+                    shards: n as u32,
+                    shard_id: shard_id as u32,
+                    split_keys: router.split_points().to_vec(),
+                    ssd_region_base: e.config().ssd_region_base,
+                    config_fingerprint: fingerprint,
+                },
+            )?;
+        }
+        let workers = Self::wire_workers(&cfg, &shards);
+        Ok(Arc::new(ShardedEngine {
+            router,
+            shards,
+            oracle,
+            workers,
+            registry: Registry::new(),
+        }))
+    }
+
+    /// Build the shared worker pool over `shards` and install it into
+    /// every shard engine (no-op returning `None` in inline mode).
+    fn wire_workers(cfg: &MasmConfig, shards: &[Arc<MasmEngine>]) -> Option<WorkerHandle> {
+        (cfg.background_workers > 0).then(|| {
             let backlog: u64 = shards
                 .iter()
                 .map(|e| e.config().effective_backlog_bytes())
@@ -252,19 +330,188 @@ impl ShardedEngine {
                 cfg.sharding.max_concurrent_migrations,
                 &registries,
             );
-            let handle = WorkerHandle::spawn(&shards, pool);
-            for e in &shards {
+            let handle = WorkerHandle::spawn(shards, pool);
+            for e in shards {
                 e.install_workers(handle.clone());
             }
             handle
-        });
-        Ok(Arc::new(ShardedEngine {
+        })
+    }
+
+    /// Rebuild a sharded deployment after a crash.
+    ///
+    /// Every shard's redo log is replayed (torn tails truncated per
+    /// [`crate::wal::Wal::replay`]) and cross-validated against the
+    /// [`ShardManifest`] copies written at [`ShardedEngine::new`]:
+    /// shard count, split keys, per-device shard ids, SSD region bases,
+    /// and the configuration fingerprint must all agree, so a swapped,
+    /// missing, or stale device set is rejected before any run bytes
+    /// are trusted. Heap loads and migration splices from *all* logs
+    /// are merged into one globally ordered replay, the shared
+    /// timestamp oracle resumes past the maximum durable timestamp of
+    /// any shard, and interrupted migrations are re-driven to
+    /// completion at most
+    /// [`ShardingConfig::max_concurrent_migrations`] shards at a time —
+    /// the same stagger the worker pool applies in normal operation.
+    pub fn recover(
+        heap: Arc<TableHeap>,
+        ssds: Vec<SimDevice>,
+        wals: Vec<SimDevice>,
+        schema: Schema,
+        cfg: MasmConfig,
+    ) -> MasmResult<(Arc<Self>, ShardedRecoveryReport)> {
+        Self::recover_traced(heap, ssds, wals, schema, cfg, None)
+    }
+
+    /// [`ShardedEngine::recover`] with an optional flight recorder
+    /// installed into every recovered shard engine (recovery spans and
+    /// instants land on each shard's own trace track).
+    pub fn recover_traced(
+        heap: Arc<TableHeap>,
+        ssds: Vec<SimDevice>,
+        wals: Vec<SimDevice>,
+        schema: Schema,
+        cfg: MasmConfig,
+        tracer: Option<&Arc<Tracer>>,
+    ) -> MasmResult<(Arc<Self>, ShardedRecoveryReport)> {
+        cfg.validate()?;
+        let n = cfg.sharding.shards;
+        if ssds.len() != n || wals.len() != n {
+            return Err(MasmError::Config(format!(
+                "{n} shards need {n} SSD and {n} WAL devices (got {} / {})",
+                ssds.len(),
+                wals.len()
+            )));
+        }
+
+        let mut parsed: Vec<ParsedWal> = Vec::with_capacity(n);
+        for wal in &wals {
+            let session = SessionHandle::fresh(wal.clock().clone());
+            parsed.push(MasmEngine::parse_wal(&session, wal)?);
+        }
+
+        // Cross-check all N manifest copies before trusting anything.
+        let fingerprint = cfg.fingerprint();
+        let mut split_keys: Option<Vec<Key>> = None;
+        for (i, p) in parsed.iter().enumerate() {
+            let m = p
+                .manifest
+                .as_ref()
+                .ok_or(MasmError::Corrupt("shard WAL has no manifest"))?;
+            if m.shards as usize != n {
+                return Err(MasmError::Config(format!(
+                    "manifest says {} shards, config says {n}",
+                    m.shards
+                )));
+            }
+            if m.shard_id as usize != i {
+                return Err(MasmError::Corrupt(
+                    "shard device order does not match manifest shard ids",
+                ));
+            }
+            if m.config_fingerprint != fingerprint {
+                return Err(MasmError::Config(
+                    "config fingerprint does not match the manifest: a layout-shaping \
+                     setting changed since this deployment was created"
+                        .into(),
+                ));
+            }
+            if m.ssd_region_base != cfg.shard_config(i)?.ssd_region_base {
+                return Err(MasmError::Corrupt("manifest SSD region base mismatch"));
+            }
+            match &split_keys {
+                None => split_keys = Some(m.split_keys.clone()),
+                Some(s) if *s != m.split_keys => {
+                    return Err(MasmError::Corrupt("shard manifests disagree on split keys"))
+                }
+                Some(_) => {}
+            }
+        }
+        // The manifest's explicit splits, not the config's policy: a
+        // sampled policy is not reproducible at recovery time.
+        let router = ShardRouter::from_splits(split_keys.expect("validated: n >= 1 shards"))?;
+        if router.shards() != n {
+            return Err(MasmError::Corrupt(
+                "manifest split keys do not match the shard count",
+            ));
+        }
+
+        // One globally ordered heap replay across every shard's log:
+        // loads and migration splices interleave by their shared
+        // sequence numbers, duplicates (broadcast loads) collapse.
+        let events = parsed
+            .iter_mut()
+            .flat_map(|p| std::mem::take(&mut p.heap_events))
+            .collect();
+        apply_heap_events(&heap, events);
+
+        let oracle = TimestampOracle::new();
+        let mut shards = Vec::with_capacity(n);
+        let mut per_shard: Vec<RecoveryReport> = Vec::with_capacity(n);
+        let mut redo: Vec<usize> = Vec::new();
+        for (shard_id, ((ssd, wal), p)) in ssds.into_iter().zip(wals).zip(parsed).enumerate() {
+            if p.unfinished_migration {
+                redo.push(shard_id);
+            }
+            let (engine, report) = MasmEngine::recover_from_parsed(
+                Arc::clone(&heap),
+                ssd,
+                wal,
+                schema.clone(),
+                cfg.shard_config(shard_id)?,
+                oracle.clone(),
+                shard_id,
+                false,
+                p,
+                tracer.cloned(),
+            )?;
+            shards.push(engine);
+            per_shard.push(report);
+        }
+        let workers = Self::wire_workers(&cfg, &shards);
+
+        // Re-drive interrupted migrations, staggered exactly like the
+        // pool's migration gate: at most `max_concurrent_migrations`
+        // shards rewrite heap chunks at any moment.
+        for chunk in redo.chunks(cfg.sharding.max_concurrent_migrations) {
+            std::thread::scope(|scope| -> MasmResult<()> {
+                let handles: Vec<_> = chunk
+                    .iter()
+                    .map(|&shard| {
+                        let engine = &shards[shard];
+                        scope.spawn(move || -> MasmResult<()> {
+                            let session = SessionHandle::fresh(engine.ssd().clock().clone());
+                            engine.migrate(&session)?;
+                            engine.note_migration_redriven();
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("migration redo thread panicked")?;
+                }
+                Ok(())
+            })?;
+        }
+        for &shard in &redo {
+            per_shard[shard].redid_migration = true;
+        }
+
+        let engine = Arc::new(ShardedEngine {
             router,
             shards,
             oracle,
             workers,
             registry: Registry::new(),
-        }))
+        });
+        if let Some(t) = tracer {
+            t.bind_registry(&engine.registry);
+        }
+        let report = ShardedRecoveryReport {
+            per_shard,
+            migrations_redriven: redo.len(),
+        };
+        Ok((engine, report))
     }
 
     /// The router.
@@ -295,15 +542,24 @@ impl ShardedEngine {
         self.shards[self.router.route(key)].get(session, key)
     }
 
-    /// Bulk-load the shared table heap (records sorted by key). Logged
-    /// through shard 0's WAL; sharded recovery is a roadmap follow-on.
+    /// Bulk-load the shared table heap (records sorted by key). The
+    /// load is logged to *every* shard's WAL under one shared
+    /// heap-event sequence number: recovery can rebuild the heap from
+    /// whichever logs survive, and the multi-log replay deduplicates
+    /// the broadcast by its sequence number so the heap is restored
+    /// exactly once.
     pub fn load_table(
         &self,
         session: &SessionHandle,
         records: impl IntoIterator<Item = Record>,
         fill: f64,
     ) -> MasmResult<()> {
-        self.shards[0].load_table(session, records, fill)
+        self.shards[0].heap().bulk_load(session, records, fill)?;
+        let seq = self.oracle.next();
+        for e in &self.shards {
+            e.log_heap_loaded(session, seq)?;
+        }
+        Ok(())
     }
 
     /// Cross-shard range scan of `[begin, end]` at a fresh query

@@ -42,6 +42,14 @@ impl TimestampOracle {
         self.next.fetch_add(1, Ordering::AcqRel).max(1)
     }
 
+    /// Ensure the next timestamp is strictly greater than `ts`.
+    /// Monotonic (never moves the counter backwards), so sharded
+    /// recovery can fold per-shard durable maxima into one shared
+    /// oracle in any order.
+    pub fn advance_past(&self, ts: Timestamp) {
+        self.next.fetch_max(ts + 1, Ordering::AcqRel);
+    }
+
     /// The most recently issued timestamp (0 if none).
     pub fn last_issued(&self) -> Timestamp {
         self.next.load(Ordering::Acquire).saturating_sub(1)
@@ -65,6 +73,16 @@ mod tests {
     fn resume_after_continues() {
         let o = TimestampOracle::resume_after(41);
         assert_eq!(o.next(), 42);
+    }
+
+    #[test]
+    fn advance_past_is_monotonic() {
+        let o = TimestampOracle::new();
+        o.advance_past(10);
+        o.advance_past(3); // never backwards
+        assert_eq!(o.next(), 11);
+        o.advance_past(11); // no-op: 12 is already next
+        assert_eq!(o.next(), 12);
     }
 
     #[test]

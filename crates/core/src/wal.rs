@@ -12,19 +12,52 @@
 //!   heap's logical→physical map survives a crash mid-migration (in a
 //!   production system this map lives in the catalog; logging the splice
 //!   is the equivalent durable channel),
-//! * the initial heap load.
+//! * the initial heap load, and
+//! * the shard manifest of a sharded deployment.
 //!
 //! Data-page contents are **not** logged during migration — redo simply
 //! re-runs the migration, and page timestamps make that idempotent.
+//!
+//! # Record framing and torn tails
+//!
+//! Every record is framed as `[u32 body_len][u32 crc][u8 tag][body]`,
+//! where the CRC-32 covers the tag and body. The CRC turns "the log
+//! ends in garbage" from a guess into a verdict: [`Wal::replay`]
+//! salvages the longest valid prefix and reports a cleanly *truncated*
+//! torn tail when the damage is consistent with a crash mid-append (a
+//! record that runs past the end of the log, or a CRC-failing record
+//! followed only by zeroes), while a CRC failure in the *middle* of the
+//! log — valid data beyond the bad record — cannot be a torn tail and
+//! stays a hard error.
+//!
+//! # Durability of acknowledged appends
+//!
+//! Appends reserve disjoint byte ranges with an atomic `fetch_add` and
+//! write them in parallel, so a later record can physically land before
+//! an earlier one. If an append were acknowledged while an earlier
+//! reservation was still in flight, a crash in that window would leave
+//! a hole in front of an *acknowledged* record — and replay, which must
+//! stop at the hole, would lose it. [`Wal::append`] therefore returns
+//! only once the log is hole-free up to the record's end (the group
+//! commit of a classical WAL): whatever was acknowledged is always in
+//! the contiguous valid prefix that replay recovers.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use masm_blockrun::crc32;
 use masm_pagestore::{ChunkCommit, Key};
 use masm_storage::{SessionHandle, SimDevice};
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{MasmError, MasmResult};
+use crate::manifest::ShardManifest;
 use crate::ts::Timestamp;
 use crate::update::UpdateRecord;
+
+/// Framing header bytes: `[u32 body_len][u32 crc][u8 tag]`.
+const HEADER: usize = 9;
 
 /// One redo-log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +100,12 @@ pub enum WalRecord {
     },
     /// The heap was bulk-loaded contiguously at `base`.
     HeapLoaded {
+        /// Global heap-event sequence number (drawn from the timestamp
+        /// oracle). Orders loads and splices across the WALs of a
+        /// sharded deployment; a load broadcast to several shard WALs
+        /// carries the *same* seq in every copy, so multi-log replay
+        /// deduplicates it.
+        seq: u64,
         /// Physical base offset.
         base: u64,
         /// Page size used.
@@ -77,7 +116,17 @@ pub enum WalRecord {
         record_count: u64,
     },
     /// A migration chunk committed a page-map splice.
-    MapSplice(ChunkCommit),
+    MapSplice {
+        /// Global heap-event sequence number (see
+        /// [`WalRecord::HeapLoaded::seq`]): sharded recovery replays
+        /// splices from all shard WALs in one global order.
+        seq: u64,
+        /// The logged splice.
+        commit: ChunkCommit,
+    },
+    /// The shard manifest of a sharded deployment (appended to every
+    /// shard's WAL at construction; see [`ShardManifest`]).
+    Manifest(ShardManifest),
 }
 
 fn put_u64s(out: &mut Vec<u8>, vals: &[u64]) {
@@ -106,6 +155,63 @@ fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
     Some(v)
 }
 
+/// One framing step of [`Wal::replay`].
+enum Framed<'a> {
+    /// Clean end of the log (empty or zero padding to the end).
+    End,
+    /// The buffer ends inside a record (or inside a header), or a zero
+    /// hole is followed by more data: a torn tail.
+    Torn,
+    /// A whole record extent is present but its CRC fails. `extent` is
+    /// the claimed record length, so the caller can check what follows.
+    BadCrc {
+        /// Claimed total record length (header + body).
+        extent: usize,
+    },
+    /// A CRC-valid record.
+    Record {
+        /// Record tag.
+        tag: u8,
+        /// Record body.
+        body: &'a [u8],
+        /// Total bytes consumed (header + body).
+        used: usize,
+    },
+}
+
+/// Frame one record at the front of `buf` without decoding its body.
+fn frame(buf: &[u8]) -> Framed<'_> {
+    // All-zero remainder (including empty) is clean padding. For real
+    // records this check exits at the first nonzero header byte.
+    if buf.iter().all(|&b| b == 0) {
+        return Framed::End;
+    }
+    if buf.len() < HEADER {
+        return Framed::Torn;
+    }
+    let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let tag = buf[8];
+    if body_len == 0 && crc == 0 && tag == 0 {
+        // A zero hole *followed by data*: an unwritten reservation in
+        // front of records whose appends never returned. Everything
+        // from here on was unacknowledged — torn tail.
+        return Framed::Torn;
+    }
+    let extent = HEADER + body_len;
+    if buf.len() < extent {
+        return Framed::Torn;
+    }
+    if crc32(&buf[8..extent]) != crc {
+        return Framed::BadCrc { extent };
+    }
+    Framed::Record {
+        tag,
+        body: &buf[HEADER..extent],
+        used: extent,
+    }
+}
+
 impl WalRecord {
     fn tag(&self) -> u8 {
         match self {
@@ -115,14 +221,17 @@ impl WalRecord {
             WalRecord::MigrationBegin { .. } => 3,
             WalRecord::MigrationEnd { .. } => 4,
             WalRecord::HeapLoaded { .. } => 5,
-            WalRecord::MapSplice(_) => 6,
+            WalRecord::MapSplice { .. } => 6,
+            WalRecord::Manifest(_) => 7,
         }
     }
 
-    /// Encode as `[u32 body_len][u8 tag][body]`.
+    /// Encode as `[u32 body_len][u32 crc][u8 tag][body]` (CRC over tag
+    /// and body).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let len_pos = out.len();
-        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // body_len placeholder
+        out.extend_from_slice(&0u32.to_le_bytes()); // crc placeholder
         out.push(self.tag());
         let body_start = out.len();
         match self {
@@ -149,17 +258,20 @@ impl WalRecord {
             }
             WalRecord::MigrationEnd { ts } => out.extend_from_slice(&ts.to_le_bytes()),
             WalRecord::HeapLoaded {
+                seq,
                 base,
                 page_size,
                 min_keys,
                 record_count,
             } => {
+                out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&base.to_le_bytes());
                 out.extend_from_slice(&page_size.to_le_bytes());
                 out.extend_from_slice(&record_count.to_le_bytes());
                 put_u64s(out, min_keys);
             }
-            WalRecord::MapSplice(c) => {
+            WalRecord::MapSplice { seq, commit: c } => {
+                out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&(c.at as u64).to_le_bytes());
                 out.extend_from_slice(&(c.n_old as u64).to_le_bytes());
                 out.extend_from_slice(&c.base_phys.to_le_bytes());
@@ -167,27 +279,19 @@ impl WalRecord {
                 out.extend_from_slice(&c.record_delta.to_le_bytes());
                 put_u64s(out, &c.min_keys);
             }
+            WalRecord::Manifest(m) => out.extend_from_slice(&m.encode()),
         }
         let body_len = (out.len() - body_start) as u32;
         out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&out[len_pos + 8..]);
+        out[len_pos + 4..len_pos + 8].copy_from_slice(&crc.to_le_bytes());
     }
 
-    /// Decode one record from the front of `buf`; returns it and the
-    /// bytes consumed. `None` on a clean end (all zeros / empty), error
-    /// on a torn record.
-    pub fn decode(buf: &[u8]) -> MasmResult<Option<(WalRecord, usize)>> {
-        if buf.len() < 5 {
-            return Ok(None);
-        }
-        let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-        let tag = buf[4];
-        if body_len == 0 && tag == 0 {
-            return Ok(None); // zero padding = end of log
-        }
-        if buf.len() < 5 + body_len {
-            return Err(MasmError::Corrupt("torn WAL record"));
-        }
-        let body = &buf[5..5 + body_len];
+    /// Decode a CRC-verified record body. The framing CRC has already
+    /// vouched for these bytes, so any failure here is real corruption
+    /// (or an unknown record version) — always a hard error.
+    fn decode_body(tag: u8, body: &[u8]) -> MasmResult<WalRecord> {
+        let body_len = body.len();
         let mut pos = 0usize;
         let rec = match tag {
             0 => {
@@ -217,6 +321,7 @@ impl WalRecord {
                 ts: get_u64(body, &mut pos).ok_or(MasmError::Corrupt("mig end ts"))?,
             },
             5 => {
+                let seq = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load seq"))?;
                 let base = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load base"))?;
                 let page_size = u32::from_le_bytes(
                     body.get(pos..pos + 4)
@@ -229,6 +334,7 @@ impl WalRecord {
                     get_u64(body, &mut pos).ok_or(MasmError::Corrupt("load count"))?;
                 let min_keys = get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("load keys"))?;
                 WalRecord::HeapLoaded {
+                    seq,
                     base,
                     page_size,
                     min_keys,
@@ -236,6 +342,7 @@ impl WalRecord {
                 }
             }
             6 => {
+                let seq = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice seq"))?;
                 let at = get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice at"))? as usize;
                 let n_old =
                     get_u64(body, &mut pos).ok_or(MasmError::Corrupt("splice n_old"))? as usize;
@@ -250,19 +357,68 @@ impl WalRecord {
                 );
                 pos += 8;
                 let min_keys = get_u64s(body, &mut pos).ok_or(MasmError::Corrupt("splice keys"))?;
-                WalRecord::MapSplice(ChunkCommit {
-                    at,
-                    n_old,
-                    base_phys,
-                    n_new,
-                    min_keys,
-                    record_delta,
-                })
+                WalRecord::MapSplice {
+                    seq,
+                    commit: ChunkCommit {
+                        at,
+                        n_old,
+                        base_phys,
+                        n_new,
+                        min_keys,
+                        record_delta,
+                    },
+                }
             }
+            7 => WalRecord::Manifest(ShardManifest::decode(body)?),
             _ => return Err(MasmError::Corrupt("unknown WAL tag")),
         };
-        Ok(Some((rec, 5 + body_len)))
+        Ok(rec)
     }
+
+    /// Decode one record from the front of `buf`; returns it and the
+    /// bytes consumed. `None` on a clean end (all zeros / empty), error
+    /// on a torn or corrupt record. For whole-log reading with torn-tail
+    /// salvage, use [`Wal::replay`].
+    pub fn decode(buf: &[u8]) -> MasmResult<Option<(WalRecord, usize)>> {
+        match frame(buf) {
+            Framed::End => Ok(None),
+            Framed::Torn => Err(MasmError::Corrupt("torn WAL record")),
+            Framed::BadCrc { .. } => Err(MasmError::Corrupt("WAL record CRC mismatch")),
+            Framed::Record { tag, body, used } => Ok(Some((Self::decode_body(tag, body)?, used))),
+        }
+    }
+}
+
+/// Outcome of reading a whole redo log back ([`Wal::replay`]).
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// The records of the longest valid log prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset where that prefix ends — the append point for a
+    /// [`Wal::new`] over the same device.
+    pub end_offset: u64,
+    /// Bytes discarded beyond `end_offset` because the tail was torn
+    /// (0 = the log ended cleanly). Truncation happens by overwrite:
+    /// the recovered log appends at `end_offset`, burying the garbage.
+    pub torn_bytes: u64,
+}
+
+impl WalReplay {
+    /// Whether a torn tail was truncated.
+    #[must_use]
+    pub fn torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// Write-completion tracking behind [`Wal::append`]'s group commit:
+/// completed reservations merge into a contiguous stable prefix.
+#[derive(Debug)]
+struct TailState {
+    /// The log is hole-free up to here.
+    stable: u64,
+    /// Completed `(start, end)` ranges not yet merged into `stable`.
+    completed: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
 /// An append-only redo log on a simulated device.
@@ -271,11 +427,15 @@ impl WalRecord {
 /// append *reserves* with `fetch_add` before issuing the device write.
 /// Concurrent appenders (foreground ingest, background flush/migration
 /// workers) therefore never hold an engine lock across the log I/O —
-/// they claim disjoint byte ranges and write them in parallel.
+/// they claim disjoint byte ranges and write them in parallel. An
+/// append returns only once the log is hole-free up to its record (see
+/// the module docs on durability of acknowledged appends).
 #[derive(Debug)]
 pub struct Wal {
     dev: SimDevice,
     offset: AtomicU64,
+    tail: Mutex<TailState>,
+    stable_cv: Condvar,
 }
 
 impl Wal {
@@ -285,23 +445,61 @@ impl Wal {
         Wal {
             dev,
             offset: AtomicU64::new(offset),
+            tail: Mutex::new(TailState {
+                stable: offset,
+                completed: BinaryHeap::new(),
+            }),
+            stable_cv: Condvar::new(),
         }
     }
 
     /// Append one record (a sequential device write charged to
-    /// `session`). Lock-free: reserves the byte range atomically, then
-    /// writes outside any engine lock.
+    /// `session`). Lock-free range reservation, parallel writes; the
+    /// *return* is the group commit — it happens only once every
+    /// earlier reservation has also hit the device, so an acknowledged
+    /// record can never sit behind a crash hole.
     pub fn append(&self, session: &SessionHandle, rec: &WalRecord) -> MasmResult<()> {
         let mut buf = Vec::with_capacity(64);
         rec.encode_into(&mut buf);
         let off = self.offset.fetch_add(buf.len() as u64, Ordering::Relaxed);
-        session.write(&self.dev, off, &buf)?;
+        let end = off + buf.len() as u64;
+        let wrote = session.write(&self.dev, off, &buf);
+        {
+            // Mark the reservation complete even on a failed write (the
+            // bytes are then absent or torn and recovery truncates
+            // them): a skipped completion would wedge every later
+            // appender behind a hole that will never fill.
+            let mut tail = self.tail.lock();
+            tail.completed.push(Reverse((off, end)));
+            while tail
+                .completed
+                .peek()
+                .is_some_and(|Reverse((start, _))| *start <= tail.stable)
+            {
+                let Reverse((_, e)) = tail.completed.pop().expect("peeked");
+                tail.stable = tail.stable.max(e);
+            }
+            if wrote.is_ok() {
+                while tail.stable < end {
+                    self.stable_cv.wait(&mut tail);
+                }
+            }
+        }
+        self.stable_cv.notify_all();
+        wrote?;
         Ok(())
     }
 
-    /// Current end offset.
+    /// Current end offset (reserved; may be ahead of the stable prefix
+    /// while appends are in flight).
     pub fn offset(&self) -> u64 {
         self.offset.load(Ordering::Relaxed)
+    }
+
+    /// Offset up to which the log is hole-free (every returned
+    /// [`Wal::append`] is below this).
+    pub fn stable_offset(&self) -> u64 {
+        self.tail.lock().stable
     }
 
     /// The underlying device.
@@ -309,21 +507,45 @@ impl Wal {
         &self.dev
     }
 
-    /// Read every record from `dev` (recovery). Returns the records and
-    /// the end offset for further appends.
-    pub fn read_all(session: &SessionHandle, dev: &SimDevice) -> MasmResult<(Vec<WalRecord>, u64)> {
+    /// Read the longest valid record prefix from `dev` (crash
+    /// recovery). A torn tail — a record cut off by the end of the log,
+    /// or a CRC-failing final record followed only by zeroes — is
+    /// *salvaged around*: the valid prefix comes back with
+    /// [`WalReplay::torn_bytes`] counting what was dropped. A CRC
+    /// failure with valid-looking data beyond it is not a torn tail and
+    /// fails hard ([`MasmError::Corrupt`]), as does a record whose CRC
+    /// passes but whose body is malformed.
+    pub fn replay(session: &SessionHandle, dev: &SimDevice) -> MasmResult<WalReplay> {
         let len = dev.len();
         if len == 0 {
-            return Ok((Vec::new(), 0));
+            return Ok(WalReplay::default());
         }
         let buf = session.read(dev, 0, len)?;
-        let mut out = Vec::new();
+        let mut records = Vec::new();
         let mut pos = 0usize;
-        while let Some((rec, used)) = WalRecord::decode(&buf[pos..])? {
-            out.push(rec);
-            pos += used;
-        }
-        Ok((out, pos as u64))
+        let torn = loop {
+            match frame(&buf[pos..]) {
+                Framed::End => break false,
+                Framed::Torn => break true,
+                Framed::BadCrc { extent } => {
+                    if buf[pos + extent..].iter().all(|&b| b == 0) {
+                        // Final record, partially persisted: torn tail.
+                        break true;
+                    }
+                    return Err(MasmError::Corrupt("WAL record CRC mismatch mid-log"));
+                }
+                Framed::Record { tag, body, used } => {
+                    records.push(WalRecord::decode_body(tag, body)?);
+                    pos += used;
+                }
+            }
+        };
+        let torn_bytes = if torn { len - pos as u64 } else { 0 };
+        Ok(WalReplay {
+            records,
+            end_offset: pos as u64,
+            torn_bytes,
+        })
     }
 }
 
@@ -352,20 +574,39 @@ mod tests {
             },
             WalRecord::MigrationEnd { ts: 99 },
             WalRecord::HeapLoaded {
+                seq: 41,
                 base: 0,
                 page_size: 4096,
                 min_keys: vec![0, 100, 200],
                 record_count: 300,
             },
-            WalRecord::MapSplice(ChunkCommit {
-                at: 2,
-                n_old: 3,
-                base_phys: 8192,
-                n_new: 4,
-                min_keys: vec![10, 20, 30, 40],
-                record_delta: -7,
+            WalRecord::MapSplice {
+                seq: 42,
+                commit: ChunkCommit {
+                    at: 2,
+                    n_old: 3,
+                    base_phys: 8192,
+                    n_new: 4,
+                    min_keys: vec![10, 20, 30, 40],
+                    record_delta: -7,
+                },
+            },
+            WalRecord::Manifest(ShardManifest {
+                shards: 2,
+                shard_id: 1,
+                split_keys: vec![500],
+                ssd_region_base: 0,
+                config_fingerprint: 77,
             }),
         ]
+    }
+
+    fn wal_fixture() -> (SimDevice, SessionHandle, Wal) {
+        let clock = SimClock::new();
+        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
+        let session = SessionHandle::fresh(clock);
+        let wal = Wal::new(dev.clone(), 0);
+        (dev, session, wal)
     }
 
     #[test]
@@ -389,32 +630,125 @@ mod tests {
     }
 
     #[test]
+    fn crc_catches_a_flipped_bit() {
+        let rec = WalRecord::MigrationEnd { ts: 7 };
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(WalRecord::decode(&buf).is_err());
+    }
+
+    #[test]
     fn zero_padding_is_clean_end() {
         assert!(WalRecord::decode(&[0u8; 16]).unwrap().is_none());
         assert!(WalRecord::decode(&[]).unwrap().is_none());
     }
 
     #[test]
-    fn wal_append_and_read_all() {
-        let clock = SimClock::new();
-        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
-        let session = SessionHandle::fresh(clock);
-        let wal = Wal::new(dev.clone(), 0);
+    fn wal_append_and_replay() {
+        let (dev, session, wal) = wal_fixture();
         let records = sample_records();
         for r in &records {
             wal.append(&session, r).unwrap();
         }
-        let (back, end) = Wal::read_all(&session, &dev).unwrap();
-        assert_eq!(back, records);
-        assert_eq!(end, wal.offset());
+        let replay = Wal::replay(&session, &dev).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.end_offset, wal.offset());
+        assert_eq!(wal.stable_offset(), wal.offset());
+        assert!(!replay.torn());
+    }
+
+    #[test]
+    fn replay_salvages_torn_tail_at_every_cut() {
+        let (dev, session, wal) = wal_fixture();
+        let records = sample_records();
+        let mut boundaries = vec![0u64];
+        for r in &records {
+            wal.append(&session, r).unwrap();
+            boundaries.push(wal.offset());
+        }
+        let end = wal.offset();
+        let clock = SimClock::new();
+        for cut in 0..=end {
+            let snap = dev.snapshot_prefix(clock.clone(), cut).unwrap();
+            let replay = Wal::replay(&session, &snap).unwrap();
+            // The salvaged prefix is exactly the whole records below the
+            // cut; everything mid-record is reported as torn.
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.records.len(), whole, "cut at {cut}");
+            assert_eq!(replay.records[..], records[..whole], "cut at {cut}");
+            assert_eq!(replay.end_offset, boundaries[whole], "cut at {cut}");
+            assert_eq!(replay.torn_bytes, cut - boundaries[whole], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn replay_truncates_partially_persisted_final_record() {
+        let (dev, session, wal) = wal_fixture();
+        wal.append(&session, &WalRecord::MigrationEnd { ts: 1 })
+            .unwrap();
+        let keep = wal.offset();
+        // A torn device write persists only the first 3 bytes of the
+        // next record; the rest of its extent stays zero.
+        dev.inject_torn_write(3);
+        assert!(wal
+            .append(&session, &WalRecord::MigrationEnd { ts: 2 })
+            .is_err());
+        dev.clear_write_fault();
+        let replay = Wal::replay(&session, &dev).unwrap();
+        assert_eq!(replay.records, vec![WalRecord::MigrationEnd { ts: 1 }]);
+        assert_eq!(replay.end_offset, keep);
+        assert!(replay.torn());
+    }
+
+    #[test]
+    fn replay_rejects_midlog_corruption() {
+        let (dev, session, wal) = wal_fixture();
+        for r in sample_records() {
+            wal.append(&session, &r).unwrap();
+        }
+        // Flip a byte in the middle of the log: valid records follow,
+        // so this cannot be a torn tail.
+        let (mut bytes, _) = dev.read_at(0, 10, 1).unwrap();
+        bytes[0] ^= 0xFF;
+        dev.write_at(dev.busy_until(), 10, &bytes).unwrap();
+        assert!(Wal::replay(&session, &dev).is_err());
+    }
+
+    #[test]
+    fn concurrent_appends_leave_no_holes() {
+        let (dev, session, wal) = wal_fixture();
+        let wal = std::sync::Arc::new(wal);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let wal = std::sync::Arc::clone(&wal);
+                let session = session.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        wal.append(
+                            &session,
+                            &WalRecord::Update(UpdateRecord::new(
+                                t * 1000 + i + 1,
+                                t * 1000 + i,
+                                UpdateOp::Delete,
+                            )),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        // Acknowledged appends form a hole-free prefix covering the log.
+        assert_eq!(wal.stable_offset(), wal.offset());
+        let replay = Wal::replay(&session, &dev).unwrap();
+        assert_eq!(replay.records.len(), 200);
+        assert!(!replay.torn());
     }
 
     #[test]
     fn wal_writes_are_sequential() {
-        let clock = SimClock::new();
-        let dev = SimDevice::in_memory(DeviceProfile::ssd_x25e(), clock.clone());
-        let session = SessionHandle::fresh(clock);
-        let wal = Wal::new(dev.clone(), 0);
+        let (dev, session, wal) = wal_fixture();
         for i in 0..100u64 {
             wal.append(
                 &session,

@@ -23,12 +23,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::StorageBackend;
+use crate::backend::{MemBackend, StorageBackend};
 use crate::clock::{Ns, SimClock};
 use crate::device::{AccessKind, DeviceProfile};
 use crate::error::{StorageError, StorageResult};
@@ -106,7 +106,15 @@ pub struct SimDevice {
     state: Arc<Mutex<DevState>>,
     faulted: Arc<AtomicBool>,
     write_faulted: Arc<AtomicBool>,
+    read_faulted: Arc<AtomicBool>,
+    /// Pending torn-write injection: `u64::MAX` = none, otherwise the
+    /// number of leading bytes the next write persists before the
+    /// device "loses power" (see [`SimDevice::inject_torn_write`]).
+    torn_write_keep: Arc<AtomicU64>,
 }
+
+/// Sentinel for "no torn write pending".
+const NO_TORN_WRITE: u64 = u64::MAX;
 
 impl std::fmt::Debug for SimDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -134,6 +142,8 @@ impl SimDevice {
             })),
             faulted: Arc::new(AtomicBool::new(false)),
             write_faulted: Arc::new(AtomicBool::new(false)),
+            read_faulted: Arc::new(AtomicBool::new(false)),
+            torn_write_keep: Arc::new(AtomicU64::new(NO_TORN_WRITE)),
         }
     }
 
@@ -225,6 +235,9 @@ impl SimDevice {
     pub fn read_at(&self, at: Ns, offset: u64, len: u64) -> StorageResult<(Vec<u8>, Ns)> {
         assert_no_tracked_locks("read");
         self.check_fault()?;
+        if self.read_faulted.load(Ordering::Acquire) {
+            return Err(StorageError::Faulted("injected device read fault"));
+        }
         let mut buf = vec![0u8; len as usize];
         self.backend.read_at(offset, &mut buf)?;
         let (_, end) = self.schedule(at, AccessKind::Read, offset, len);
@@ -238,6 +251,18 @@ impl SimDevice {
         self.check_fault()?;
         if self.write_faulted.load(Ordering::Acquire) {
             return Err(StorageError::Faulted("injected device write fault"));
+        }
+        let keep = self.torn_write_keep.swap(NO_TORN_WRITE, Ordering::AcqRel);
+        if keep != NO_TORN_WRITE {
+            // Crash mid-append: only the first `keep` bytes reach the
+            // medium, the device goes dark, and the caller sees the
+            // failure. Later recovery finds the torn record.
+            let k = (keep as usize).min(data.len());
+            if k > 0 {
+                self.backend.write_at(offset, &data[..k])?;
+            }
+            self.write_faulted.store(true, Ordering::Release);
+            return Err(StorageError::Faulted("injected torn write"));
         }
         self.backend.write_at(offset, data)?;
         let (_, end) = self.schedule(at, AccessKind::Write, offset, data.len() as u64);
@@ -335,6 +360,61 @@ impl SimDevice {
     /// Clear an injected write fault.
     pub fn clear_write_fault(&self) {
         self.write_faulted.store(false, Ordering::Release);
+    }
+
+    /// Fault injection restricted to reads: writes keep succeeding.
+    /// Models unrecoverable read errors (media corruption reported by
+    /// the device) so recovery paths can be tested against them.
+    pub fn inject_read_fault(&self) {
+        self.read_faulted.store(true, Ordering::Release);
+    }
+
+    /// Clear an injected read fault.
+    pub fn clear_read_fault(&self) {
+        self.read_faulted.store(false, Ordering::Release);
+    }
+
+    /// Make the *next* write persist only its first `keep_bytes` bytes
+    /// and then fail, leaving the device write-faulted (as after a
+    /// power cut mid-append). The partial bytes stay on the medium —
+    /// exactly the torn-tail shape crash recovery must tolerate. Use
+    /// [`SimDevice::clear_write_fault`] to "power the device back on".
+    pub fn inject_torn_write(&self, keep_bytes: u64) {
+        self.torn_write_keep.store(keep_bytes, Ordering::Release);
+    }
+
+    /// Cancel a pending torn-write injection.
+    pub fn clear_torn_write(&self) {
+        self.torn_write_keep.store(NO_TORN_WRITE, Ordering::Release);
+    }
+
+    /// Freeze the current durable contents into a fresh in-memory
+    /// device: a crash image. Only bytes whose writes completed are
+    /// visible (backend writes are atomic), the head position and
+    /// statistics start clean, and the snapshot shares no state with
+    /// the live device — the original can keep running while tests
+    /// recover from the copy. Out-of-band: costs no virtual time.
+    pub fn snapshot(&self, clock: SimClock) -> StorageResult<SimDevice> {
+        self.snapshot_prefix(clock, self.backend.len())
+    }
+
+    /// [`SimDevice::snapshot`] truncated to the first `len` bytes: the
+    /// deterministic "crash at byte offset N" primitive. Cutting a WAL
+    /// device at every prefix sweeps recovery across every possible
+    /// crash point, including mid-record torn tails.
+    pub fn snapshot_prefix(&self, clock: SimClock, len: u64) -> StorageResult<SimDevice> {
+        let n = len.min(self.backend.len());
+        let backend = MemBackend::new();
+        if n > 0 {
+            let mut buf = vec![0u8; n as usize];
+            self.backend.read_at(0, &mut buf)?;
+            backend.write_at(0, &buf)?;
+        }
+        Ok(SimDevice::new(
+            Arc::new(backend),
+            self.profile.clone(),
+            clock,
+        ))
     }
 }
 
@@ -446,6 +526,49 @@ mod tests {
         assert_eq!(d.read_at(0, 0, 3).unwrap().0, vec![1, 2, 3]);
         d.clear_write_fault();
         assert!(d.write_at(0, 8, &[4]).is_ok());
+    }
+
+    #[test]
+    fn read_fault_injection_spares_writes() {
+        let d = ssd();
+        d.write_at(0, 0, &[1, 2, 3]).unwrap();
+        d.inject_read_fault();
+        assert!(matches!(d.read_at(0, 0, 3), Err(StorageError::Faulted(_))));
+        assert!(d.write_at(d.busy_until(), 8, &[4]).is_ok());
+        d.clear_read_fault();
+        assert_eq!(d.read_at(0, 0, 3).unwrap().0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_faults() {
+        let d = ssd();
+        d.write_at(0, 0, &[9u8; 8]).unwrap();
+        d.inject_torn_write(3);
+        assert!(matches!(
+            d.write_at(d.busy_until(), 0, &[7u8; 8]),
+            Err(StorageError::Faulted(_))
+        ));
+        // The device stays dark until explicitly revived.
+        assert!(d.write_at(d.busy_until(), 0, &[1]).is_err());
+        d.clear_write_fault();
+        // Exactly the first 3 bytes of the torn write landed.
+        assert_eq!(d.read_at(0, 0, 8).unwrap().0, vec![7, 7, 7, 9, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_and_prefix_cuts() {
+        let d = ssd();
+        d.write_at(0, 0, b"hello world").unwrap();
+        let snap = d.snapshot(SimClock::new()).unwrap();
+        let cut = d.snapshot_prefix(SimClock::new(), 5).unwrap();
+        // Writes after the snapshot are invisible to it.
+        d.write_at(d.busy_until(), 0, b"HELLO").unwrap();
+        assert_eq!(snap.read_at(0, 0, 11).unwrap().0, b"hello world");
+        assert_eq!(cut.len(), 5);
+        assert_eq!(cut.read_at(0, 0, 5).unwrap().0, b"hello");
+        assert!(cut.read_at(0, 0, 6).is_err(), "cut must end at the prefix");
+        // Snapshot stats start clean.
+        assert_eq!(snap.stats().bytes_written, 0);
     }
 
     #[test]

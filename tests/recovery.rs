@@ -149,16 +149,58 @@ fn recovery_resumes_timestamps_monotonically() {
 }
 
 #[test]
-fn torn_wal_tail_is_detected() {
+fn torn_wal_tail_is_truncated_and_salvaged() {
     let d = Durable::new();
     let s = d.session();
     let engine = d.fresh_engine(100);
     engine.apply_update(&s, 1, UpdateOp::Delete).unwrap();
     drop(engine);
-    // Corrupt the log tail: shrink the last record by appending a
-    // half-written record (length prefix promises more than exists).
+    // Tear the log tail: append a half-written record whose length
+    // prefix promises more bytes than exist — the shape a crash
+    // mid-append leaves behind.
     let len = d.wal.len();
     d.wal.write_at(0, len, &[200, 0, 0, 0, 0]).unwrap();
+    let heap = Arc::new(TableHeap::new(d.disk.clone(), HeapConfig::default()));
+    let (engine, report) = MasmEngine::recover(
+        heap,
+        d.ssd.clone(),
+        d.wal.clone(),
+        schema(),
+        MasmConfig::small_for_tests(),
+    )
+    .expect("torn tail must be truncated, not fatal");
+    assert_eq!(report.wal_torn_bytes, 5, "{report:?}");
+    assert_eq!(report.updates_recovered, 1);
+    // The acknowledged pre-crash delete survived the truncation.
+    let keys: Vec<Key> = engine
+        .begin_scan(s.clone(), 0, 5)
+        .unwrap()
+        .map(|r| r.key)
+        .collect();
+    assert!(!keys.contains(&1), "recovered delete visible");
+    // Appending past the truncated tail and crashing again replays
+    // cleanly: the garbage was buried by the new append point.
+    engine.apply_update(&s, 3, UpdateOp::Delete).unwrap();
+    drop(engine);
+    let engine = d.recover();
+    let keys: Vec<Key> = engine.begin_scan(s, 0, 5).unwrap().map(|r| r.key).collect();
+    assert!(!keys.contains(&1) && !keys.contains(&3));
+}
+
+#[test]
+fn midlog_wal_corruption_is_a_hard_error() {
+    let d = Durable::new();
+    let s = d.session();
+    let engine = d.fresh_engine(100);
+    engine.apply_update(&s, 1, UpdateOp::Delete).unwrap();
+    engine.apply_update(&s, 3, UpdateOp::Delete).unwrap();
+    drop(engine);
+    // Flip a byte in the *middle* of the log. Valid records follow the
+    // damage, so this cannot be a torn tail — recovery must refuse to
+    // silently drop acknowledged history.
+    let (mut bytes, _) = d.wal.read_at(d.wal.busy_until(), 12, 1).unwrap();
+    bytes[0] ^= 0xFF;
+    d.wal.write_at(d.wal.busy_until(), 12, &bytes).unwrap();
     let heap = Arc::new(TableHeap::new(d.disk.clone(), HeapConfig::default()));
     let err = MasmEngine::recover(
         heap,
@@ -167,8 +209,8 @@ fn torn_wal_tail_is_detected() {
         schema(),
         MasmConfig::small_for_tests(),
     )
-    .expect_err("torn record must be surfaced");
-    assert!(err.to_string().contains("torn"), "{err}");
+    .expect_err("mid-log corruption must be surfaced");
+    assert!(err.to_string().contains("CRC"), "{err}");
 }
 
 #[test]
